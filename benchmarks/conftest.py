@@ -1,0 +1,37 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one paper artifact (a Table 1/2 pattern, the
+Figure 4 tradeoff, or a prose performance claim — see DESIGN.md's
+experiment index) and registers a human-readable report block that is
+printed in the terminal summary, mirroring the rows/series the paper
+reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[tuple[str, list[str]]] = []
+
+
+@pytest.fixture
+def report():
+    """Collect a titled report block to print at the end of the run."""
+
+    def add(title: str, lines: list[str]) -> None:
+        _REPORTS.append((title, list(lines)))
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    tr = terminalreporter
+    tr.section("paper artifact reproduction")
+    for title, lines in _REPORTS:
+        tr.write_line("")
+        tr.write_line(f"--- {title} ---")
+        for line in lines:
+            tr.write_line(line)
+    _REPORTS.clear()

@@ -1,0 +1,87 @@
+"""Figure 4 (paper p. 1046): the three tuple representations.
+
+Reproduces the tradeoff the paper describes: stream = lowest memory but
+expensive access/skip; single token = cheap skip, expensive access;
+array = cheap access to every field, higher memory (the relational case).
+The benchmark exercises two workloads — access-heavy (read every field)
+and skip-heavy (skip 90% of tuples) — over 2-field relational-style
+tuples, and reports cost (token touches) and memory per representation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xml import AtomicValue
+from repro.xml.tuples import REPRESENTATIONS, choose_representation
+
+FIELDS = [[AtomicValue(100, "xs:integer")], [AtomicValue("al", "xs:string")]]
+N_TUPLES = 300
+
+
+def build(representation):
+    cls = REPRESENTATIONS[representation]
+    return [cls.from_fields(FIELDS) for _ in range(N_TUPLES)]
+
+
+def access_heavy(tuples):
+    total = 0
+    for t in tuples:
+        for i in range(2):
+            total += len(t.field(i))
+    return sum(t.tokens_touched for t in tuples)
+
+
+def skip_heavy(tuples):
+    touched = 0
+    for index, t in enumerate(tuples):
+        if index % 10 == 0:
+            t.field(0)
+        else:
+            t.skip()
+    return sum(t.tokens_touched for t in tuples)
+
+
+@pytest.mark.parametrize("representation", ["stream", "single-token", "array"])
+def test_fig4_access_heavy(benchmark, report, representation):
+    cost = access_heavy(build(representation))
+    memory = build(representation)[0].memory_tokens()
+    benchmark(lambda: access_heavy(build(representation)))
+    report(f"Figure 4 — access-heavy workload, {representation}", [
+        f"token touches for {N_TUPLES} tuples x 2 fields: {cost}",
+        f"resident tokens per tuple: {memory}",
+    ])
+
+
+@pytest.mark.parametrize("representation", ["stream", "single-token", "array"])
+def test_fig4_skip_heavy(benchmark, report, representation):
+    cost = skip_heavy(build(representation))
+    benchmark(lambda: skip_heavy(build(representation)))
+    report(f"Figure 4 — skip-heavy workload, {representation}", [
+        f"token touches ({N_TUPLES} tuples, 90% skipped): {cost}",
+    ])
+
+
+def test_fig4_tradeoff_shape(benchmark, report):
+    """The paper's qualitative claims, asserted."""
+    access = {r: access_heavy(build(r)) for r in REPRESENTATIONS}
+    skip = {r: skip_heavy(build(r)) for r in REPRESENTATIONS}
+    memory = {r: build(r)[0].memory_tokens() for r in REPRESENTATIONS}
+    benchmark(lambda: access_heavy(build("array")))
+    # array: cheap access to all fields
+    assert access["array"] < access["stream"] < access["single-token"]
+    # single token: cheapest when content is skipped
+    assert skip["single-token"] < skip["stream"]
+    # stream: lowest memory; wrapper adds to it
+    assert memory["stream"] < memory["single-token"]
+    # the optimizer picks per use case (section 5.1)
+    assert choose_representation([1, 1], access_ratio=1.0) == "array"
+    assert choose_representation([1, 1], access_ratio=0.05) == "single-token"
+    assert choose_representation([3, 4], access_ratio=0.9) == "stream"
+    report("Figure 4 — tradeoff summary", [
+        f"{'repr':14s}{'access cost':>12s}{'skip cost':>12s}{'memory':>8s}",
+        *(f"{r:14s}{access[r]:>12d}{skip[r]:>12d}{memory[r]:>8d}"
+          for r in ("stream", "single-token", "array")),
+        "optimizer choice: hot relational tuples -> array; cold -> single-token;"
+        " wide XML fields -> stream",
+    ])

@@ -1,0 +1,93 @@
+"""Streaming group-by (sections 4.2, 5.2).
+
+"ALDSP aims to use pre-sorted or pre-clustered group-by implementations
+when it can, as this enables grouping to be done in a streaming manner
+with minimal memory utilization ... In the worst case, ALDSP falls back
+on sorting for grouping."
+
+The bench measures the operator's peak resident tuples as input size
+grows: flat for the clustered implementation, linear for the sort
+fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.operators.group import GroupStats, clustered_groups, sorted_groups
+
+SIZES = [1_000, 10_000, 100_000]
+GROUP_WIDTH = 5
+
+
+def clustered_input(n):
+    return ((i // GROUP_WIDTH, i) for i in range(n))
+
+
+def shuffled_input(n):
+    # deterministic de-clustering
+    return (((i * 7919) % (n // GROUP_WIDTH), i) for i in range(n))
+
+
+def drain_clustered(n):
+    stats = GroupStats()
+    total = sum(len(g) for _k, g in clustered_groups(
+        clustered_input(n), lambda t: (t[0],), stats))
+    return total, stats
+
+
+def drain_sorted(n):
+    stats = GroupStats()
+    total = sum(len(g) for _k, g in sorted_groups(
+        shuffled_input(n), lambda t: (t[0],), stats))
+    return total, stats
+
+
+def test_group_memory_scaling(benchmark, report):
+    rows = []
+    for n in SIZES:
+        _, clustered_stats = drain_clustered(n)
+        _, sorted_stats = drain_sorted(n)
+        rows.append((n, clustered_stats.peak_resident, sorted_stats.peak_resident))
+    benchmark(lambda: drain_clustered(SIZES[0]))
+    # clustered: constant in N; sort fallback: linear in N
+    assert all(peak == GROUP_WIDTH for _n, peak, _s in rows)
+    assert [s for _n, _c, s in rows] == SIZES
+    report("streaming group-by: peak resident tuples vs input size", [
+        f"{'N':>9s}{'clustered':>12s}{'sort fallback':>15s}",
+        *(f"{n:>9d}{c:>12d}{s:>15d}" for n, c, s in rows),
+        "clustered grouping is constant-memory; the sort fallback "
+        "materializes the input.",
+    ])
+
+
+@pytest.mark.parametrize("n", [10_000])
+def test_group_throughput_clustered(benchmark, n):
+    total, _ = benchmark(lambda: drain_clustered(n))
+    assert total == n
+
+
+@pytest.mark.parametrize("n", [10_000])
+def test_group_throughput_sort_fallback(benchmark, n):
+    total, _ = benchmark(lambda: drain_sorted(n))
+    assert total == n
+
+
+def test_pushed_outer_join_feeds_clustered_group(benchmark, report):
+    """End to end: the engine's left-order-preserving join keeps pushed
+    outer joins clustered on the outer key, so the mid-tier regroup runs
+    without any sort (section 4.2: "If a join implementation maintains
+    clustering of the branch whose key is being used for grouping, no
+    extra sorting is required")."""
+    from repro.demo import build_demo_platform
+
+    platform = build_demo_platform(customers=50, orders_per_customer=4,
+                                   deploy_profile=False)
+    query = ('for $c in CUSTOMER() return <X>{ $c/CID, '
+             'for $o in ORDER() where $o/CID eq $c/CID return $o/OID }</X>')
+    result = benchmark(lambda: platform.execute(query))
+    assert len(result) == 50
+    report("pushed outer join + mid-tier clustered regroup", [
+        "the LEFT OUTER JOIN arrives clustered by customer; nesting is "
+        "rebuilt with the constant-memory grouping operator (no sort).",
+    ])

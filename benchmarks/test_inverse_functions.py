@@ -1,0 +1,102 @@
+"""Inverse functions (section 4.5): the int2date / date2int scenario.
+
+Without the registered transformation rule, the black-box Java function
+in the predicate blocks pushdown and every row is shipped to the
+middleware; with it, the optimizer derives ``x gt date2int(y)`` and the
+selection runs inside the source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import PushedSQL
+from repro.demo import build_demo_platform
+
+_DAY = 86400
+
+
+def int2date(seconds):
+    return f"day-{seconds // _DAY:010d}"
+
+
+def date2int(day):
+    return int(day.split("-")[1]) * _DAY
+
+
+RULE_BODY = '''
+declare function gt-intfromdate($x1, $x2) as xs:boolean? {
+  date2int($x1) gt date2int($x2)
+};
+'''
+
+VIEW = '''
+(::pragma function kind="read" ::)
+declare function getSince() as element(SINCE_VIEW)* {
+  for $c in CUSTOMER()
+  return <SINCE_VIEW><CID>{data($c/CID)}</CID>
+         <SINCE>{int2date($c/SINCE)}</SINCE></SINCE_VIEW>
+};
+'''
+
+QUERY = '''
+for $v in getSince()
+where $v/SINCE gt int2date(86400000)
+return $v/CID
+'''
+
+N = 120
+
+
+def make_platform(with_rule):
+    platform = build_demo_platform(customers=N, deploy_profile=False)
+    platform.register_java_function("int2date", int2date, ["xs:integer"], "xs:string")
+    platform.register_java_function("date2int", date2int, ["xs:string"], "xs:integer")
+    if with_rule:
+        platform.register_inverse("int2date", "date2int")
+        platform.register_transform_rule("gt", "int2date", "gt-intfromdate")
+        platform.deploy(RULE_BODY, name="rules")
+    platform.deploy(VIEW, name="SinceService")
+    return platform
+
+
+def run_once(with_rule):
+    platform = make_platform(with_rule)
+    result = platform.execute(QUERY)
+    custdb = platform.ctx.databases["custdb"]
+    return result, custdb.stats.rows_shipped, platform
+
+
+def test_inverse_rule_unblocks_pushdown(benchmark, report):
+    with_rule, rows_with, platform = run_once(True)
+    without_rule, rows_without, _ = run_once(False)
+    plan = platform.prepare(QUERY)
+    assert isinstance(plan.expr, PushedSQL)
+    sql = platform.ctx.renderer("oracle").render(plan.expr.select)
+    assert "int2date" not in sql and 'SINCE" >' in sql
+    assert [i.string_value() for i in with_rule] == \
+        [i.string_value() for i in without_rule]
+    assert rows_with < rows_without
+    benchmark(lambda: make_platform(True).execute(QUERY))
+    report("inverse functions (section 4.5): int2date/date2int", [
+        f"without the (gt, int2date) rule: predicate blocked, "
+        f"{rows_without} rows shipped",
+        f"with the rule + inverse        : predicate pushed as "
+        f"{sql.split('WHERE')[1].strip()!r}, {rows_with} rows shipped",
+        f"both plans returned {len(with_rule)} matching customers",
+    ])
+
+
+def test_update_through_transform(benchmark, report):
+    platform = make_platform(True)
+    [obj] = platform.read_for_update("SinceService", "getSince")[:1]
+    obj.set("SINCE", int2date(400 * _DAY))
+    result = platform.submit(obj)
+    stored = platform.ctx.databases["custdb"].table("CUSTOMER").lookup_pk(("C1",))
+    assert stored["SINCE"] == 400 * _DAY
+    benchmark(lambda: make_platform(True).lineage("SinceService"))
+    report("updates through a transformed column", [
+        f"display value {int2date(400 * _DAY)!r} stored as {stored['SINCE']} "
+        "via the declared inverse (lineage analysis, section 6)",
+        f"statements: {result.statements}",
+    ])

@@ -1,0 +1,83 @@
+"""Federated reporting: aggregation, grouping, pagination, and the value
+of SQL pushdown (sections 4.2–4.4).
+
+A reporting workload over the demo federation: top-spenders reports with
+group-by and order-by+subsequence pagination, executed twice — once with
+SQL pushdown enabled (the default) and once with the optimizer restricted
+to middleware evaluation — to show the rows-shipped/roundtrip difference
+the pushdown framework exists for.
+
+Run with:  python examples/federated_reporting.py
+"""
+
+from repro import serialize
+from repro.demo import build_demo_platform
+from repro.relational import LatencyModel
+
+TOP_SPENDERS = '''
+let $report :=
+  for $c in CUSTOMER()
+  let $total := sum(for $o in ORDER() where $o/CID eq $c/CID return $o/AMOUNT)
+  order by $total descending
+  return <SPENDER>
+    <NAME>{data($c/LAST_NAME)}</NAME>
+    <TOTAL>{$total}</TOTAL>
+  </SPENDER>
+return subsequence($report, 1, 5)
+'''
+
+ORDERS_BY_SURNAME = '''
+for $c in CUSTOMER()
+group $c as $group by $c/LAST_NAME as $surname
+order by $surname
+return <FAMILY name="{$surname}">{ count($group) }</FAMILY>
+'''
+
+ORDER_SIZES = '''
+for $c in CUSTOMER()
+return <CUSTOMER>{
+    $c/CID,
+    <ORDERS>{ count(for $o in ORDER() where $o/CID eq $c/CID return $o) }</ORDERS>
+}</CUSTOMER>
+'''
+
+
+def run_workload(pushdown: bool):
+    platform = build_demo_platform(
+        customers=60, orders_per_customer=4, deploy_profile=False,
+        db_latency=LatencyModel(roundtrip_ms=5.0, per_row_ms=0.05),
+    )
+    platform.set_pushdown_enabled(pushdown)
+    custdb = platform.ctx.databases["custdb"]
+    start = platform.clock.now_ms()
+    outputs = {
+        "top spenders": platform.execute(TOP_SPENDERS),
+        "families": platform.execute(ORDERS_BY_SURNAME),
+        "order sizes": platform.execute(ORDER_SIZES),
+    }
+    elapsed = platform.clock.now_ms() - start
+    return outputs, custdb.stats.roundtrips, custdb.stats.rows_shipped, elapsed
+
+
+pushed_out, pushed_trips, pushed_rows, pushed_ms = run_workload(pushdown=True)
+naive_out, naive_trips, naive_rows, naive_ms = run_workload(pushdown=False)
+
+print("== top 5 spenders (pushed: Oracle ROWNUM pagination) ==")
+for item in pushed_out["top spenders"]:
+    print(" ", serialize(item))
+
+print("\n== customers per surname (pushed: GROUP BY) ==")
+for item in pushed_out["families"]:
+    print(" ", serialize(item))
+
+print("\n== pushdown vs middleware evaluation ==")
+print(f"  {'':16s}{'roundtrips':>12s}{'rows shipped':>14s}{'sim. time':>12s}")
+print(f"  {'pushed':16s}{pushed_trips:>12d}{pushed_rows:>14d}{pushed_ms:>10.1f}ms")
+print(f"  {'middleware':16s}{naive_trips:>12d}{naive_rows:>14d}{naive_ms:>10.1f}ms")
+assert pushed_rows < naive_rows, "pushdown should ship fewer rows"
+
+for key in pushed_out:
+    assert serialize(pushed_out[key]) == serialize(naive_out[key]), \
+        f"{key}: pushed and middleware plans disagree"
+print("\nboth plans produced identical results — pushdown is a pure "
+      "performance transformation.")

@@ -1,0 +1,81 @@
+"""A resilient dashboard: async source access, timeouts, failover, and
+the function cache (sections 5.4–5.6).
+
+A dashboard page needs data from several slow or unreliable services.
+The query uses ALDSP's service-quality extensions so that:
+
+* independent service calls overlap (``fn-bea:async``),
+* a slow source is cut off after a latency budget (``fn-bea:timeout``),
+* an unavailable source degrades to a fallback (``fn-bea:fail-over``),
+* repeated calls hit the mid-tier function cache.
+
+Run with:  python examples/resilient_dashboard.py
+"""
+
+from repro import serialize
+from repro.demo import build_demo_platform
+from repro.schema import leaf, shape
+from repro.sources import WebServiceDescriptor, WebServiceOperation
+from repro.xml import element
+
+platform = build_demo_platform(customers=2, ws_latency_ms=40.0, deploy_profile=False)
+
+# a second, slower service: shipping status
+STATUS_OUT = shape("statusResponse", [leaf("state", "xs:string")])
+platform.register_web_service(WebServiceDescriptor("ShippingService", [
+    WebServiceOperation(
+        "getShippingStatus", None, STATUS_OUT,
+        lambda cid: element("statusResponse", element("state", f"in-transit:{cid}")),
+        style="rpc", latency_ms=150.0,
+    ),
+]))
+
+DASHBOARD = '''
+for $c in CUSTOMER() where $c/CID eq "C1"
+return <DASHBOARD>
+  <NAME>{ data($c/LAST_NAME) }</NAME>
+  <RATING>{
+    fn-bea:async(data(getRating(
+        <getRating><lName>{data($c/LAST_NAME)}</lName>
+                   <ssn>{data($c/SSN)}</ssn></getRating>)/getRatingResult))
+  }</RATING>
+  <SHIPPING>{
+    fn-bea:async(fn-bea:timeout(
+        data(getShippingStatus(data($c/CID))/state),
+        60, "status-unavailable"))
+  }</SHIPPING>
+  <CARDS>{
+    fn-bea:fail-over(
+        for $cc in CREDIT_CARD() where $cc/CID eq $c/CID return $cc/NUMBER,
+        <NUMBER>cached-offline-copy</NUMBER>)
+  }</CARDS>
+</DASHBOARD>
+'''
+
+print("== 1. healthy sources, async overlap ==")
+start = platform.clock.now_ms()
+[page] = platform.execute(DASHBOARD)
+elapsed = platform.clock.now_ms() - start
+print(" ", serialize(page))
+print(f"  elapsed {elapsed:.1f}ms — the 40ms rating call overlapped the "
+      f"shipping call, which was cut off at its 60ms budget")
+
+print("\n== 2. credit-card database goes down: fail-over ==")
+platform.ctx.databases["ccdb"].available = False
+[page] = platform.execute(DASHBOARD)
+assert "cached-offline-copy" in serialize(page)
+print(" ", serialize(page))
+platform.ctx.databases["ccdb"].available = True
+
+print("\n== 3. enable the function cache for the rating service ==")
+platform.enable_function_cache("getRating", ttl_ms=60_000, arity=1)
+platform.execute(DASHBOARD)
+calls_before = platform.ctx.stats.service_calls
+start = platform.clock.now_ms()
+platform.execute(DASHBOARD)
+elapsed = platform.clock.now_ms() - start
+rating_calls = platform.ctx.stats.service_calls - calls_before
+print(f"  second render: {rating_calls - 1} extra rating calls "
+      f"(cache hit), {elapsed:.1f}ms")
+print(f"  cache stats: hits={platform.cache.stats.hits} "
+      f"misses={platform.cache.stats.misses}")

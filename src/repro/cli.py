@@ -1,0 +1,122 @@
+"""Command-line interface: explore the engine against the demo federation.
+
+    python -m repro demo                 # run the running example
+    python -m repro query  "<xquery>"    # execute against the demo platform
+    python -m repro explain "<xquery>"   # show the distributed plan
+    python -m repro sql "<xquery>"       # show the SQL shipped to sources
+    python -m repro lineage              # lineage map of the profile service
+
+All subcommands build the Figure-3 federation of :mod:`repro.demo`
+(``--customers`` controls its size).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .demo import build_demo_platform
+from .xml import serialize
+
+
+def _build(args) -> object:
+    return build_demo_platform(
+        customers=args.customers,
+        orders_per_customer=args.orders,
+        ws_latency_ms=args.ws_latency,
+    )
+
+
+def _cmd_demo(args) -> int:
+    platform = _build(args)
+    for profile in platform.call("getProfile"):
+        print(serialize(profile, indent=2))
+        print()
+    stats = platform.ctx.stats
+    print(f"pushed SQL queries: {stats.pushed_queries}  "
+          f"PP-k blocks: {stats.ppk_blocks}  "
+          f"web-service calls: {stats.service_calls}")
+    print(f"simulated time: {platform.clock.now_ms():.1f} ms")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    platform = _build(args)
+    try:
+        for item in platform.stream(args.xquery):
+            print(serialize(item))
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    platform = _build(args)
+    try:
+        print(platform.explain(args.xquery))
+    except Exception as exc:  # noqa: BLE001
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    platform = _build(args)
+    try:
+        platform.execute(args.xquery)
+    except Exception as exc:  # noqa: BLE001
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for name, database in sorted(platform.ctx.databases.items()):
+        for statement in database.stats.statements:
+            print(f"[{name}] {statement}")
+    return 0
+
+
+def _cmd_lineage(args) -> int:
+    platform = _build(args)
+    lineage = platform.lineage("ProfileService")
+    for path, entry in sorted(lineage.entries.items()):
+        origin = f"{entry.database}.{entry.table}.{entry.column}"
+        note = f" (via {entry.transform})" if entry.transform else ""
+        print(f"{'/'.join(path):45s} <- {origin}{note}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ALDSP reproduction: query the demo federation "
+                    "(two databases + a credit-rating web service).",
+    )
+    parser.add_argument("--customers", type=int, default=4)
+    parser.add_argument("--orders", type=int, default=3,
+                        help="orders per customer")
+    parser.add_argument("--ws-latency", type=float, default=30.0,
+                        help="web-service latency in simulated ms")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the Figure-3 running example") \
+        .set_defaults(fn=_cmd_demo)
+    query = commands.add_parser("query", help="execute an XQuery")
+    query.add_argument("xquery")
+    query.set_defaults(fn=_cmd_query)
+    explain = commands.add_parser("explain", help="show the distributed plan")
+    explain.add_argument("xquery")
+    explain.set_defaults(fn=_cmd_explain)
+    sql = commands.add_parser("sql", help="show the SQL shipped to the sources")
+    sql.add_argument("xquery")
+    sql.set_defaults(fn=_cmd_sql)
+    commands.add_parser("lineage", help="lineage map of the profile service") \
+        .set_defaults(fn=_cmd_lineage)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    raise SystemExit(main())

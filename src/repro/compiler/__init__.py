@@ -1,0 +1,44 @@
+"""Query compiler: algebra, optimizer, inverse functions, view cache,
+pipeline (sections 3.3, 4)."""
+
+from .algebra import (
+    DEFAULT_PPK_BLOCK_SIZE,
+    ColumnSlot,
+    Correlation,
+    GroupSlot,
+    IndexJoinForClause,
+    NestedSlot,
+    PPkLetClause,
+    PushedSQL,
+    PushedTupleForClause,
+    SourceCall,
+    TableMeta,
+)
+from .explain import explain
+from .inverse import InverseRegistry, TransformRule
+from .optimizer import Optimizer
+from .pipeline import CompiledPlan, Compiler, CompilerOptions, PlanCache
+from .views import ViewPlanCache
+
+__all__ = [
+    "DEFAULT_PPK_BLOCK_SIZE",
+    "ColumnSlot",
+    "Correlation",
+    "GroupSlot",
+    "IndexJoinForClause",
+    "NestedSlot",
+    "PPkLetClause",
+    "PushedSQL",
+    "PushedTupleForClause",
+    "SourceCall",
+    "TableMeta",
+    "explain",
+    "InverseRegistry",
+    "TransformRule",
+    "Optimizer",
+    "CompiledPlan",
+    "Compiler",
+    "CompilerOptions",
+    "PlanCache",
+    "ViewPlanCache",
+]

@@ -1,0 +1,140 @@
+"""Plan explanation: a readable rendering of a compiled plan.
+
+``explain(plan)`` shows the operator tree the runtime will interpret —
+which regions were pushed (and their SQL), where PP-k joins run and with
+what block size, which joins use the hash-index method, and what stays in
+the middleware.  ``Platform.explain(query)`` is the user-facing entry.
+"""
+
+from __future__ import annotations
+
+from ..sql.dialects import SqlRenderer, capabilities_for
+from ..xquery import ast_nodes as ast
+from .algebra import (
+    ColumnSlot,
+    GroupSlot,
+    IndexJoinForClause,
+    NestedSlot,
+    PPkLetClause,
+    PushedSQL,
+    PushedTupleForClause,
+    SourceCall,
+)
+
+
+def explain(expr: ast.AstNode, indent: int = 0) -> str:
+    """Render an (optimized, pushed) expression tree as an explain plan."""
+    return "\n".join(_lines(expr, indent))
+
+
+def _pad(depth: int) -> str:
+    return "  " * depth
+
+
+def _sql_of(pushed: PushedSQL) -> str:
+    return SqlRenderer(capabilities_for(pushed.vendor)).render(pushed.select)
+
+
+def _lines(node: ast.AstNode, depth: int) -> list[str]:
+    pad = _pad(depth)
+    if isinstance(node, PushedSQL):
+        lines = [f"{pad}PUSHED SQL -> {node.database} ({node.vendor})"]
+        lines.append(f"{pad}  sql: {_sql_of(node)}")
+        if node.param_exprs:
+            lines.append(f"{pad}  parameters: {len(node.param_exprs)} middleware expression(s)")
+        if node.correlation is not None:
+            lines.append(
+                f"{pad}  correlation: column {node.correlation.column_alias} "
+                "(disjunctive block predicate added per PP-k block)"
+            )
+        if node.regroup:
+            lines.append(f"{pad}  mid-tier regroup on: {', '.join(node.regroup)} "
+                         "(clustered, no sort)")
+        lines.append(f"{pad}  rebuild: {_describe_template(node.template)}")
+        return lines
+    if isinstance(node, ast.FLWOR):
+        lines = [f"{pad}FLWOR"]
+        for clause in node.clauses:
+            lines.extend(_clause_lines(clause, depth + 1))
+        lines.append(f"{pad}  return")
+        lines.extend(_lines(node.return_expr, depth + 2))
+        return lines
+    if isinstance(node, SourceCall):
+        return [f"{pad}SOURCE CALL {node.name}() [{node.kind}] (adaptor invocation)"]
+    if isinstance(node, ast.FunctionCall):
+        lines = [f"{pad}CALL {node.name}({len(node.args)} args)"]
+        for arg in node.args:
+            lines.extend(_lines(arg, depth + 1))
+        return lines
+    if isinstance(node, ast.ElementCtor):
+        lines = [f"{pad}CONSTRUCT <{node.name}>"]
+        for part in node.content:
+            lines.extend(_lines(part, depth + 1))
+        return lines
+    if isinstance(node, ast.TypeswitchExpr):
+        return [f"{pad}TYPESWITCH ({len(node.cases)} cases, mid-tier)"]
+    label = type(node).__name__
+    children = list(node.children())
+    if not children:
+        return [f"{pad}{label}"]
+    lines = [f"{pad}{label}"]
+    for child in children:
+        lines.extend(_lines(child, depth + 1))
+    return lines
+
+
+def _clause_lines(clause: ast.Clause, depth: int) -> list[str]:
+    pad = _pad(depth)
+    if isinstance(clause, PPkLetClause):
+        pushed = clause.pushed
+        method = "index nested loops" if clause.k > 1 else "index nested loop (k=1)"
+        lines = [f"{pad}PP-{clause.k} JOIN (let ${clause.var}) using {method}"]
+        lines.append(f"{pad}  -> {pushed.database} ({pushed.vendor}): {_sql_of(pushed)}")
+        lines.append(f"{pad}  + disjunctive block predicate on "
+                     f"{pushed.correlation.column_alias if pushed.correlation else '?'}")
+        return lines
+    if isinstance(clause, PushedTupleForClause):
+        pushed = clause.pushed
+        lines = [f"{pad}PUSHED JOIN for ${', $'.join(clause.vars)} "
+                 f"-> {pushed.database} ({pushed.vendor})"]
+        lines.append(f"{pad}  sql: {_sql_of(pushed)}")
+        return lines
+    if isinstance(clause, IndexJoinForClause):
+        return [f"{pad}INDEX NESTED-LOOP JOIN for ${clause.var} "
+                "(hash-indexed inner, built once)"]
+    if isinstance(clause, ast.ForClause):
+        lines = [f"{pad}for ${clause.var} in"]
+        lines.extend(_lines(clause.expr, depth + 1))
+        return lines
+    if isinstance(clause, ast.LetClause):
+        lines = [f"{pad}let ${clause.var} :="]
+        lines.extend(_lines(clause.expr, depth + 1))
+        return lines
+    if isinstance(clause, ast.WhereClause):
+        return [f"{pad}where (mid-tier filter)"]
+    if isinstance(clause, ast.GroupByClause):
+        mode = "pre-clustered (streaming)" if getattr(clause, "pre_clustered", False) \
+            else "sort-then-group"
+        keys = ", ".join(var for _e, var in clause.keys)
+        return [f"{pad}group by {keys} [{mode}]"]
+    if isinstance(clause, ast.OrderByClause):
+        return [f"{pad}order by ({len(clause.specs)} keys, mid-tier sort)"]
+    return [f"{pad}{type(clause).__name__}"]
+
+
+def _describe_template(template: ast.AstNode) -> str:
+    if isinstance(template, ColumnSlot):
+        if template.element_name:
+            return f"element <{template.element_name}> from column {template.alias}"
+        return f"value of column {template.alias}"
+    if isinstance(template, ast.ElementCtor):
+        slots = sum(1 for n in template.walk() if isinstance(n, ColumnSlot))
+        nested = sum(1 for n in template.walk() if isinstance(n, NestedSlot))
+        grouped = sum(1 for n in template.walk() if isinstance(n, GroupSlot))
+        bits = [f"<{template.name}> with {slots} column slot(s)"]
+        if nested:
+            bits.append(f"{nested} nested join slot(s)")
+        if grouped:
+            bits.append(f"{grouped} group slot(s)")
+        return ", ".join(bits)
+    return type(template).__name__

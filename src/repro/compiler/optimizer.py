@@ -1,0 +1,597 @@
+"""Query optimization (section 4.2).
+
+The ALDSP optimizer is a rewrite-rule engine.  The passes here implement
+the general optimizations the paper describes:
+
+* **source resolution** — calls to registered external functions become
+  :class:`~repro.compiler.algebra.SourceCall` nodes carrying metadata;
+* **view unfolding** — user-level data-service functions are inlined
+  (with alpha-renaming) and unnested, the XQuery analogue of relational
+  view unfolding; partially optimized view bodies are cached
+  (:mod:`repro.compiler.views`);
+* **predicate pushdown through views** — ``f()[pred]`` pushes the
+  predicate into the unfolded body as a where clause;
+* **source-access elimination** — navigation into constructors selects the
+  contributing content directly (enabled by structural typing), so unused
+  branches — and therefore the source accesses feeding them — disappear
+  (the paper's ``$x/LAST_NAME`` example);
+* **inverse-function rewriting** (section 4.5) via
+  :class:`~repro.compiler.inverse.InverseRegistry`.
+
+SQL pushdown itself runs after these passes (:mod:`repro.sql.generate`).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+
+from typing import TYPE_CHECKING
+
+from ..xquery import ast_nodes as ast
+
+if TYPE_CHECKING:
+    from ..services.metadata import MetadataRegistry
+from ..xquery.parser import fresh_var
+from .algebra import SourceCall
+from .inverse import InverseRegistry
+
+_MAX_INLINE_DEPTH = 16
+_MAX_FIXPOINT_ROUNDS = 25
+
+
+class Optimizer:
+    def __init__(
+        self,
+        registry: "MetadataRegistry",
+        module: ast.Module | None = None,
+        inverse_registry: InverseRegistry | None = None,
+        view_cache=None,
+        no_inline: set[tuple[str, int]] | None = None,
+    ):
+        self.registry = registry
+        self.module = module
+        self.inverses = inverse_registry or InverseRegistry()
+        self.view_cache = view_cache
+        #: functions that must stay as calls — e.g. functions with result
+        #: caching enabled (the cache works at call granularity, section 5.5)
+        self.no_inline = no_inline or set()
+        self._changed = False
+
+    # -- entry point ------------------------------------------------------------
+
+    def optimize(self, expr: ast.AstNode) -> ast.AstNode:
+        expr = self.resolve_sources(expr)
+        expr = self.inline_functions(expr)
+        expr = self.inverses.apply_transforms(expr)
+        # Transformation rules introduce replacement-function calls that must
+        # themselves be unfolded before cancellation can fire.
+        expr = self.inline_functions(expr)
+        expr = self.simplify(expr)
+        if self.inverses.rules():
+            # Simplification (constructor-navigation elimination in
+            # particular) can expose new transform-rule matches that were
+            # hidden behind a view's result shape — run a second round.
+            expr = self.inverses.apply_transforms(expr)
+            expr = self.inline_functions(expr)
+            expr = self.resolve_sources(expr)
+            expr = self.simplify(expr)
+        return expr
+
+    # -- source resolution --------------------------------------------------------
+
+    def resolve_sources(self, node: ast.AstNode) -> ast.AstNode:
+        node = node.transform_children(self.resolve_sources)
+        if isinstance(node, ast.FunctionCall) and not isinstance(node, SourceCall):
+            definition = self.registry.lookup(node.name, len(node.args))
+            if definition is not None:
+                call = SourceCall(node.name, node.args, definition.kind, definition.table_meta)
+                call.static_type = node.static_type or definition.signature.result
+                return call
+        return node
+
+    # -- view unfolding ----------------------------------------------------------
+
+    def inline_functions(self, node: ast.AstNode, depth: int = 0) -> ast.AstNode:
+        node = node.transform_children(lambda c: self.inline_functions(c, depth))
+        if not isinstance(node, ast.FunctionCall) or isinstance(node, SourceCall):
+            return node
+        if self.module is None or depth >= _MAX_INLINE_DEPTH:
+            return node
+        if (node.name, len(node.args)) in self.no_inline:
+            return node
+        decl = self.module.function(node.name, len(node.args))
+        if decl is None or decl.body is None or decl.errors:
+            return node
+        body = self._view_body(decl, depth)
+        body = _alpha_rename(body)
+        # Bind parameters with let clauses (simplification may inline them).
+        if decl.params:
+            rename = {}
+            lets: list[ast.Clause] = []
+            for param, arg in zip(decl.params, node.args):
+                fresh = fresh_var(param.name)
+                rename[param.name] = fresh
+                lets.append(ast.LetClause(fresh, arg))
+            body = _rename_free_vars(body, rename)
+            result: ast.AstNode = ast.FLWOR(lets, body)
+        else:
+            result = body
+        result.static_type = node.static_type
+        return result
+
+    def _view_body(self, decl: ast.FunctionDecl, depth: int) -> ast.AstNode:
+        """The query-independent part of view optimization is performed once
+        and cached (section 4.2's view sub-optimizer)."""
+        if self.view_cache is not None:
+            cached = self.view_cache.get(decl.name, decl.arity())
+            if cached is not None:
+                return copy.deepcopy(cached)
+        body = copy.deepcopy(decl.body)
+        body = self.resolve_sources(body)
+        body = self.inline_functions(body, depth + 1)
+        body = self.simplify(body)
+        if self.view_cache is not None:
+            self.view_cache.put(decl.name, decl.arity(), copy.deepcopy(body))
+        return body
+
+    # -- simplification rules -------------------------------------------------------
+
+    def simplify(self, node: ast.AstNode) -> ast.AstNode:
+        for _round in range(_MAX_FIXPOINT_ROUNDS):
+            self._changed = False
+            node = self._simplify_once(node)
+            node = self.inverses.cancel_inverses(node)
+            if not self._changed:
+                break
+        return node
+
+    def _simplify_once(self, node: ast.AstNode) -> ast.AstNode:
+        node = node.transform_children(self._simplify_once)
+        rewritten = self._rewrite(node)
+        if rewritten is not node:
+            self._changed = True
+        return rewritten
+
+    def _rewrite(self, node: ast.AstNode) -> ast.AstNode:
+        if isinstance(node, ast.PathExpr):
+            return self._rewrite_path(node)
+        if isinstance(node, ast.FunctionCall) and node.name == "fn:data":
+            return self._rewrite_data(node)
+        if isinstance(node, ast.FilterExpr):
+            return self._rewrite_filter(node)
+        if isinstance(node, ast.FLWOR):
+            return self._rewrite_flwor(node)
+        if isinstance(node, ast.SequenceExpr):
+            return self._rewrite_sequence(node)
+        if isinstance(node, ast.IfExpr):
+            return self._rewrite_if(node)
+        return node
+
+    # constructor navigation: <E>{c1, c2...}</E>/NAME  ->  matching content
+    def _rewrite_path(self, node: ast.PathExpr) -> ast.AstNode:
+        if not node.steps or not isinstance(node.base, ast.ElementCtor):
+            return node
+        step = node.steps[0]
+        if step.axis != "child" or not isinstance(step.test, ast.NameTest) or step.predicates:
+            return node
+        selected = _select_content(node.base, step.test.name)
+        if selected is None:
+            return node
+        rest = node.steps[1:]
+        result = selected if not rest else ast.PathExpr(selected, rest)
+        return result
+
+    # fn:data(<E>{x}</E>) with text-only content -> fn:data(x)
+    def _rewrite_data(self, node: ast.FunctionCall) -> ast.AstNode:
+        arg = node.args[0]
+        if isinstance(arg, ast.ElementCtor) and not arg.attributes and len(arg.content) == 1:
+            content = arg.content[0]
+            if not _may_contain_elements(content):
+                return ast.FunctionCall("fn:data", [content])
+        if isinstance(arg, ast.FunctionCall) and arg.name == "fn:data":
+            return arg
+        if isinstance(arg, ast.Literal):
+            return arg
+        return node
+
+    # f()[pred]  ->  push the predicate into the unfolded FLWOR
+    def _rewrite_filter(self, node: ast.FilterExpr) -> ast.AstNode:
+        if not isinstance(node.base, ast.FLWOR):
+            # General filters become FLWORs so predicates are visible to
+            # pushdown and lineage: e()[p] -> for $v in e() where p' return $v
+            if all(not _is_positional(p) for p in node.predicates):
+                var = fresh_var("flt")
+                clauses: list[ast.Clause] = [ast.ForClause(var, node.base)]
+                for pred in node.predicates:
+                    clauses.append(ast.WhereClause(
+                        _substitute_context(copy.deepcopy(pred), ast.VarRef(var))
+                    ))
+                self._changed = True
+                return ast.FLWOR(clauses, ast.VarRef(var))
+            return node
+        flwor = node.base
+        if any(isinstance(c, (ast.GroupByClause, ast.OrderByClause)) for c in flwor.clauses):
+            return node
+        remaining: list[ast.AstNode] = []
+        for pred in node.predicates:
+            if _is_positional(pred):
+                remaining.append(pred)
+                continue
+            condition = _substitute_context(copy.deepcopy(pred), flwor.return_expr)
+            flwor.clauses.append(ast.WhereClause(condition))
+        if remaining:
+            if len(remaining) == len(node.predicates):
+                return node
+            return ast.FilterExpr(flwor, remaining)
+        return flwor
+
+    def _rewrite_flwor(self, node: ast.FLWOR) -> ast.AstNode:
+        clauses: list[ast.Clause] = []
+        changed = False
+        for clause in node.clauses:
+            # for over a single-item expression binds exactly once: a let.
+            if isinstance(clause, ast.ForClause) and isinstance(
+                clause.expr, (ast.ElementCtor, ast.Literal)
+            ) and clause.pos_var is None:
+                clauses.append(ast.LetClause(clause.var, clause.expr, clause.declared_type))
+                changed = True
+                continue
+            # Unnesting: for $x in (FLWOR without group/order) -> splice.
+            if isinstance(clause, ast.ForClause) and isinstance(clause.expr, ast.FLWOR):
+                inner = clause.expr
+                if not any(
+                    isinstance(c, (ast.GroupByClause, ast.OrderByClause)) for c in inner.clauses
+                ):
+                    clauses.extend(inner.clauses)
+                    clauses.append(ast.ForClause(clause.var, inner.return_expr,
+                                                 clause.pos_var, clause.declared_type))
+                    changed = True
+                    continue
+            # let $x := (FLWOR lets only) — flatten pure-let wrappers.
+            if isinstance(clause, ast.LetClause) and isinstance(clause.expr, ast.FLWOR):
+                inner = clause.expr
+                if all(isinstance(c, ast.LetClause) for c in inner.clauses):
+                    clauses.extend(inner.clauses)
+                    clauses.append(ast.LetClause(clause.var, inner.return_expr,
+                                                 clause.declared_type))
+                    changed = True
+                    continue
+            clauses.append(clause)
+        node.clauses = clauses
+
+        # Inline cheap lets; drop unused lets (this is what lets unused
+        # source accesses disappear entirely).
+        node = self._inline_and_prune_lets(node)
+
+        # A FLWOR with no clauses is its return expression.
+        if not node.clauses:
+            self._changed = True
+            return node.return_expr
+        # for $x in () return ... -> ()
+        for clause in node.clauses:
+            if isinstance(clause, ast.ForClause) and isinstance(clause.expr, ast.EmptySequence):
+                self._changed = True
+                return ast.EmptySequence()
+        if changed:
+            self._changed = True
+        return node
+
+    def _inline_and_prune_lets(self, node: ast.FLWOR) -> ast.FLWOR:
+        index = 0
+        while index < len(node.clauses):
+            clause = node.clauses[index]
+            if isinstance(clause, ast.LetClause):
+                later = node.clauses[index + 1 :]
+                # A grouped source (``group $v as ...``) names the variable
+                # outside expression position: it pins the let in place.
+                if any(
+                    isinstance(c, ast.GroupByClause)
+                    and any(source == clause.var for source, _t in c.grouped)
+                    for c in later
+                ):
+                    index += 1
+                    continue
+                uses = sum(_count_var_uses(c, clause.var) for c in later)
+                uses += _count_var_uses(node.return_expr, clause.var)
+                rebound = any(_binds_var(c, clause.var) for c in later)
+                if uses == 0 and not rebound:
+                    del node.clauses[index]
+                    self._changed = True
+                    continue
+                # A single use is safe to substitute when no later for
+                # clause multiplies the tuple stream (the substituted
+                # expression would otherwise be re-evaluated per tuple).
+                # A let-bound constructor whose every use is navigated is
+                # also substituted: each copy collapses via constructor-
+                # navigation elimination, which is the whole point of view
+                # unfolding (section 4.2).
+                multiplies = any(isinstance(c, ast.ForClause) for c in later)
+                navigated_ctor = isinstance(clause.expr, ast.ElementCtor) and all(
+                    _uses_only_navigated(scope, clause.var)
+                    for scope in (*later, node.return_expr)
+                )
+                if not rebound and (
+                    _is_cheap(clause.expr)
+                    or (uses == 1 and not multiplies)
+                    or navigated_ctor
+                ):
+                    replacement = clause.expr
+                    node.clauses = (
+                        node.clauses[:index]
+                        + [_substitute_var(c, clause.var, replacement) for c in later]
+                    )
+                    node.return_expr = _substitute_var(
+                        node.return_expr, clause.var, replacement
+                    )
+                    self._changed = True
+                    continue
+                # Partial substitution: navigated uses of a let-bound
+                # constructor collapse via constructor-navigation
+                # elimination even when other uses need the whole value —
+                # this is what lets a predicate on a view result reach the
+                # source while the result itself is still returned intact.
+                if not rebound and isinstance(clause.expr, ast.ElementCtor):
+                    changed_any = False
+                    new_later = []
+                    for c in later:
+                        rewritten, changed = _substitute_navigated_uses(
+                            c, clause.var, clause.expr
+                        )
+                        changed_any = changed_any or changed
+                        new_later.append(rewritten)
+                    if changed_any:
+                        node.clauses = node.clauses[:index + 1] + new_later
+                        self._changed = True
+            index += 1
+        return node
+
+    def _rewrite_sequence(self, node: ast.SequenceExpr) -> ast.AstNode:
+        items: list[ast.AstNode] = []
+        changed = False
+        for item in node.items:
+            if isinstance(item, ast.SequenceExpr):
+                items.extend(item.items)
+                changed = True
+            elif isinstance(item, ast.EmptySequence):
+                changed = True
+            else:
+                items.append(item)
+        if not items:
+            return ast.EmptySequence()
+        if len(items) == 1:
+            return items[0]
+        if changed:
+            node.items = items
+            self._changed = True
+        return node
+
+    def _rewrite_if(self, node: ast.IfExpr) -> ast.AstNode:
+        condition = node.condition
+        if isinstance(condition, ast.Literal) and condition.value.type_name == "xs:boolean":
+            return node.then_branch if condition.value.value else node.else_branch
+        if isinstance(condition, ast.FunctionCall) and condition.name in ("fn:true", "fn:false"):
+            return node.then_branch if condition.name == "fn:true" else node.else_branch
+        return node
+
+
+# ---------------------------------------------------------------------------
+# Tree utilities
+# ---------------------------------------------------------------------------
+
+
+def _alpha_rename(node: ast.AstNode) -> ast.AstNode:
+    """Uniformly rename every variable *bound inside* ``node`` to a fresh
+    name (free variables are untouched).  Uniform renaming preserves
+    shadowing, and fresh names are globally unique, so inlined bodies can
+    be spliced into any context."""
+    bound: set[str] = set()
+    for sub in node.walk():
+        if isinstance(sub, ast.ForClause):
+            bound.add(sub.var)
+            if sub.pos_var:
+                bound.add(sub.pos_var)
+        elif isinstance(sub, ast.LetClause):
+            bound.add(sub.var)
+        elif isinstance(sub, ast.GroupByClause):
+            bound.update(target for _s, target in sub.grouped)
+            bound.update(var for _e, var in sub.keys)
+        elif isinstance(sub, ast.Quantified):
+            bound.update(var for var, _e in sub.bindings)
+    mapping = {name: fresh_var(name.lstrip("#")) for name in bound}
+    return _rename_all_vars(node, mapping)
+
+
+def _rename_all_vars(node: ast.AstNode, mapping: dict[str, str]) -> ast.AstNode:
+    node = node.transform_children(lambda c: _rename_all_vars(c, mapping))
+    if isinstance(node, ast.VarRef) and node.name in mapping:
+        node.name = mapping[node.name]
+    elif isinstance(node, ast.ForClause):
+        node.var = mapping.get(node.var, node.var)
+        if node.pos_var:
+            node.pos_var = mapping.get(node.pos_var, node.pos_var)
+    elif isinstance(node, ast.LetClause):
+        node.var = mapping.get(node.var, node.var)
+    elif isinstance(node, ast.GroupByClause):
+        node.grouped = [(mapping.get(s, s), mapping.get(t, t)) for s, t in node.grouped]
+        node.keys = [(e, mapping.get(v, v)) for e, v in node.keys]
+    elif isinstance(node, ast.Quantified):
+        node.bindings = [(mapping.get(v, v), e) for v, e in node.bindings]
+    return node
+
+
+def _rename_free_vars(node: ast.AstNode, mapping: dict[str, str]) -> ast.AstNode:
+    """Rename free variable references (used for parameter binding; bound
+    names inside the body were already alpha-renamed to fresh names, so no
+    capture is possible)."""
+    node = node.transform_children(lambda c: _rename_free_vars(c, mapping))
+    if isinstance(node, ast.VarRef) and node.name in mapping:
+        node.name = mapping[node.name]
+    return node
+
+
+def _substitute_navigated_uses(node: ast.AstNode, name: str,
+                               replacement: ast.AstNode) -> tuple[ast.AstNode, bool]:
+    """Substitute ``replacement`` only where ``$name`` is a path base."""
+    changed = False
+
+    def visit(current: ast.AstNode) -> ast.AstNode:
+        nonlocal changed
+        current = current.transform_children(visit)
+        if (
+            isinstance(current, ast.PathExpr)
+            and isinstance(current.base, ast.VarRef)
+            and current.base.name == name
+        ):
+            changed = True
+            current.base = copy.deepcopy(replacement)
+        return current
+
+    return visit(node), changed
+
+
+def _substitute_var(node: ast.AstNode, name: str, replacement: ast.AstNode) -> ast.AstNode:
+    node = node.transform_children(lambda c: _substitute_var(c, name, replacement))
+    if isinstance(node, ast.VarRef) and node.name == name:
+        return copy.deepcopy(replacement)
+    return node
+
+
+def _substitute_context(node: ast.AstNode, replacement: ast.AstNode) -> ast.AstNode:
+    node = node.transform_children(lambda c: _substitute_context(c, replacement))
+    if isinstance(node, ast.ContextItem):
+        return copy.deepcopy(replacement)
+    return node
+
+
+def _uses_only_navigated(node: ast.AstNode, name: str) -> bool:
+    """Every reference to ``$name`` is a path-expression base (so a
+    substituted constructor will be eliminated by navigation)."""
+    if isinstance(node, ast.PathExpr) and isinstance(node.base, ast.VarRef) \
+            and node.base.name == name:
+        return all(_uses_only_navigated(s, name) for s in node.steps)
+    if isinstance(node, ast.VarRef) and node.name == name:
+        return False
+    return all(_uses_only_navigated(child, name) for child in node.children())
+
+
+def _count_var_uses(node: ast.AstNode, name: str) -> int:
+    count = 0
+    for sub in node.walk():
+        if isinstance(sub, ast.VarRef) and sub.name == name:
+            count += 1
+    return count
+
+
+def _binds_var(node: ast.AstNode, name: str) -> bool:
+    for sub in node.walk():
+        if isinstance(sub, (ast.ForClause, ast.LetClause)) and sub.var == name:
+            return True
+    return False
+
+
+def _is_cheap(expr: ast.AstNode) -> bool:
+    """Safe to substitute at each use site (no repeated expensive work)."""
+    if isinstance(expr, (ast.VarRef, ast.Literal, ast.EmptySequence, ast.ContextItem)):
+        return True
+    if isinstance(expr, ast.PathExpr):
+        return _is_cheap(expr.base) and not any(s.predicates for s in expr.steps)
+    if isinstance(expr, ast.FunctionCall) and expr.name == "fn:data":
+        return all(_is_cheap(a) for a in expr.args)
+    return False
+
+
+def _may_contain_elements(expr: ast.AstNode) -> bool:
+    """Conservatively, could this content expression yield element nodes?
+
+    Used by the ``fn:data(<E>{x}</E>) -> fn:data(x)`` rule: it only fires
+    when the content is definitely text-only (atomizing an element with
+    element children is an error, so the rewrite must not change that)."""
+    if isinstance(expr, ast.Literal):
+        return False
+    if isinstance(expr, ast.ElementCtor):
+        return True
+    if isinstance(expr, ast.FunctionCall):
+        if expr.name == "fn:data" or expr.name.startswith("xs:"):
+            return False
+    if isinstance(expr, (ast.Arithmetic, ast.Comparison, ast.AndExpr, ast.OrExpr,
+                         ast.UnaryMinus, ast.Quantified)):
+        return False
+    static = expr.static_type
+    if static is not None and not static.is_empty:
+        from ..schema.types import AtomicItemType, TextItemType
+
+        return not all(
+            isinstance(alt, (AtomicItemType, TextItemType)) for alt in static.alternatives
+        )
+    return True
+
+
+def _is_positional(pred: ast.AstNode) -> bool:
+    """Numeric predicates select by position and cannot become where
+    clauses."""
+    if isinstance(pred, ast.Literal):
+        return pred.value.type_name in ("xs:integer", "xs:decimal", "xs:double")
+    return False
+
+
+def _select_content(ctor: ast.ElementCtor, name: str) -> ast.AstNode | None:
+    """Select the content expressions of ``ctor`` that contribute child
+    elements named ``name``; None when any contribution is ambiguous."""
+    matching: list[ast.AstNode] = []
+    for part in ctor.content:
+        verdict = _contributes_element(part, name)
+        if verdict == "yes":
+            matching.append(part)
+        elif verdict == "maybe":
+            return None
+    if not matching:
+        return ast.EmptySequence()
+    if len(matching) == 1:
+        return matching[0]
+    return ast.SequenceExpr(matching)
+
+
+def _contributes_element(part: ast.AstNode, name: str) -> str:
+    """Does this content expression yield elements named ``name``?
+    Returns "yes" / "no" / "maybe"."""
+    if isinstance(part, ast.ElementCtor):
+        return "yes" if part.name == name else "no"
+    if isinstance(part, ast.Literal):
+        return "no"
+    if isinstance(part, ast.FunctionCall) and part.name == "fn:data":
+        return "no"
+    static = part.static_type
+    if static is not None and not static.is_empty:
+        from ..schema.types import AtomicItemType, ElementItemType, TextItemType
+
+        verdicts = []
+        for alt in static.alternatives:
+            if isinstance(alt, ElementItemType):
+                if alt.name is None:
+                    return "maybe"
+                verdicts.append("yes" if alt.name == name else "no")
+            elif isinstance(alt, (AtomicItemType, TextItemType)):
+                verdicts.append("no")
+            else:
+                return "maybe"
+        if all(v == "no" for v in verdicts):
+            return "no"
+        if all(v == "yes" for v in verdicts):
+            return "yes"
+        return "maybe"
+    if isinstance(part, ast.FLWOR):
+        return _contributes_element(part.return_expr, name)
+    if isinstance(part, ast.IfExpr):
+        a = _contributes_element(part.then_branch, name)
+        b = _contributes_element(part.else_branch, name)
+        if a == b:
+            return a
+        if isinstance(part.else_branch, ast.EmptySequence):
+            # if (...) then <X> else (): contributes X-elements conditionally,
+            # which is still selectable (empty when the branch is not taken).
+            return a
+        return "maybe"
+    if isinstance(part, ast.EmptySequence):
+        return "no"
+    return "maybe"

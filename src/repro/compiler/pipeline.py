@@ -1,0 +1,167 @@
+"""The seven-stage query processing pipeline (section 3.3).
+
+1. Parsing, 2. expression tree construction, 3. normalization, 4. type
+checking (stages 1–4 are the *analysis phase*, with design-time error
+recovery), 5. optimization (view unfolding, simplification, inverse
+functions, SQL pushdown), 6. code generation (the optimized tree is the
+interpretable plan), 7. execution (:mod:`repro.runtime.evaluate`).
+
+A :class:`PlanCache` keyed on query text avoids recompiling popular
+queries (section 2.2's query plan cache).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..xquery import ast_nodes as ast
+from ..xquery.normalize import normalize, normalize_module
+from ..xquery.parser import Parser
+from ..xquery.typecheck import FunctionTable, TypeChecker
+from .inverse import InverseRegistry
+from .optimizer import Optimizer
+from .views import ViewPlanCache
+
+
+def _default_push_options():
+    from ..sql.generate import PushOptions
+
+    return PushOptions()
+
+
+@dataclass
+class CompilerOptions:
+    #: "runtime" fails on the first error; "design" recovers (section 4.1)
+    mode: str = "runtime"
+    push: object = field(default_factory=_default_push_options)
+    #: functions kept as calls (result caching granularity)
+    no_inline: set[tuple[str, int]] = field(default_factory=set)
+
+
+@dataclass
+class CompiledPlan:
+    """Result of compilation: an interpretable expression tree plus the
+    analysis artifacts."""
+
+    expr: ast.AstNode
+    module: ast.Module | None
+    errors: list[str] = field(default_factory=list)
+    source: str = ""
+
+
+class Compiler:
+    def __init__(
+        self,
+        registry=None,
+        module: ast.Module | None = None,
+        inverses: InverseRegistry | None = None,
+        view_cache: ViewPlanCache | None = None,
+        options: CompilerOptions | None = None,
+    ):
+        from ..services.metadata import MetadataRegistry
+
+        self.registry = registry or MetadataRegistry()
+        self.module = module
+        self.inverses = inverses or InverseRegistry()
+        self.view_cache = view_cache if view_cache is not None else ViewPlanCache()
+        self.options = options or CompilerOptions()
+
+    # -- module analysis (deploying a data service file) -------------------------
+
+    def analyze_module(self, text: str) -> ast.Module:
+        """Stages 1–4 over a data-service file.
+
+        Previously deployed functions (``self.module``) stay visible so a
+        data service can compose functions of other services.
+        """
+        module = Parser(text, self.options.mode).parse_module()
+        normalize_module(module)
+        table = FunctionTable([module, self.module] if self.module is not None else module,
+                              self.registry.signatures())
+        checker = TypeChecker(table, self.options.mode)
+        checker.check_module(module)
+        module.errors.extend(checker.errors)
+        return module
+
+    # -- query compilation ------------------------------------------------------------
+
+    def compile_expression(self, text: str, externals: dict | None = None) -> CompiledPlan:
+        """Full pipeline over an ad hoc query expression.
+
+        ``externals`` declares external variables (name -> SequenceType)
+        bound at execution time.
+        """
+        parser = Parser(text, self.options.mode)
+        expr = parser.parse_main_expression()
+        return self.compile_tree(expr, source=text, externals=externals)
+
+    def compile_tree(self, expr: ast.AstNode, source: str = "",
+                     externals: dict | None = None) -> CompiledPlan:
+        from ..schema.types import ITEM_STAR
+
+        expr = normalize(expr)
+        checker = TypeChecker(self._function_table(self.module), self.options.mode)
+        env = dict(externals or {})
+        if self.module is not None:
+            for name, var in self.module.variables.items():
+                env.setdefault(name, var.declared_type or ITEM_STAR)
+        checker.infer(expr, env)
+        optimizer = Optimizer(
+            self.registry,
+            self.module,
+            self.inverses,
+            self.view_cache,
+            no_inline=self.options.no_inline,
+        )
+        expr = optimizer.optimize(expr)
+        from ..sql.rewriter import push_sql
+
+        expr = push_sql(expr, self.options.push, bound=frozenset(env))
+        return CompiledPlan(expr, self.module, list(checker.errors), source)
+
+    def compile_call(self, function_name: str, arity: int) -> CompiledPlan:
+        """Compile a data-service method invocation ``f($p1, ...)`` with the
+        arguments supplied as external variables at execution time."""
+        from ..schema.types import ITEM_STAR
+
+        params = [f"__arg{i}" for i in range(arity)]
+        args = ", ".join(f"${p}" for p in params)
+        call_source = f"{function_name}({args})"
+        parser = Parser(call_source)
+        expr = parser.parse_main_expression()
+        externals = {p: ITEM_STAR for p in params}
+        return self.compile_tree(expr, source=call_source, externals=externals)
+
+    def _function_table(self, module: ast.Module | None) -> FunctionTable:
+        return FunctionTable(module, self.registry.signatures())
+
+
+class PlanCache:
+    """LRU cache of compiled query plans keyed by source text."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._plans: "OrderedDict[str, CompiledPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> CompiledPlan | None:
+        if key in self._plans:
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return self._plans[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, plan: CompiledPlan) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)

@@ -1,0 +1,54 @@
+"""Partially-optimized view plan cache (section 4.2).
+
+"Views are actually optimized using a special sub-optimizer that generates
+a partially optimized query plan; ... making it possible for the
+query-independent part to be performed once and then reused when compiling
+each query that uses the view.  Caching and cache eviction is used to bound
+the memory footprint of cached view plans."
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..xquery import ast_nodes as ast
+
+
+class ViewPlanCache:
+    """LRU cache mapping (function name, arity) to a partially optimized
+    body.  Stats are exposed for the view-unfolding benchmark."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple[str, int], ast.AstNode]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, name: str, arity: int) -> ast.AstNode | None:
+        key = (name, arity)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, name: str, arity: int, body: ast.AstNode) -> None:
+        key = (name, arity)
+        self._entries[key] = body
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, name: str, arity: int) -> None:
+        self._entries.pop((name, arity), None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,152 @@
+"""The paper's running-example federation, packaged for reuse.
+
+Builds the world of Figure 3: an Oracle-flavoured ``custdb`` holding
+CUSTOMER and ORDER, a DB2-flavoured ``ccdb`` holding CREDIT_CARD, a
+document-style credit-rating Web service, and the ``getProfile`` logical
+data service composing all three.  Used by the examples, the benchmark
+harness and the integration tests.
+"""
+
+from __future__ import annotations
+
+from .clock import Clock, VirtualClock
+from .relational import Database, ForeignKey, LatencyModel
+from .schema import leaf, shape
+from .services import Platform
+from .sources import WebServiceDescriptor, WebServiceOperation
+from .xml import element
+
+FIRST_NAMES = ["Al", "Bo", "Cy", "Di", "Ed", "Flo", "Gus", "Hal"]
+LAST_NAMES = ["Jones", "Smith", "Nguyen", "Garcia", "Chen", "Okafor"]
+
+PROFILE_SERVICE_XQUERY = '''
+xquery version "1.0" encoding "UTF8";
+declare namespace tns="urn:profile";
+
+(::pragma function kind="read" ::)
+declare function tns:getProfile() as element(PROFILE)* {
+  for $CUSTOMER in CUSTOMER()
+  return
+    <PROFILE>
+      <CID>{fn:data($CUSTOMER/CID)}</CID>
+      <LAST_NAME>{fn:data($CUSTOMER/LAST_NAME)}</LAST_NAME>
+      <ORDERS>{ getORDER($CUSTOMER) }</ORDERS>
+      <CREDIT_CARDS>{ CREDIT_CARD()[CID eq $CUSTOMER/CID] }</CREDIT_CARDS>
+      <RATING>{
+        fn:data(getRating(
+          <getRating>
+            <lName>{ data($CUSTOMER/LAST_NAME) }</lName>
+            <ssn>{ data($CUSTOMER/SSN) }</ssn>
+          </getRating>)/getRatingResult)
+      }</RATING>
+    </PROFILE>
+};
+
+(::pragma function kind="read" ::)
+declare function tns:getProfileByID($id as xs:string) as element(PROFILE)* {
+  tns:getProfile()[CID eq $id]
+};
+'''
+
+RATING_REQUEST_SHAPE = shape(
+    "getRating", [leaf("lName", "xs:string"), leaf("ssn", "xs:string")]
+)
+RATING_RESPONSE_SHAPE = shape(
+    "getRatingResponse", [leaf("getRatingResult", "xs:integer")]
+)
+
+
+def build_custdb(
+    clock: Clock,
+    customers: int = 4,
+    orders_per_customer: int = 3,
+    vendor: str = "oracle",
+    latency: LatencyModel | None = None,
+) -> Database:
+    """CUSTOMER + ORDER with a foreign key (ORDER.CID -> CUSTOMER.CID)."""
+    db = Database("custdb", vendor=vendor, clock=clock, latency=latency)
+    db.create_table(
+        "CUSTOMER",
+        [("CID", "VARCHAR", False), ("FIRST_NAME", "VARCHAR"),
+         ("LAST_NAME", "VARCHAR"), ("SSN", "VARCHAR"), ("SINCE", "INTEGER")],
+        primary_key=["CID"],
+    )
+    db.create_table(
+        "ORDER",
+        [("OID", "VARCHAR", False), ("CID", "VARCHAR"), ("AMOUNT", "INTEGER")],
+        primary_key=["OID"],
+        foreign_keys=[ForeignKey(("CID",), "CUSTOMER", ("CID",))],
+    )
+    oid = 0
+    for i in range(1, customers + 1):
+        db.table("CUSTOMER").insert({
+            "CID": f"C{i}",
+            "FIRST_NAME": FIRST_NAMES[(i - 1) % len(FIRST_NAMES)],
+            "LAST_NAME": LAST_NAMES[(i - 1) % len(LAST_NAMES)],
+            "SSN": f"{100 + i}",
+            "SINCE": 864000 * i,
+        })
+        for _j in range(orders_per_customer):
+            oid += 1
+            db.table("ORDER").insert(
+                {"OID": f"O{oid}", "CID": f"C{i}", "AMOUNT": 10 * oid}
+            )
+    return db
+
+
+def build_ccdb(
+    clock: Clock,
+    customers: int = 4,
+    vendor: str = "db2",
+    latency: LatencyModel | None = None,
+) -> Database:
+    db = Database("ccdb", vendor=vendor, clock=clock, latency=latency)
+    db.create_table(
+        "CREDIT_CARD",
+        [("CCID", "VARCHAR", False), ("CID", "VARCHAR"), ("NUMBER", "VARCHAR")],
+        primary_key=["CCID"],
+    )
+    for i in range(1, customers + 1):
+        db.table("CREDIT_CARD").insert(
+            {"CCID": f"CC{i}", "CID": f"C{i}", "NUMBER": f"44{i:04d}"}
+        )
+    return db
+
+
+def rating_service(latency_ms: float = 30.0, call_log: list | None = None
+                   ) -> WebServiceDescriptor:
+    """The credit-rating Web service: rating = 600 + ssn."""
+
+    def handler(doc):
+        if call_log is not None:
+            call_log.append(doc.child_elements()[0].string_value())
+        ssn = doc.child_elements()[1].string_value()
+        return element("getRatingResponse", element("getRatingResult", 600 + int(ssn)))
+
+    return WebServiceDescriptor(
+        "RatingService",
+        [WebServiceOperation("getRating", RATING_REQUEST_SHAPE,
+                             RATING_RESPONSE_SHAPE, handler, latency_ms=latency_ms)],
+    )
+
+
+def build_demo_platform(
+    customers: int = 4,
+    orders_per_customer: int = 3,
+    ws_latency_ms: float = 30.0,
+    clock: Clock | None = None,
+    deploy_profile: bool = True,
+    db_latency: LatencyModel | None = None,
+    ws_call_log: list | None = None,
+) -> Platform:
+    """Assemble the full running-example federation."""
+    clock = clock or VirtualClock()
+    platform = Platform(clock=clock)
+    platform.register_database(
+        build_custdb(clock, customers, orders_per_customer, latency=db_latency)
+    )
+    platform.register_database(build_ccdb(clock, customers, latency=db_latency))
+    platform.register_web_service(rating_service(ws_latency_ms, ws_call_log))
+    if deploy_profile:
+        platform.deploy(PROFILE_SERVICE_XQUERY, name="ProfileService")
+    return platform

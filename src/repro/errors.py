@@ -1,0 +1,97 @@
+"""Exception hierarchy for the ALDSP reproduction.
+
+The compiler distinguishes *static* errors (raised or collected during the
+analysis phase, per section 4.1 of the paper) from *dynamic* errors (raised
+during plan execution).  Source adaptors raise :class:`SourceError` so that
+the ``fn-bea:fail-over`` / ``fn-bea:timeout`` machinery (section 5.6) can
+catch exactly the failures that represent an unavailable or failing data
+source without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class XMLError(ReproError):
+    """Malformed XML text or an invalid XML data-model operation."""
+
+
+class SchemaError(ReproError):
+    """Invalid schema definition or schema-validation failure."""
+
+
+class StaticError(ReproError):
+    """An error detected during query analysis (parse/normalize/typecheck).
+
+    Carries an optional source location so the design-time editor mode can
+    report every error it recovered from.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:
+        if self.line is not None:
+            return f"{self.message} (at line {self.line}, column {self.column})"
+        return self.message
+
+
+class ParseError(StaticError):
+    """Syntax error found while lexing or parsing XQuery."""
+
+
+class TypeError_(StaticError):
+    """Static type error (ALDSP's optimistic rule still rejects empty
+    intersections between argument and parameter types)."""
+
+
+class DynamicError(ReproError):
+    """An error raised while executing a compiled query plan."""
+
+
+class TypeMatchError(DynamicError):
+    """The runtime ``typematch`` operator (section 4.1) found a value whose
+    dynamic type does not match the required static type."""
+
+
+class SourceError(DynamicError):
+    """A data-source access failed (connection refused, service fault...).
+
+    ``fn-bea:fail-over`` catches this class (and only this class)."""
+
+
+class SourceTimeoutError(SourceError):
+    """A data-source access exceeded its allotted time budget."""
+
+
+class SQLError(ReproError):
+    """Raised by the simulated relational engine for bad SQL or constraint
+    violations."""
+
+
+class TransactionError(SQLError):
+    """Transaction could not commit (XA vote failed, conflict...)."""
+
+
+class ConcurrencyError(TransactionError):
+    """Optimistic-concurrency check failed during update submission
+    (section 6): the conditioned UPDATE matched no rows."""
+
+
+class SecurityError(ReproError):
+    """Access-control violation: caller may not invoke a data-service
+    function (section 7)."""
+
+
+class UpdateError(ReproError):
+    """A change log could not be decomposed or propagated (section 6)."""
+
+
+class LineageError(UpdateError):
+    """Lineage analysis could not determine the origin of updated data."""

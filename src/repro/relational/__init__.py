@@ -1,0 +1,28 @@
+"""Simulated relational engine: the queryable-source substrate (DESIGN.md).
+
+Stands in for the Oracle / DB2 / SQL Server / Sybase backends of the paper:
+parses and executes the SQL that the pushdown framework generates, enforces
+keys, supports transactions and XA, and charges a latency model so the
+distributed-query economics are realistic.
+"""
+
+from .connection import Connection
+from .database import Database, LatencyModel, SourceStats
+from .executor import Executor
+from .sqlparser import parse_sql
+from .table import Column, ForeignKey, Table
+from .txn import Transaction, TwoPhaseCommit
+
+__all__ = [
+    "Connection",
+    "Database",
+    "LatencyModel",
+    "SourceStats",
+    "Executor",
+    "parse_sql",
+    "Column",
+    "ForeignKey",
+    "Table",
+    "Transaction",
+    "TwoPhaseCommit",
+]

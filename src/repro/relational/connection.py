@@ -1,0 +1,72 @@
+"""JDBC-style connection API to the simulated databases (section 5.3).
+
+The runtime relational adaptor talks to backends exclusively through this
+class: statements arrive as *SQL text* (rendered by the dialect layer), are
+parsed by the engine's own parser and executed — validating the dialect
+round trip — while the database's latency model charges the clock and the
+source statistics record roundtrips and rows shipped.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import SourceError
+from .database import Database
+from .executor import Executor
+from .sqlparser import parse_sql
+from .txn import Transaction
+
+
+class Connection:
+    """A connection to one simulated database."""
+
+    def __init__(self, database: Database):
+        self.db = database
+        self._txn: Transaction | None = None
+        #: optional instrumentation hook: fn(database_name, rows, elapsed_ms)
+        #: — feeds the observed-cost optimizer (section 9)
+        self.observer = None
+
+    def execute_query(self, sql: str, params: Sequence | None = None) -> list[dict]:
+        """Run a SELECT; returns rows as alias->value dicts."""
+        self._check_available()
+        start = self.db.clock.now_ms()
+        stmt = parse_sql(sql)
+        rows = Executor(self.db, params).execute(stmt)
+        if not isinstance(rows, list):
+            raise SourceError(f"expected a query, got DML: {sql}")
+        self.db.charge_roundtrip(len(rows), sql)
+        if self.observer is not None:
+            self.observer(self.db.name, len(rows), self.db.clock.now_ms() - start)
+        return rows
+
+    def execute_update(self, sql: str, params: Sequence | None = None) -> int:
+        """Run DML, either autocommit or inside the active transaction."""
+        self._check_available()
+        stmt = parse_sql(sql)
+        if self._txn is not None:
+            count = self._txn.execute(stmt, params)
+        else:
+            count = Executor(self.db, params).execute(stmt)
+        if not isinstance(count, int):
+            raise SourceError(f"expected DML, got a query: {sql}")
+        self.db.charge_roundtrip(count, sql)
+        return count
+
+    def begin(self) -> Transaction:
+        if self._txn is not None:
+            raise SourceError("transaction already active on this connection")
+        self._txn = Transaction(self.db)
+        return self._txn
+
+    def attach(self, txn: Transaction) -> None:
+        """Enlist this connection in an externally coordinated (XA) branch."""
+        self._txn = txn
+
+    def end(self) -> None:
+        self._txn = None
+
+    def _check_available(self) -> None:
+        if not self.db.available:
+            raise SourceError(f"database {self.db.name} is unavailable")

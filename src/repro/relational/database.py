@@ -1,0 +1,100 @@
+"""The simulated relational database.
+
+Substitutes for the Oracle / DB2 / SQL Server / Sybase backends of the
+paper (see DESIGN.md): it executes the SQL that ALDSP's pushdown generates
+and charges a configurable latency model so the distributed-join economics
+(roundtrips, rows shipped) behave like a remote database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..clock import Clock, VirtualClock
+from ..errors import SQLError
+from .table import Column, ForeignKey, Table
+
+
+@dataclass
+class LatencyModel:
+    """Cost of talking to this database.
+
+    ``roundtrip_ms`` is charged once per statement (network + parse);
+    ``per_row_ms`` once per result row shipped back to the middleware.
+    """
+
+    roundtrip_ms: float = 5.0
+    per_row_ms: float = 0.05
+
+
+@dataclass
+class SourceStats:
+    """Counters a benchmark reads after a run."""
+
+    roundtrips: int = 0
+    rows_shipped: int = 0
+    statements: list[str] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.roundtrips = 0
+        self.rows_shipped = 0
+        self.statements.clear()
+
+
+class Database:
+    """A named database with tables, constraints, vendor identity and a
+    latency model."""
+
+    def __init__(
+        self,
+        name: str,
+        vendor: str = "oracle",
+        latency: LatencyModel | None = None,
+        clock: Clock | None = None,
+    ):
+        self.name = name
+        self.vendor = vendor
+        self.latency = latency or LatencyModel()
+        self.clock = clock or VirtualClock()
+        self.tables: dict[str, Table] = {}
+        self.stats = SourceStats()
+        #: set by the failure-injection helpers to simulate outages
+        self.available = True
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column | tuple],
+        primary_key: Sequence[str] = (),
+        foreign_keys: Sequence[ForeignKey] = (),
+    ) -> Table:
+        if name in self.tables:
+            raise SQLError(f"table {name} already exists in {self.name}")
+        normalized = [
+            col if isinstance(col, Column) else Column(*col) for col in columns
+        ]
+        table = Table(name, normalized, primary_key, foreign_keys)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SQLError(f"no table {name} in database {self.name}") from None
+
+    def load(self, table_name: str, rows: Sequence[dict]) -> None:
+        table = self.table(table_name)
+        for row in rows:
+            table.insert(row)
+
+    # -- latency accounting ---------------------------------------------------
+
+    def charge_roundtrip(self, rows_shipped: int, statement: str) -> None:
+        self.stats.roundtrips += 1
+        self.stats.rows_shipped += rows_shipped
+        self.stats.statements.append(statement)
+        self.clock.charge_ms(
+            self.latency.roundtrip_ms + rows_shipped * self.latency.per_row_ms
+        )

@@ -1,0 +1,598 @@
+"""SQL execution over the simulated database.
+
+Implements enough of SQL semantics to run every statement the pushdown
+framework generates (Tables 1 and 2 of the paper) plus the DML the update
+decomposer emits: joins and left outer joins (preserving left-branch order,
+which is what keeps pushed outer joins *clustered* on the outer key — the
+property ALDSP's streaming group-by relies on, section 4.2), grouping and
+aggregates, DISTINCT, CASE, EXISTS, IN, LIKE, ROWNUM / ROW_NUMBER() OVER
+pagination, positional parameters, and three-valued NULL logic.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional, Sequence
+
+from ..errors import SQLError
+from ..sql.ast_nodes import (
+    AggCall,
+    BinOp,
+    CaseExpr,
+    ColumnRef,
+    Delete,
+    ExistsExpr,
+    FromItem,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Join,
+    NotExpr,
+    OrderItem,
+    Param,
+    RowNumberOver,
+    RowNumExpr,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    SqlExpr,
+    SqlLiteral,
+    SubqueryRef,
+    TableRef,
+    Update,
+)
+from .database import Database
+
+_AGG_SENTINEL = object()
+
+
+class _Env:
+    """Alias -> row bindings with a link to the enclosing (outer) scope for
+    correlated subqueries."""
+
+    __slots__ = ("bindings", "outer", "rownum")
+
+    def __init__(self, bindings: dict[str, dict], outer: "Optional[_Env]" = None,
+                 rownum: int | None = None):
+        self.bindings = bindings
+        self.outer = outer
+        self.rownum = rownum
+
+    def child(self, bindings: dict[str, dict]) -> "_Env":
+        return _Env(bindings, outer=self)
+
+    def resolve(self, table: Optional[str], column: str):
+        env: Optional[_Env] = self
+        while env is not None:
+            if table is not None:
+                row = env.bindings.get(table)
+                if row is not None and column in row:
+                    return row[column]
+            else:
+                for row in env.bindings.values():
+                    if column in row:
+                        return row[column]
+            env = env.outer
+        raise SQLError(f"unknown column {table + '.' if table else ''}{column}")
+
+
+class Executor:
+    def __init__(self, database: Database, params: Sequence | None = None):
+        self.db = database
+        self.params = list(params or [])
+
+    # -- entry points ---------------------------------------------------------
+
+    def execute(self, stmt) -> list[dict] | int:
+        """Execute a statement.  SELECT returns rows (alias -> value);
+        DML returns the affected-row count."""
+        if isinstance(stmt, Select):
+            return self.select(stmt)
+        if isinstance(stmt, Insert):
+            return self._insert(stmt)
+        if isinstance(stmt, Update):
+            return self._update(stmt)
+        if isinstance(stmt, Delete):
+            return self._delete(stmt)
+        raise SQLError(f"cannot execute {type(stmt).__name__}")
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def select(self, stmt: Select, outer: Optional[_Env] = None) -> list[dict]:
+        envs = self._from(stmt.from_items, outer)
+        if stmt.where is not None:
+            envs = [env for env in envs if self._truth(self._eval(stmt.where, env))]
+
+        aggregated = bool(stmt.group_by) or any(
+            _contains_aggregate(item.expr) for item in stmt.items
+        )
+        if aggregated:
+            rows = self._aggregate(stmt, envs)
+        else:
+            rows = self._project(stmt, envs)
+
+        if stmt.distinct:
+            seen: set[tuple] = set()
+            unique = []
+            for row, env, group in rows:
+                key = tuple(sorted(row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append((row, env, group))
+            rows = unique
+
+        if stmt.order_by:
+            rows = self._order(stmt.order_by, rows)
+
+        result = [row for row, _env, _group in rows]
+        if stmt.fetch is not None:
+            offset, count = stmt.fetch
+            lo = max(0, offset - 1)
+            result = result[lo:] if count is None else result[lo : max(lo, offset - 1 + count)]
+        return result
+
+    def _project(self, stmt: Select, envs: list[_Env]):
+        aliases = _output_aliases(stmt.items)
+        window = _find_window(stmt.items)
+        if window is not None:
+            envs = self._sorted_envs(envs, window.order_by)
+        rows = []
+        for position, env in enumerate(envs, start=1):
+            env.rownum = position
+            row = {}
+            for alias, item in zip(aliases, stmt.items):
+                row[alias] = self._eval(item.expr, env, position=position)
+            rows.append((row, env, None))
+        return rows
+
+    def _aggregate(self, stmt: Select, envs: list[_Env]):
+        aliases = _output_aliases(stmt.items)
+        if stmt.group_by:
+            groups: dict[tuple, list[_Env]] = {}
+            order: list[tuple] = []
+            for env in envs:
+                key = tuple(_hashable(self._eval(expr, env)) for expr in stmt.group_by)
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(env)
+            grouped = [groups[key] for key in order]
+        else:
+            grouped = [envs]
+        window = _find_window(stmt.items)
+        window_alias = None
+        if window is not None:
+            for alias, item in zip(aliases, stmt.items):
+                if item.expr is window:
+                    window_alias = alias
+        rows = []
+        for group in grouped:
+            representative = group[0] if group else _Env({})
+            if stmt.having is not None:
+                if not self._truth(self._eval(stmt.having, representative, group=group)):
+                    continue
+            row = {}
+            for alias, item in zip(aliases, stmt.items):
+                if isinstance(item.expr, RowNumberOver):
+                    row[alias] = None  # filled after window ordering
+                    continue
+                row[alias] = self._eval(item.expr, representative, group=group)
+            rows.append((row, representative, group))
+        if window is not None and window_alias is not None:
+            def window_key(entry):
+                _row, env, group = entry
+                return [
+                    _NullKey(self._eval(o.expr, env, group=group), o.descending)
+                    for o in window.order_by
+                ]
+
+            rows.sort(key=window_key)
+            for position, (row, _env, _group) in enumerate(rows, start=1):
+                row[window_alias] = position
+        return rows
+
+    def _order(self, order_by: list[OrderItem], rows):
+        def key_for(entry):
+            row, env, group = entry
+            keys = []
+            for item in order_by:
+                value = self._order_key(item.expr, row, env, group)
+                # NULLs sort first ascending / last descending (stable rule).
+                keys.append((_NullKey(value, item.descending)))
+            return keys
+
+        return sorted(rows, key=key_for)
+
+    def _order_key(self, expr: SqlExpr, row: dict, env: _Env, group):
+        # ORDER BY may reference output aliases or source expressions.
+        if isinstance(expr, ColumnRef) and expr.column in row and (
+            expr.table is None or expr.table not in env.bindings
+        ):
+            return row[expr.column]
+        return self._eval(expr, env, group=group)
+
+    def _sorted_envs(self, envs: list[_Env], order_by: list[OrderItem]) -> list[_Env]:
+        def key_for(env: _Env):
+            return [_NullKey(self._eval(item.expr, env), item.descending) for item in order_by]
+
+        return sorted(envs, key=key_for)
+
+    # -- FROM ----------------------------------------------------------------------
+
+    def _from(self, items: list[FromItem], outer: Optional[_Env]) -> list[_Env]:
+        if not items:
+            return [_Env({}, outer=outer)]
+        envs = [_Env({}, outer=outer)]
+        for item in items:
+            expanded: list[_Env] = []
+            for env in envs:
+                for bindings in self._from_item(item, env):
+                    merged = dict(env.bindings)
+                    merged.update(bindings)
+                    expanded.append(_Env(merged, outer=outer))
+            envs = expanded
+        return envs
+
+    def _from_item(self, item: FromItem, env: _Env) -> Iterable[dict[str, dict]]:
+        if isinstance(item, TableRef):
+            table = self.db.table(item.name)
+            return ({item.alias: row} for row in table.rows)
+        if isinstance(item, SubqueryRef):
+            rows = self.select(item.subquery, outer=env)
+            return ({item.alias: row} for row in rows)
+        if isinstance(item, Join):
+            return self._join(item, env)
+        raise SQLError(f"cannot evaluate FROM item {type(item).__name__}")
+
+    def _join(self, join: Join, env: _Env) -> Iterable[dict[str, dict]]:
+        """Left-order-preserving join: for each left binding, all matching
+        right bindings are emitted contiguously.  This is what keeps pushed
+        outer joins clustered on the outer key."""
+        left_bindings = list(self._from_item(join.left, env))
+        right_bindings = list(self._from_item(join.right, env))
+        null_right = self._null_bindings(join.right)
+        for left in left_bindings:
+            matched = False
+            for right in right_bindings:
+                merged = dict(left)
+                merged.update(right)
+                if join.condition is None or self._truth(
+                    self._eval(join.condition, _Env(merged, outer=env))
+                ):
+                    matched = True
+                    yield merged
+            if not matched and join.kind == "left":
+                merged = dict(left)
+                merged.update(null_right)
+                yield merged
+
+    def _null_bindings(self, item: FromItem) -> dict[str, dict]:
+        if isinstance(item, TableRef):
+            table = self.db.table(item.name)
+            return {item.alias: {c: None for c in table.column_names()}}
+        if isinstance(item, SubqueryRef):
+            aliases = _output_aliases(item.subquery.items)
+            return {item.alias: {a: None for a in aliases}}
+        if isinstance(item, Join):
+            merged = self._null_bindings(item.left)
+            merged.update(self._null_bindings(item.right))
+            return merged
+        raise SQLError(f"cannot null-extend {type(item).__name__}")
+
+    # -- DML -------------------------------------------------------------------------
+
+    def _insert(self, stmt: Insert) -> int:
+        table = self.db.table(stmt.table)
+        if len(stmt.columns) != len(stmt.values):
+            raise SQLError("INSERT: column/value count mismatch")
+        values = {}
+        env = _Env({})
+        for column, expr in zip(stmt.columns, stmt.values):
+            values[column] = self._eval(expr, env)
+        table.insert(values)
+        return 1
+
+    def _update(self, stmt: Update) -> int:
+        table = self.db.table(stmt.table)
+        count = 0
+        for index, row in enumerate(table.rows):
+            env = _Env({stmt.table: row})
+            if stmt.where is None or self._truth(self._eval(stmt.where, env)):
+                changes = {
+                    column: self._eval(expr, env) for column, expr in stmt.assignments
+                }
+                table.update_at(index, changes)
+                count += 1
+        return count
+
+    def _delete(self, stmt: Delete) -> int:
+        table = self.db.table(stmt.table)
+        keep = []
+        removed = 0
+        for row in table.rows:
+            env = _Env({stmt.table: row})
+            if stmt.where is None or self._truth(self._eval(stmt.where, env)):
+                removed += 1
+            else:
+                keep.append(row)
+        table.restore(keep)
+        return removed
+
+    # -- expressions ------------------------------------------------------------------
+
+    def _eval(self, expr: SqlExpr, env: _Env, group: list[_Env] | None = None,
+              position: int | None = None):
+        if isinstance(expr, SqlLiteral):
+            return expr.value
+        if isinstance(expr, Param):
+            try:
+                return self.params[expr.index]
+            except IndexError:
+                raise SQLError(f"missing parameter {expr.index + 1}") from None
+        if isinstance(expr, ColumnRef):
+            return env.resolve(expr.table, expr.column)
+        if isinstance(expr, BinOp):
+            return self._binop(expr, env, group, position)
+        if isinstance(expr, NotExpr):
+            value = self._eval(expr.operand, env, group, position)
+            return None if value is None else not self._truth(value)
+        if isinstance(expr, IsNull):
+            value = self._eval(expr.operand, env, group, position)
+            return (value is not None) if expr.negated else (value is None)
+        if isinstance(expr, InList):
+            return self._in_list(expr, env, group, position)
+        if isinstance(expr, FuncCall):
+            return self._func(expr, env, group, position)
+        if isinstance(expr, AggCall):
+            return self._agg(expr, env, group)
+        if isinstance(expr, CaseExpr):
+            for condition, value in expr.whens:
+                if self._truth(self._eval(condition, env, group, position)):
+                    return self._eval(value, env, group, position)
+            if expr.else_value is not None:
+                return self._eval(expr.else_value, env, group, position)
+            return None
+        if isinstance(expr, ExistsExpr):
+            rows = self.select(expr.subquery, outer=env)
+            found = len(rows) > 0
+            return (not found) if expr.negated else found
+        if isinstance(expr, ScalarSubquery):
+            rows = self.select(expr.subquery, outer=env)
+            if not rows:
+                return None
+            if len(rows) > 1:
+                raise SQLError("scalar subquery returned more than one row")
+            return next(iter(rows[0].values()))
+        if isinstance(expr, RowNumExpr):
+            if position is None and env.rownum is None:
+                raise SQLError("ROWNUM used outside a SELECT list")
+            return position if position is not None else env.rownum
+        if isinstance(expr, RowNumberOver):
+            if position is None:
+                raise SQLError("ROW_NUMBER() used outside a SELECT list")
+            return position
+        raise SQLError(f"cannot evaluate {type(expr).__name__}")
+
+    def _binop(self, expr: BinOp, env: _Env, group, position):
+        op = expr.op
+        if op in ("AND", "OR"):
+            left = self._eval(expr.left, env, group, position)
+            right = self._eval(expr.right, env, group, position)
+            lt = None if left is None else self._truth(left)
+            rt = None if right is None else self._truth(right)
+            if op == "AND":
+                if lt is False or rt is False:
+                    return False
+                if lt is None or rt is None:
+                    return None
+                return True
+            if lt is True or rt is True:
+                return True
+            if lt is None or rt is None:
+                return None
+            return False
+        left = self._eval(expr.left, env, group, position)
+        right = self._eval(expr.right, env, group, position)
+        if op == "||":
+            if left is None or right is None:
+                return None
+            return str(left) + str(right)
+        if left is None or right is None:
+            return None
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op in ("<", "<=", ">", ">="):
+            _check_comparable(left, right)
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        if op == "+":
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right  # SQL Server string '+'
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise SQLError("division by zero")
+            return left / right
+        if op == "%":
+            return left % right
+        if op == "LIKE":
+            return _like(str(left), str(right))
+        raise SQLError(f"unknown operator {op}")
+
+    def _in_list(self, expr: InList, env: _Env, group, position):
+        value = self._eval(expr.operand, env, group, position)
+        if value is None:
+            return None
+        found = any(
+            self._eval(candidate, env, group, position) == value
+            for candidate in expr.values
+        )
+        return (not found) if expr.negated else found
+
+    def _func(self, expr: FuncCall, env: _Env, group, position):
+        args = [self._eval(a, env, group, position) for a in expr.args]
+        name = expr.name.upper()
+        if any(a is None for a in args) and name not in ("COALESCE", "NVL"):
+            return None
+        if name == "UPPER":
+            return str(args[0]).upper()
+        if name == "LOWER":
+            return str(args[0]).lower()
+        if name in ("LENGTH", "LEN"):
+            return len(str(args[0]))
+        if name in ("SUBSTR", "SUBSTRING"):
+            text = str(args[0])
+            start = int(args[1])
+            lo = max(0, start - 1)
+            if len(args) > 2:
+                return text[lo : lo + int(args[2])]
+            return text[lo:]
+        if name == "ABS":
+            return abs(args[0])
+        if name in ("CEIL", "CEILING"):
+            import math
+
+            return math.ceil(args[0])
+        if name == "FLOOR":
+            import math
+
+            return math.floor(args[0])
+        if name == "ROUND":
+            import math
+
+            return math.floor(args[0] + 0.5)
+        if name in ("COALESCE", "NVL"):
+            for value in args:
+                if value is not None:
+                    return value
+            return None
+        if name == "CONCAT":
+            return "".join(str(a) for a in args)
+        raise SQLError(f"unknown SQL function {expr.name}")
+
+    def _agg(self, expr: AggCall, env: _Env, group: list[_Env] | None):
+        if group is None:
+            raise SQLError(f"aggregate {expr.name} outside grouping context")
+        if expr.name == "COUNT" and expr.arg is None:
+            return len(group)
+        values = []
+        for member in group:
+            value = self._eval(expr.arg, member)
+            if value is not None:
+                values.append(value)
+        if expr.distinct:
+            values = list(dict.fromkeys(values))
+        if expr.name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if expr.name == "SUM":
+            return sum(values)
+        if expr.name == "AVG":
+            return sum(values) / len(values)
+        if expr.name == "MIN":
+            return min(values)
+        if expr.name == "MAX":
+            return max(values)
+        raise SQLError(f"unknown aggregate {expr.name}")
+
+    @staticmethod
+    def _truth(value) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return value != 0
+        raise SQLError(f"non-boolean WHERE value {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _output_aliases(items: list[SelectItem]) -> list[str]:
+    aliases = []
+    for i, item in enumerate(items):
+        if item.alias:
+            aliases.append(item.alias)
+        elif isinstance(item.expr, ColumnRef):
+            aliases.append(item.expr.column)
+        else:
+            aliases.append(f"c{i + 1}")
+    return aliases
+
+
+def _contains_aggregate(expr) -> bool:
+    if isinstance(expr, AggCall):
+        return True
+    if isinstance(expr, (ScalarSubquery, ExistsExpr)):
+        return False  # aggregates inside subqueries belong to the subquery
+    if hasattr(expr, "__dataclass_fields__"):
+        for name in expr.__dataclass_fields__:
+            value = getattr(expr, name)
+            if isinstance(value, (list, tuple)):
+                if any(_contains_aggregate(v) for v in value):
+                    return True
+            elif _contains_aggregate(value):
+                return True
+    return False
+
+
+def _find_window(items: list[SelectItem]) -> RowNumberOver | None:
+    for item in items:
+        if isinstance(item.expr, RowNumberOver):
+            return item.expr
+    return None
+
+
+def _hashable(value):
+    return value
+
+
+def _check_comparable(left, right) -> None:
+    if isinstance(left, str) != isinstance(right, str):
+        raise SQLError(f"cannot compare {type(left).__name__} with {type(right).__name__}")
+
+
+class _NullKey:
+    """Sort key wrapper implementing NULLS FIRST (asc) and reversal."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value, descending: bool):
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_NullKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return not self.descending
+        if b is None:
+            return self.descending
+        if self.descending:
+            return b < a
+        return a < b
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _NullKey) and self.value == other.value
+
+
+def _like(text: str, pattern: str) -> bool:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.fullmatch(regex, text) is not None

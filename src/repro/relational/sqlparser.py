@@ -1,0 +1,489 @@
+"""SQL parser for the simulated relational engine.
+
+Parses the SQL dialect subset that :mod:`repro.sql.dialects` renders (plus
+hand-written test queries) back into the shared SQL AST.  This closes the
+loop: generated SQL is rendered to text, re-parsed here and executed, so
+the dialects are validated by execution, not by string comparison.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import SQLError
+from ..sql.ast_nodes import (
+    AggCall,
+    BinOp,
+    CaseExpr,
+    ColumnRef,
+    Delete,
+    ExistsExpr,
+    FromItem,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Join,
+    NotExpr,
+    OrderItem,
+    Param,
+    RowNumberOver,
+    RowNumExpr,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    SqlExpr,
+    SqlLiteral,
+    SubqueryRef,
+    TableRef,
+    Update,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<qident>"[^"]*")
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<symbol><>|!=|<=|>=|\|\||[(),.*=<>+\-/?%])
+    """,
+    re.VERBOSE,
+)
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if not match:
+                raise SQLError(f"bad SQL near offset {pos}: {text[pos:pos + 20]!r}")
+            pos = match.end()
+            kind = match.lastgroup
+            if kind == "ws":
+                continue
+            self.items.append((kind, match.group()))  # type: ignore[arg-type]
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> tuple[str, str]:
+        i = self.index + offset
+        return self.items[i] if i < len(self.items) else ("eof", "")
+
+    def next(self) -> tuple[str, str]:
+        item = self.peek()
+        self.index += 1
+        return item
+
+    def at_keyword(self, *words: str) -> bool:
+        kind, value = self.peek()
+        return kind == "ident" and value.upper() in words
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.at_keyword(*words):
+            self.next()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SQLError(f"expected {word}, found {self.peek()[1]!r}")
+
+    def at_symbol(self, *symbols: str) -> bool:
+        kind, value = self.peek()
+        return kind == "symbol" and value in symbols
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.at_symbol(symbol):
+            self.next()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            raise SQLError(f"expected {symbol!r}, found {self.peek()[1]!r}")
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.items)
+
+
+def parse_sql(text: str):
+    """Parse one SQL statement."""
+    tokens = _Tokens(text)
+    if tokens.at_keyword("SELECT"):
+        stmt = _parse_select(tokens)
+    elif tokens.at_keyword("INSERT"):
+        stmt = _parse_insert(tokens)
+    elif tokens.at_keyword("UPDATE"):
+        stmt = _parse_update(tokens)
+    elif tokens.at_keyword("DELETE"):
+        stmt = _parse_delete(tokens)
+    else:
+        raise SQLError(f"unsupported statement start {tokens.peek()[1]!r}")
+    if not tokens.at_end():
+        raise SQLError(f"trailing SQL tokens at {tokens.peek()[1]!r}")
+    _renumber_params(stmt)
+    return stmt
+
+
+def _renumber_params(stmt) -> None:
+    """Assign positional indexes to ``?`` parameters in source order."""
+    counter = [0]
+
+    def walk(obj) -> None:
+        if isinstance(obj, Param):
+            obj.index = counter[0]
+            counter[0] += 1
+            return
+        if isinstance(obj, (list, tuple)):
+            for entry in obj:
+                walk(entry)
+            return
+        if hasattr(obj, "__dataclass_fields__"):
+            for name in obj.__dataclass_fields__:
+                walk(getattr(obj, name))
+
+    walk(stmt)
+
+
+# ---------------------------------------------------------------------------
+# SELECT
+# ---------------------------------------------------------------------------
+
+
+def _parse_select(tokens: _Tokens) -> Select:
+    tokens.expect_keyword("SELECT")
+    select = Select()
+    if tokens.accept_keyword("DISTINCT"):
+        select.distinct = True
+    while True:
+        expr = _parse_expr(tokens)
+        alias = None
+        if tokens.accept_keyword("AS"):
+            alias = _parse_identifier(tokens)
+        elif tokens.peek()[0] in ("ident", "qident") and not tokens.at_keyword(
+            "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "UNION"
+        ):
+            alias = _parse_identifier(tokens)
+        select.items.append(SelectItem(expr, alias))
+        if not tokens.accept_symbol(","):
+            break
+    if tokens.accept_keyword("FROM"):
+        while True:
+            select.from_items.append(_parse_from_item(tokens))
+            if not tokens.accept_symbol(","):
+                break
+    if tokens.accept_keyword("WHERE"):
+        select.where = _parse_expr(tokens)
+    if tokens.accept_keyword("GROUP"):
+        tokens.expect_keyword("BY")
+        while True:
+            select.group_by.append(_parse_expr(tokens))
+            if not tokens.accept_symbol(","):
+                break
+    if tokens.accept_keyword("HAVING"):
+        select.having = _parse_expr(tokens)
+    if tokens.accept_keyword("ORDER"):
+        tokens.expect_keyword("BY")
+        select.order_by = _parse_order_list(tokens)
+    return select
+
+
+def _parse_order_list(tokens: _Tokens) -> list[OrderItem]:
+    items: list[OrderItem] = []
+    while True:
+        expr = _parse_expr(tokens)
+        descending = False
+        if tokens.accept_keyword("DESC"):
+            descending = True
+        else:
+            tokens.accept_keyword("ASC")
+        items.append(OrderItem(expr, descending))
+        if not tokens.accept_symbol(","):
+            break
+    return items
+
+
+def _parse_from_item(tokens: _Tokens) -> FromItem:
+    item = _parse_from_primary(tokens)
+    while True:
+        if tokens.at_keyword("JOIN"):
+            tokens.next()
+            right = _parse_from_primary(tokens)
+            tokens.expect_keyword("ON")
+            condition = _parse_expr(tokens)
+            item = Join("inner", item, right, condition)
+        elif tokens.at_keyword("LEFT"):
+            tokens.next()
+            tokens.accept_keyword("OUTER")
+            tokens.expect_keyword("JOIN")
+            right = _parse_from_primary(tokens)
+            tokens.expect_keyword("ON")
+            condition = _parse_expr(tokens)
+            item = Join("left", item, right, condition)
+        elif tokens.at_keyword("INNER"):
+            tokens.next()
+            tokens.expect_keyword("JOIN")
+            right = _parse_from_primary(tokens)
+            tokens.expect_keyword("ON")
+            condition = _parse_expr(tokens)
+            item = Join("inner", item, right, condition)
+        else:
+            return item
+
+
+def _parse_from_primary(tokens: _Tokens) -> FromItem:
+    if tokens.accept_symbol("("):
+        subquery = _parse_select(tokens)
+        tokens.expect_symbol(")")
+        alias = _parse_identifier(tokens)
+        return SubqueryRef(subquery, alias)
+    name = _parse_identifier(tokens)
+    alias = name
+    if tokens.peek()[0] in ("ident", "qident") and not tokens.at_keyword(
+        "JOIN", "LEFT", "INNER", "ON", "WHERE", "GROUP", "HAVING", "ORDER", "UNION"
+    ):
+        alias = _parse_identifier(tokens)
+    return TableRef(name, alias)
+
+
+def _parse_identifier(tokens: _Tokens) -> str:
+    kind, value = tokens.next()
+    if kind == "qident":
+        return value[1:-1]
+    if kind == "ident":
+        return value
+    raise SQLError(f"expected identifier, found {value!r}")
+
+
+# ---------------------------------------------------------------------------
+# DML
+# ---------------------------------------------------------------------------
+
+
+def _parse_insert(tokens: _Tokens) -> Insert:
+    tokens.expect_keyword("INSERT")
+    tokens.expect_keyword("INTO")
+    table = _parse_identifier(tokens)
+    tokens.expect_symbol("(")
+    columns = []
+    while True:
+        columns.append(_parse_identifier(tokens))
+        if not tokens.accept_symbol(","):
+            break
+    tokens.expect_symbol(")")
+    tokens.expect_keyword("VALUES")
+    tokens.expect_symbol("(")
+    values = []
+    while True:
+        values.append(_parse_expr(tokens))
+        if not tokens.accept_symbol(","):
+            break
+    tokens.expect_symbol(")")
+    return Insert(table, columns, values)
+
+
+def _parse_update(tokens: _Tokens) -> Update:
+    tokens.expect_keyword("UPDATE")
+    table = _parse_identifier(tokens)
+    tokens.expect_keyword("SET")
+    assignments = []
+    while True:
+        column = _parse_identifier(tokens)
+        tokens.expect_symbol("=")
+        assignments.append((column, _parse_expr(tokens)))
+        if not tokens.accept_symbol(","):
+            break
+    where = _parse_expr(tokens) if tokens.accept_keyword("WHERE") else None
+    return Update(table, assignments, where)
+
+
+def _parse_delete(tokens: _Tokens) -> Delete:
+    tokens.expect_keyword("DELETE")
+    tokens.expect_keyword("FROM")
+    table = _parse_identifier(tokens)
+    where = _parse_expr(tokens) if tokens.accept_keyword("WHERE") else None
+    return Delete(table, where)
+
+
+# ---------------------------------------------------------------------------
+# Expressions (precedence: OR < AND < NOT < comparison < add < mul < unary)
+# ---------------------------------------------------------------------------
+
+
+def _parse_expr(tokens: _Tokens) -> SqlExpr:
+    return _parse_or(tokens)
+
+
+def _parse_or(tokens: _Tokens) -> SqlExpr:
+    left = _parse_and(tokens)
+    while tokens.accept_keyword("OR"):
+        left = BinOp("OR", left, _parse_and(tokens))
+    return left
+
+
+def _parse_and(tokens: _Tokens) -> SqlExpr:
+    left = _parse_not(tokens)
+    while tokens.accept_keyword("AND"):
+        left = BinOp("AND", left, _parse_not(tokens))
+    return left
+
+
+def _parse_not(tokens: _Tokens) -> SqlExpr:
+    if tokens.accept_keyword("NOT"):
+        return NotExpr(_parse_not(tokens))
+    return _parse_comparison(tokens)
+
+
+def _parse_comparison(tokens: _Tokens) -> SqlExpr:
+    left = _parse_additive(tokens)
+    kind, value = tokens.peek()
+    if kind == "symbol" and value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+        tokens.next()
+        op = "<>" if value == "!=" else value
+        return BinOp(op, left, _parse_additive(tokens))
+    if tokens.at_keyword("LIKE"):
+        tokens.next()
+        return BinOp("LIKE", left, _parse_additive(tokens))
+    if tokens.at_keyword("IS"):
+        tokens.next()
+        negated = tokens.accept_keyword("NOT")
+        tokens.expect_keyword("NULL")
+        return IsNull(left, negated)
+    if tokens.at_keyword("IN") or (tokens.at_keyword("NOT") and tokens.peek(1)[1].upper() == "IN"):
+        negated = tokens.accept_keyword("NOT")
+        tokens.expect_keyword("IN")
+        tokens.expect_symbol("(")
+        values = []
+        while True:
+            values.append(_parse_expr(tokens))
+            if not tokens.accept_symbol(","):
+                break
+        tokens.expect_symbol(")")
+        return InList(left, values, negated)
+    if tokens.at_keyword("BETWEEN"):
+        tokens.next()
+        low = _parse_additive(tokens)
+        tokens.expect_keyword("AND")
+        high = _parse_additive(tokens)
+        return BinOp("AND", BinOp(">=", left, low), BinOp("<=", left, high))
+    return left
+
+
+def _parse_additive(tokens: _Tokens) -> SqlExpr:
+    left = _parse_multiplicative(tokens)
+    while True:
+        if tokens.at_symbol("+", "-", "||"):
+            op = tokens.next()[1]
+            left = BinOp(op, left, _parse_multiplicative(tokens))
+        else:
+            return left
+
+
+def _parse_multiplicative(tokens: _Tokens) -> SqlExpr:
+    left = _parse_unary(tokens)
+    while tokens.at_symbol("*", "/", "%"):
+        # '*' only means multiplication in expression position; COUNT(*) is
+        # handled by the primary parser.
+        op = tokens.next()[1]
+        left = BinOp(op, left, _parse_unary(tokens))
+    return left
+
+
+def _parse_unary(tokens: _Tokens) -> SqlExpr:
+    if tokens.accept_symbol("-"):
+        return BinOp("-", SqlLiteral(0), _parse_unary(tokens))
+    return _parse_primary(tokens)
+
+
+def _parse_primary(tokens: _Tokens) -> SqlExpr:
+    kind, value = tokens.peek()
+    if kind == "number":
+        tokens.next()
+        return SqlLiteral(float(value) if "." in value else int(value))
+    if kind == "string":
+        tokens.next()
+        return SqlLiteral(value[1:-1].replace("''", "'"))
+    if kind == "symbol" and value == "?":
+        tokens.next()
+        return Param(-1)  # renumbered after the full parse
+    if kind == "symbol" and value == "(":
+        tokens.next()
+        if tokens.at_keyword("SELECT"):
+            subquery = _parse_select(tokens)
+            tokens.expect_symbol(")")
+            return ScalarSubquery(subquery)
+        inner = _parse_expr(tokens)
+        tokens.expect_symbol(")")
+        return inner
+    if tokens.at_keyword("CASE"):
+        return _parse_case(tokens)
+    if tokens.at_keyword("EXISTS"):
+        tokens.next()
+        tokens.expect_symbol("(")
+        subquery = _parse_select(tokens)
+        tokens.expect_symbol(")")
+        return ExistsExpr(subquery)
+    if tokens.at_keyword("NULL"):
+        tokens.next()
+        return SqlLiteral(None)
+    if tokens.at_keyword("ROWNUM"):
+        tokens.next()
+        return RowNumExpr()
+    if tokens.at_keyword("ROW_NUMBER"):
+        tokens.next()
+        tokens.expect_symbol("(")
+        tokens.expect_symbol(")")
+        tokens.expect_keyword("OVER")
+        tokens.expect_symbol("(")
+        tokens.expect_keyword("ORDER")
+        tokens.expect_keyword("BY")
+        order = _parse_order_list(tokens)
+        tokens.expect_symbol(")")
+        return RowNumberOver(order)
+    if kind in ("ident", "qident"):
+        return _parse_name_expr(tokens)
+    raise SQLError(f"unexpected SQL token {value!r}")
+
+
+def _parse_case(tokens: _Tokens) -> SqlExpr:
+    tokens.expect_keyword("CASE")
+    whens = []
+    while tokens.accept_keyword("WHEN"):
+        condition = _parse_expr(tokens)
+        tokens.expect_keyword("THEN")
+        whens.append((condition, _parse_expr(tokens)))
+    else_value = _parse_expr(tokens) if tokens.accept_keyword("ELSE") else None
+    tokens.expect_keyword("END")
+    return CaseExpr(whens, else_value)
+
+
+def _parse_name_expr(tokens: _Tokens) -> SqlExpr:
+    name = _parse_identifier(tokens)
+    if tokens.at_symbol("("):
+        tokens.next()
+        upper = name.upper()
+        if upper in _AGGREGATES:
+            if tokens.accept_symbol("*"):
+                tokens.expect_symbol(")")
+                return AggCall(upper, None)
+            distinct = tokens.accept_keyword("DISTINCT")
+            arg = _parse_expr(tokens)
+            tokens.expect_symbol(")")
+            return AggCall(upper, arg, distinct)
+        args = []
+        if not tokens.at_symbol(")"):
+            while True:
+                args.append(_parse_expr(tokens))
+                if not tokens.accept_symbol(","):
+                    break
+        tokens.expect_symbol(")")
+        return FuncCall(upper, args)
+    if tokens.accept_symbol("."):
+        column = _parse_identifier(tokens)
+        return ColumnRef(name, column)
+    return ColumnRef(None, name)

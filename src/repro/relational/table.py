@@ -1,0 +1,171 @@
+"""Tables, columns and constraints for the simulated relational engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..errors import SQLError
+
+#: SQL type name -> (python check, xs: type for the XML-ification)
+SQL_TO_XS = {
+    "VARCHAR": "xs:string",
+    "CHAR": "xs:string",
+    "INTEGER": "xs:int",
+    "BIGINT": "xs:long",
+    "SMALLINT": "xs:short",
+    "DECIMAL": "xs:decimal",
+    "FLOAT": "xs:double",
+    "DOUBLE": "xs:double",
+    "BOOLEAN": "xs:boolean",
+    "DATE": "xs:date",
+    "TIMESTAMP": "xs:dateTime",
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    sql_type: str = "VARCHAR"
+    nullable: bool = True
+
+    @property
+    def xs_type(self) -> str:
+        return SQL_TO_XS.get(self.sql_type.upper(), "xs:string")
+
+    def check(self, value) -> object:
+        if value is None:
+            if not self.nullable:
+                raise SQLError(f"column {self.name} is NOT NULL")
+            return None
+        sql_type = self.sql_type.upper()
+        if sql_type in ("INTEGER", "BIGINT", "SMALLINT"):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SQLError(f"column {self.name}: expected integer, got {value!r}")
+        elif sql_type in ("FLOAT", "DOUBLE", "DECIMAL"):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SQLError(f"column {self.name}: expected number, got {value!r}")
+        elif sql_type == "BOOLEAN":
+            if not isinstance(value, bool):
+                raise SQLError(f"column {self.name}: expected boolean, got {value!r}")
+        elif sql_type in ("VARCHAR", "CHAR", "DATE", "TIMESTAMP"):
+            if not isinstance(value, str):
+                raise SQLError(f"column {self.name}: expected string, got {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``columns`` of this table reference ``ref_columns`` of ``ref_table``.
+
+    Introspection (section 2.1) turns these into navigation functions that
+    encapsulate the join path."""
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+
+class Table:
+    """An in-memory table with primary-key enforcement and a hash index on
+    the primary key (used by the executor for point lookups)."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] = (),
+        foreign_keys: Sequence[ForeignKey] = (),
+    ):
+        self.name = name
+        self.columns = list(columns)
+        self._column_index = {c.name: c for c in self.columns}
+        if len(self._column_index) != len(self.columns):
+            raise SQLError(f"table {name}: duplicate column names")
+        for key_col in primary_key:
+            if key_col not in self._column_index:
+                raise SQLError(f"table {name}: primary key column {key_col} not found")
+        self.primary_key = tuple(primary_key)
+        self.foreign_keys = list(foreign_keys)
+        self.rows: list[dict] = []
+        self._pk_index: dict[tuple, int] = {}
+
+    # -- schema ---------------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._column_index[name]
+        except KeyError:
+            raise SQLError(f"table {self.name}: no column {name}") from None
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._column_index
+
+    # -- data -----------------------------------------------------------------
+
+    def _pk_of(self, row: dict) -> tuple | None:
+        if not self.primary_key:
+            return None
+        return tuple(row.get(c) for c in self.primary_key)
+
+    def insert(self, values: dict) -> dict:
+        row = {}
+        for column in self.columns:
+            row[column.name] = column.check(values.get(column.name))
+        unknown = set(values) - set(self._column_index)
+        if unknown:
+            raise SQLError(f"table {self.name}: unknown columns {sorted(unknown)}")
+        pk = self._pk_of(row)
+        if pk is not None:
+            if any(v is None for v in pk):
+                raise SQLError(f"table {self.name}: NULL in primary key")
+            if pk in self._pk_index:
+                raise SQLError(f"table {self.name}: duplicate primary key {pk}")
+            self._pk_index[pk] = len(self.rows)
+        self.rows.append(row)
+        return row
+
+    def delete_at(self, index: int) -> dict:
+        row = self.rows.pop(index)
+        self._rebuild_pk_index()
+        return row
+
+    def update_at(self, index: int, changes: dict) -> dict:
+        row = dict(self.rows[index])
+        for name, value in changes.items():
+            row[name] = self.column(name).check(value)
+        old_pk = self._pk_of(self.rows[index])
+        new_pk = self._pk_of(row)
+        if new_pk != old_pk and new_pk in self._pk_index:
+            raise SQLError(f"table {self.name}: duplicate primary key {new_pk}")
+        self.rows[index] = row
+        if new_pk != old_pk:
+            self._rebuild_pk_index()
+        return row
+
+    def lookup_pk(self, key: tuple) -> dict | None:
+        index = self._pk_index.get(key)
+        return self.rows[index] if index is not None else None
+
+    def _rebuild_pk_index(self) -> None:
+        if not self.primary_key:
+            return
+        self._pk_index = {
+            self._pk_of(row): i for i, row in enumerate(self.rows)  # type: ignore[misc]
+        }
+
+    def snapshot(self) -> list[dict]:
+        return [dict(row) for row in self.rows]
+
+    def restore(self, rows: Iterable[dict]) -> None:
+        self.rows = [dict(row) for row in rows]
+        self._rebuild_pk_index()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name}, {len(self.rows)} rows)"

@@ -1,0 +1,19 @@
+"""Runtime system: evaluator, operators, async/failover/cache (section 5)."""
+
+from .asyncexec import AsyncExecutor
+from .cache import CacheStats, FunctionCache
+from .context import DynamicContext, RuntimeStats
+from .evaluate import Evaluator, construct_element_content
+from .observed import CostEstimate, ObservedCostModel
+
+__all__ = [
+    "AsyncExecutor",
+    "CacheStats",
+    "FunctionCache",
+    "DynamicContext",
+    "RuntimeStats",
+    "Evaluator",
+    "CostEstimate",
+    "ObservedCostModel",
+    "construct_element_content",
+]

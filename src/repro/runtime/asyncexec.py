@@ -1,0 +1,105 @@
+"""Asynchronous execution support for ``fn-bea:async`` (section 5.4).
+
+"A large part of the overall query execution time is usually the time to
+access external data sources ... to allow large latencies to be
+overlapped, ALDSP extends the built-in XQuery function library with a
+function that provides XQuery-based control over asynchronous execution."
+
+Two execution modes:
+
+* **wall clock** — real threads; latencies physically overlap;
+* **virtual clock** — branches run sequentially with per-branch charge
+  accounting, and the join advances the clock by the *maximum* branch
+  charge, which is the defining property of overlap.  Deterministic, so
+  benchmarks are stable.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, TypeVar
+
+from ..clock import Clock, VirtualClock
+
+T = TypeVar("T")
+
+
+class AsyncExecutor:
+    def __init__(self, clock: Clock, max_workers: int = 8):
+        self.clock = clock
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        #: how many parallel groups were executed (bench observability)
+        self.groups_run = 0
+        self.branches_run = 0
+
+    def run_parallel(self, thunks: list[Callable[[], T]]) -> list[T]:
+        """Evaluate the thunks 'concurrently' and return results in order.
+
+        Exceptions propagate after all branches complete (the first raised,
+        in branch order), so a failing branch cannot leave siblings
+        half-accounted.
+        """
+        if not thunks:
+            return []
+        self.groups_run += 1
+        self.branches_run += len(thunks)
+        if len(thunks) == 1:
+            return [thunks[0]()]
+        if isinstance(self.clock, VirtualClock):
+            return self._run_virtual(thunks)
+        return self._run_threads(thunks)
+
+    def _run_virtual(self, thunks: list[Callable[[], T]]) -> list[T]:
+        results: list[T | None] = []
+        errors: list[BaseException | None] = []
+        charges: list[float] = []
+        for thunk in thunks:
+            self.clock.begin_branch()  # type: ignore[attr-defined]
+            try:
+                results.append(thunk())
+                errors.append(None)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                results.append(None)
+                errors.append(exc)
+            finally:
+                charges.append(self.clock.end_branch())  # type: ignore[attr-defined]
+        self.clock.charge_ms(max(charges))
+        for error in errors:
+            if error is not None:
+                raise error
+        return results  # type: ignore[return-value]
+
+    def _run_threads(self, thunks: list[Callable[[], T]]) -> list[T]:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        futures = [self._pool.submit(thunk) for thunk in thunks]
+        return [future.result() for future in futures]
+
+    def measure(self, thunk: Callable[[], T]) -> tuple[T | BaseException, float, bool]:
+        """Run a thunk measuring its latency charge; returns
+        (result-or-exception, elapsed_ms, failed).  Used by
+        ``fn-bea:timeout`` in virtual mode."""
+        if isinstance(self.clock, VirtualClock):
+            self.clock.begin_branch()  # type: ignore[attr-defined]
+            try:
+                result: T | BaseException = thunk()
+                failed = False
+            except BaseException as exc:  # noqa: BLE001
+                result = exc
+                failed = True
+            elapsed = self.clock.end_branch()  # type: ignore[attr-defined]
+            return result, elapsed, failed
+        start = self.clock.now_ms()
+        try:
+            result = thunk()
+            failed = False
+        except BaseException as exc:  # noqa: BLE001
+            result = exc
+            failed = True
+        return result, self.clock.now_ms() - start, failed
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None

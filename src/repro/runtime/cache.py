@@ -1,0 +1,167 @@
+"""The ALDSP mid-tier function cache (section 5.5).
+
+"A persistent, distributed map that maps a function and a set of argument
+values to the corresponding function result" — caching is permitted
+statically per function by the data-service designer, then enabled
+administratively with a TTL.  The production cache used a relational
+database for persistence/distribution; this implementation is an in-memory
+map by default and can optionally be backed by a simulated database table
+(exercising the same single-row-lookup pattern the paper describes).
+
+Security filtering happens *after* cache lookup (section 7), so entries are
+shared across users; nothing user-specific may be stored here.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..clock import Clock, VirtualClock
+from ..relational.database import Database
+from ..xml.items import AtomicValue, Item
+from ..xml.serialize import serialize
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+
+
+class FunctionCache:
+    """TTL cache over (function name, argument values)."""
+
+    def __init__(self, clock: Clock | None = None, backing: Database | None = None):
+        self.clock = clock or VirtualClock()
+        self._ttl_ms: dict[str, float] = {}
+        self._entries: dict[tuple[str, str], tuple[list[Item], float]] = {}
+        self.stats = CacheStats()
+        self._backing = backing
+        if backing is not None and "FN_CACHE" not in backing.tables:
+            backing.create_table(
+                "FN_CACHE",
+                [("FNAME", "VARCHAR", False), ("ARGKEY", "VARCHAR", False),
+                 ("RESULT", "VARCHAR"), ("EXPIRY", "DOUBLE")],
+                primary_key=["FNAME", "ARGKEY"],
+            )
+
+    # -- administration ---------------------------------------------------------
+
+    def enable(self, function_name: str, ttl_ms: float) -> None:
+        """Administratively enable caching for a function with a TTL."""
+        self._ttl_ms[function_name] = ttl_ms
+
+    def disable(self, function_name: str) -> None:
+        self._ttl_ms.pop(function_name, None)
+        stale = [key for key in self._entries if key[0] == function_name]
+        for key in stale:
+            del self._entries[key]
+
+    def is_enabled(self, function_name: str) -> bool:
+        return function_name in self._ttl_ms
+
+    # -- lookup / store ------------------------------------------------------------
+
+    @staticmethod
+    def argument_key(args: list[list[Item]]) -> str:
+        parts = []
+        for arg in args:
+            parts.append("|".join(serialize(item) for item in arg))
+        return json.dumps(parts)
+
+    def get(self, function_name: str, arg_key: str) -> list[Item] | None:
+        entry = self._entries.get((function_name, arg_key))
+        if entry is None and self._backing is not None:
+            entry = self._backing_get(function_name, arg_key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        value, expiry = entry
+        if self.clock.now_ms() >= expiry:
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            self._entries.pop((function_name, arg_key), None)
+            return None
+        self.stats.hits += 1
+        return list(value)
+
+    def put(self, function_name: str, arg_key: str, value: list[Item]) -> None:
+        ttl = self._ttl_ms.get(function_name)
+        if ttl is None:
+            return
+        expiry = self.clock.now_ms() + ttl
+        self._entries[(function_name, arg_key)] = (list(value), expiry)
+        if self._backing is not None:
+            self._backing_put(function_name, arg_key, value, expiry)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- optional relational backing (the paper's persistence strategy) -------------
+
+    def _backing_get(self, function_name: str, arg_key: str) -> tuple[list[Item], float] | None:
+        assert self._backing is not None
+        table = self._backing.table("FN_CACHE")
+        row = table.lookup_pk((function_name, arg_key))
+        self._backing.charge_roundtrip(1 if row else 0, "SELECT FN_CACHE (cache probe)")
+        if row is None:
+            return None
+        items = _deserialize_items(row["RESULT"])
+        return items, row["EXPIRY"]
+
+    def _backing_put(self, function_name: str, arg_key: str,
+                     value: list[Item], expiry: float) -> None:
+        assert self._backing is not None
+        table = self._backing.table("FN_CACHE")
+        payload = _serialize_items(value)
+        existing = table.lookup_pk((function_name, arg_key))
+        if existing is None:
+            table.insert({"FNAME": function_name, "ARGKEY": arg_key,
+                          "RESULT": payload, "EXPIRY": expiry})
+        else:
+            for index, row in enumerate(table.rows):
+                if row["FNAME"] == function_name and row["ARGKEY"] == arg_key:
+                    table.update_at(index, {"RESULT": payload, "EXPIRY": expiry})
+                    break
+        self._backing.charge_roundtrip(1, "UPSERT FN_CACHE (cache store)")
+
+
+def _serialize_items(items: list[Item]) -> str:
+    """Persist the *typed* token stream (section 5.1): type annotations must
+    survive the cache database, or re-atomized values change type."""
+    from ..xml.qname import QName
+    from ..xml.tokens import TokenType, items_to_tokens
+
+    tokens = []
+    for token in items_to_tokens(items):
+        entry: dict = {"t": token.type.value}
+        if token.name is not None:
+            entry["n"] = [token.name.local, token.name.namespace, token.name.prefix]
+        if isinstance(token.value, AtomicValue):
+            entry["a"] = [token.value.value, token.value.type_name]
+        elif token.value is not None:
+            entry["v"] = token.value
+        tokens.append(entry)
+    return json.dumps(tokens)
+
+
+def _deserialize_items(payload: str) -> list[Item]:
+    from ..xml.qname import QName
+    from ..xml.tokens import Token, TokenType, tokens_to_items
+
+    tokens = []
+    for entry in json.loads(payload):
+        name = QName(*entry["n"]) if "n" in entry else None
+        if "a" in entry:
+            value: object = AtomicValue(entry["a"][0], entry["a"][1])
+        else:
+            value = entry.get("v")
+        tokens.append(Token(TokenType(entry["t"]), name, value))
+    return tokens_to_items(tokens)

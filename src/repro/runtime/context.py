@@ -1,0 +1,97 @@
+"""Dynamic evaluation context: everything a running plan needs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..clock import Clock, VirtualClock
+from ..errors import SourceError
+from ..relational.connection import Connection
+from ..relational.database import Database
+from ..services.metadata import MetadataRegistry
+from ..sql.dialects import SqlRenderer, capabilities_for
+from .asyncexec import AsyncExecutor
+from .cache import FunctionCache
+from .observed import ObservedCostModel
+
+if TYPE_CHECKING:
+    from ..xquery.ast_nodes import Module
+
+
+@dataclass
+class RuntimeStats:
+    """Middleware-side counters (source-side counters live on each
+    database's :class:`~repro.relational.database.SourceStats`)."""
+
+    pushed_queries: int = 0
+    ppk_blocks: int = 0
+    ppk_tuples: int = 0
+    middleware_join_probes: int = 0
+    index_joins_built: int = 0
+    service_calls: int = 0
+    tuples_flowed: int = 0
+
+    def reset(self) -> None:
+        self.pushed_queries = 0
+        self.ppk_blocks = 0
+        self.ppk_tuples = 0
+        self.middleware_join_probes = 0
+        self.index_joins_built = 0
+        self.service_calls = 0
+        self.tuples_flowed = 0
+
+
+class DynamicContext:
+    """Shared services for one ALDSP server instance's runtime."""
+
+    def __init__(
+        self,
+        registry: MetadataRegistry,
+        module: "Optional[Module]" = None,
+        clock: Clock | None = None,
+        cache: FunctionCache | None = None,
+    ):
+        self.registry = registry
+        self.module = module
+        self.clock = clock or VirtualClock()
+        self.databases: dict[str, Database] = {}
+        self._connections: dict[str, Connection] = {}
+        self._renderers: dict[str, SqlRenderer] = {}
+        self.cache = cache
+        self.async_exec = AsyncExecutor(self.clock)
+        self.stats = RuntimeStats()
+        #: observed per-source cost samples (section 9's future-work
+        #: optimizer — populated by the connections' instrumentation hook)
+        self.observed = ObservedCostModel()
+        #: bound external variables for the current execution
+        self.external_variables: dict[str, list] = {}
+        #: functions for which caching is administratively enabled
+        self.max_recursion = 64
+
+    # -- databases ----------------------------------------------------------------
+
+    def attach_database(self, database: Database) -> None:
+        database.clock = self.clock
+        self.databases[database.name] = database
+        connection = Connection(database)
+        connection.observer = self.observed.record
+        self._connections[database.name] = connection
+
+    def connection(self, database_name: str) -> Connection:
+        try:
+            return self._connections[database_name]
+        except KeyError:
+            raise SourceError(f"no connection registered for database {database_name}") from None
+
+    def renderer(self, vendor: str) -> SqlRenderer:
+        if vendor not in self._renderers:
+            self._renderers[vendor] = SqlRenderer(capabilities_for(vendor))
+        return self._renderers[vendor]
+
+    # -- user functions --------------------------------------------------------------
+
+    def user_function(self, name: str, arity: int):
+        if self.module is None:
+            return None
+        return self.module.function(name, arity)

@@ -1,0 +1,107 @@
+"""Observed cost-based optimization (section 9, future work).
+
+"We are starting work on an observed cost-based approach to optimization
+and tuning; the idea is to skip past 'old school' techniques that rely on
+static cost models and difficult-to-obtain statistics, instead
+instrumenting the system and basing its optimization decisions ... only on
+actually observed data characteristics and data source behavior."
+
+This module implements that idea for the decision ALDSP actually exposes a
+knob for — the PP-k block size.  Every source roundtrip is observed as an
+(elapsed time, rows shipped) sample; a per-source least-squares fit
+recovers the roundtrip overhead and per-row cost, from which the
+recommended block size follows: k large enough that the per-block
+roundtrip overhead stops dominating the row-shipping cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Observation:
+    rows: int
+    elapsed_ms: float
+
+
+@dataclass
+class CostEstimate:
+    """Fitted cost of one source: ``elapsed ≈ roundtrip + rows * per_row``."""
+
+    roundtrip_ms: float
+    per_row_ms: float
+    samples: int
+
+    def predict_ppk_ms(self, n_tuples: int, k: int) -> float:
+        blocks = -(-n_tuples // k)
+        return blocks * self.roundtrip_ms + n_tuples * self.per_row_ms
+
+
+class ObservedCostModel:
+    """Per-source observations and fits."""
+
+    def __init__(self, max_samples: int = 256):
+        self.max_samples = max_samples
+        self._samples: dict[str, list[Observation]] = {}
+
+    # -- instrumentation -----------------------------------------------------
+
+    def record(self, source: str, rows: int, elapsed_ms: float) -> None:
+        samples = self._samples.setdefault(source, [])
+        samples.append(Observation(rows, elapsed_ms))
+        if len(samples) > self.max_samples:
+            del samples[: len(samples) - self.max_samples]
+
+    def sources(self) -> list[str]:
+        return sorted(self._samples)
+
+    def clear(self) -> None:
+        """Drop all observations (e.g. after a latency-regime change)."""
+        self._samples.clear()
+
+    # -- fitting ---------------------------------------------------------------
+
+    def estimate(self, source: str) -> CostEstimate | None:
+        """Least-squares fit of elapsed = a + b * rows for one source.
+
+        Needs at least two samples with distinct row counts; with uniform
+        row counts the whole cost is attributed to the roundtrip (the
+        conservative reading).
+        """
+        samples = self._samples.get(source)
+        if not samples:
+            return None
+        n = len(samples)
+        mean_rows = sum(s.rows for s in samples) / n
+        mean_ms = sum(s.elapsed_ms for s in samples) / n
+        var_rows = sum((s.rows - mean_rows) ** 2 for s in samples)
+        if var_rows == 0:
+            return CostEstimate(roundtrip_ms=mean_ms, per_row_ms=0.0, samples=n)
+        cov = sum((s.rows - mean_rows) * (s.elapsed_ms - mean_ms) for s in samples)
+        per_row = max(cov / var_rows, 0.0)
+        roundtrip = max(mean_ms - per_row * mean_rows, 0.0)
+        return CostEstimate(roundtrip, per_row, n)
+
+    # -- decisions --------------------------------------------------------------
+
+    def recommend_ppk(self, source: str, k_min: int = 1, k_max: int = 200,
+                      overhead_target: float = 0.5) -> int | None:
+        """Block size at which the per-tuple roundtrip share drops below
+        ``overhead_target`` of the per-tuple total.
+
+        Per tuple, PP-k costs roundtrip/k + per_row; solving
+        (roundtrip/k) / (roundtrip/k + per_row) <= target gives
+        k >= roundtrip * (1 - target) / (target * per_row).
+        High-latency sources get large blocks; cheap local sources do not
+        need them.
+        """
+        estimate = self.estimate(source)
+        if estimate is None or estimate.samples < 2:
+            return None
+        if estimate.per_row_ms <= 0:
+            return k_max  # pure-roundtrip source: batch as much as possible
+        ideal = estimate.roundtrip_ms * (1 - overhead_target) / (
+            overhead_target * estimate.per_row_ms
+        )
+        return max(k_min, min(k_max, int(-(-ideal // 1))))

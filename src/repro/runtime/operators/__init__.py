@@ -1,0 +1,14 @@
+"""Runtime operators: grouping, PP-k joins, pushed-SQL execution."""
+
+from .group import GroupStats, clustered_groups, sorted_groups
+from .ppk import ppk_extend
+from .pushedsql import apply_template, execute_pushed
+
+__all__ = [
+    "GroupStats",
+    "clustered_groups",
+    "sorted_groups",
+    "ppk_extend",
+    "apply_template",
+    "execute_pushed",
+]

@@ -1,0 +1,144 @@
+"""Execution of pushed SQL regions and their reconstruction templates.
+
+A :class:`~repro.compiler.algebra.PushedSQL` node is evaluated by binding
+its middleware parameters, rendering the select for the target vendor,
+shipping it through the JDBC-style connection, and rebuilding XML mid-tier
+from the template — per row, or per cluster of rows when the region
+contains a regrouped (left outer join / group-scan) shape.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ...compiler.algebra import ColumnSlot, GroupSlot, NestedSlot, PushedSQL
+from ...errors import DynamicError
+from ...xml.items import AtomicValue, AttributeNode, ElementNode, Item, TextNode
+from ...xml.qname import QName
+from ...xquery import ast_nodes as ast
+from ..operators.group import clustered_groups
+
+if TYPE_CHECKING:
+    from ..evaluate import Evaluator
+
+
+def execute_pushed(pushed: PushedSQL, env: dict, evaluator: "Evaluator") -> Iterator[Item]:
+    """Evaluate a pushed region (no PP-k correlation) lazily."""
+    from ...sql.ast_nodes import param_order
+
+    ctx = evaluator.ctx
+    values = bind_parameters(pushed, env, evaluator)
+    params = [values[i] for i in param_order(pushed.select)]
+    sql = render_pushed(pushed, evaluator)
+    rows = ctx.connection(pushed.database).execute_query(sql, params)
+    ctx.stats.pushed_queries += 1
+    yield from rebuild(pushed, rows, evaluator)
+
+
+def bind_parameters(pushed: PushedSQL, env: dict, evaluator: "Evaluator") -> list:
+    """Middleware parameter values in creation-index order (reorder with
+    :func:`repro.sql.ast_nodes.param_order` before shipping)."""
+    params = []
+    for expr in pushed.param_exprs:
+        params.append(single_param_value(evaluator.eval(expr, env)))
+    return params
+
+
+def single_param_value(items: list[Item]):
+    """Project one middleware value onto a SQL parameter."""
+    from ...xquery.functions import atomize
+
+    atoms = atomize(items)
+    if not atoms:
+        return None
+    if len(atoms) > 1:
+        raise DynamicError("SQL parameter bound to a multi-item sequence")
+    return atoms[0].value
+
+
+def render_pushed(pushed: PushedSQL, evaluator: "Evaluator") -> str:
+    """Render (and memoize) the SQL text for the region's vendor."""
+    cached = getattr(pushed, "_sql_text", None)
+    if cached is not None:
+        return cached
+    text = evaluator.ctx.renderer(pushed.vendor).render(pushed.select)
+    pushed._sql_text = text
+    return text
+
+
+def rebuild(pushed: PushedSQL, rows: list[dict], evaluator: "Evaluator") -> Iterator[Item]:
+    """Apply the reconstruction template to the fetched rows."""
+    if pushed.regroup is None:
+        for row in rows:
+            yield from apply_template(pushed.template, row, [row], evaluator)
+        return
+    keys = pushed.regroup
+    for _key, group in clustered_groups(rows, lambda r: tuple(r[a] for a in keys)):
+        yield from apply_template(pushed.template, group[0], group, evaluator)
+
+
+def apply_template(template: ast.AstNode, row: dict, group: list[dict],
+                   evaluator: "Evaluator") -> list[Item]:
+    """Rebuild data-model items from one row (or row group)."""
+    if isinstance(template, ColumnSlot):
+        return _column_value(template, row)
+    if isinstance(template, NestedSlot):
+        items: list[Item] = []
+        for member in group:
+            if member.get(template.probe_alias) is None:
+                continue
+            items.extend(apply_template(template.template, member, [member], evaluator))
+        return items
+    if isinstance(template, GroupSlot):
+        items = []
+        for member in group:
+            items.extend(apply_template(template.template, member, [member], evaluator))
+        return items
+    if isinstance(template, ast.Literal):
+        return [template.value]
+    if isinstance(template, ast.EmptySequence):
+        return []
+    if isinstance(template, ast.SequenceExpr):
+        items = []
+        for part in template.items:
+            items.extend(apply_template(part, row, group, evaluator))
+        return items
+    if isinstance(template, ast.ElementCtor):
+        return [_build_element(template, row, group, evaluator)]
+    raise DynamicError(f"unexpected template node {type(template).__name__}")
+
+
+def _column_value(slot: ColumnSlot, row: dict) -> list[Item]:
+    value = row.get(slot.alias)
+    if value is None:
+        return []  # NULLs are missing elements/values (section 4.4)
+    atom = AtomicValue(value, slot.xs_type)
+    if slot.element_name is None:
+        return [atom]
+    element = ElementNode(QName(slot.element_name), type_annotation=slot.xs_type)
+    element.add_child(TextNode(atom.string_value()))
+    return [element]
+
+
+def _build_element(template: ast.ElementCtor, row: dict, group: list[dict],
+                   evaluator: "Evaluator") -> ElementNode:
+    from ..evaluate import construct_element_content
+
+    attributes = []
+    for attr in template.attributes:
+        values = apply_template(attr.value, row, group, evaluator)
+        if not values:
+            if attr.optional:
+                continue
+            attributes.append(AttributeNode(QName(attr.name), AtomicValue("", "xs:string")))
+            continue
+        from ...xquery.functions import atomize
+
+        atoms = atomize(values)
+        text = " ".join(a.string_value() for a in atoms)
+        type_name = atoms[0].type_name if len(atoms) == 1 else "xs:string"
+        attributes.append(AttributeNode(QName(attr.name), AtomicValue(text, type_name)))
+    content: list[Item] = []
+    for part in template.content:
+        content.extend(apply_template(part, row, group, evaluator))
+    return construct_element_content(template.name, attributes, content)

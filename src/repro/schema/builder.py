@@ -1,0 +1,125 @@
+"""Helpers for building element shapes and validating source data.
+
+Data services describe their "shape" with XML Schema (section 2.1).  For
+this reproduction, shapes are built programmatically (introspection builds
+them from source metadata) using the small combinators here; ``validate``
+annotates a parsed item tree against a shape, producing the *typed* token
+stream that adaptors feed into the runtime (section 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import SchemaError
+from ..xml.items import ElementNode, _parse_lexical
+from .types import (
+    ComplexContent,
+    ElementItemType,
+    Occurrence,
+    Particle,
+    SequenceType,
+    SimpleContent,
+    is_known_atomic,
+)
+
+_OCCURRENCE_BY_INDICATOR = {occ.indicator: occ for occ in Occurrence}
+
+
+def occurs(indicator: str) -> Occurrence:
+    try:
+        return _OCCURRENCE_BY_INDICATOR[indicator]
+    except KeyError:
+        raise SchemaError(f"bad occurrence indicator {indicator!r}") from None
+
+
+def leaf(name: str, type_name: str, occurrence: str = "") -> Particle:
+    """A simple-content child element, e.g. ``leaf("CID", "xs:string")``."""
+    if not is_known_atomic(type_name):
+        raise SchemaError(f"unknown atomic type {type_name}")
+    return Particle(ElementItemType(name, SimpleContent(type_name)), occurs(occurrence))
+
+
+def group(name: str, children: Sequence[Particle], occurrence: str = "") -> Particle:
+    """A complex-content child element with the given child particles."""
+    return Particle(
+        ElementItemType(name, ComplexContent(tuple(children))), occurs(occurrence)
+    )
+
+
+def shape(name: str, children: Sequence[Particle]) -> ElementItemType:
+    """The root element type of a data-service shape."""
+    return ElementItemType(name, ComplexContent(tuple(children)))
+
+
+def shape_sequence(element_type: ElementItemType, occurrence: str = "*") -> SequenceType:
+    return SequenceType((element_type,), occurs(occurrence))
+
+
+def find_child_particle(element_type: ElementItemType, child_name: str) -> Particle | None:
+    """Look up the particle for a named child in a structural element type."""
+    if not isinstance(element_type.content, ComplexContent):
+        return None
+    for particle in element_type.content.particles:
+        it = particle.item_type
+        if isinstance(it, ElementItemType) and it.name == child_name:
+            return particle
+    return None
+
+
+def validate(elem: ElementNode, element_type: ElementItemType) -> ElementNode:
+    """Validate and annotate an element tree against a structural type.
+
+    Returns the same tree with type annotations set on leaf elements so
+    that downstream atomization yields properly typed values.  Raises
+    :class:`SchemaError` on mismatch.  This implements the adaptor-side
+    validation of Web-service results and registered files (section 5.3).
+    """
+    if element_type.name is not None and elem.name.local != element_type.name:
+        raise SchemaError(f"expected element {element_type.name}, found {elem.name.local}")
+    content = element_type.content
+    if content is None:
+        return elem
+    if isinstance(content, SimpleContent):
+        if any(isinstance(c, ElementNode) for c in elem.children()):
+            raise SchemaError(f"element {elem.name.local} must have simple content")
+        text = elem.string_value()
+        try:
+            _parse_lexical(text, content.type_name)
+        except Exception as exc:
+            raise SchemaError(
+                f"element {elem.name.local}: {text!r} is not a valid "
+                f"{content.type_name}"
+            ) from exc
+        elem.type_annotation = content.type_name
+        return elem
+    if isinstance(content, ComplexContent):
+        children = [c for c in elem.children() if isinstance(c, ElementNode)]
+        idx = 0
+        for particle in content.particles:
+            matched = 0
+            max_count = particle.occurrence.max_count
+            child_type = particle.item_type
+            while idx < len(children) and (max_count is None or matched < max_count):
+                child = children[idx]
+                if (
+                    isinstance(child_type, ElementItemType)
+                    and child_type.name is not None
+                    and child.name.local != child_type.name
+                ):
+                    break
+                if isinstance(child_type, ElementItemType):
+                    validate(child, child_type)
+                idx += 1
+                matched += 1
+            if matched < particle.occurrence.min_count:
+                name = getattr(child_type, "name", None) or "<wildcard>"
+                raise SchemaError(
+                    f"element {elem.name.local}: required child {name} missing"
+                )
+        if idx != len(children):
+            raise SchemaError(
+                f"element {elem.name.local}: unexpected child {children[idx].name.local}"
+            )
+        return elem
+    raise SchemaError(f"cannot validate against content {content!r}")

@@ -1,0 +1,103 @@
+"""Dynamic type matching: does a runtime value match a sequence type?
+
+Used by the ``typematch`` runtime operator that ALDSP inserts when its
+optimistic static rule accepted a call whose argument type only *intersects*
+the parameter type (section 4.1), and by ``instance of`` evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..xml.items import AtomicValue, AttributeNode, ElementNode, Item, Node, TextNode
+from .types import (
+    AnyItemType,
+    AnyNodeType,
+    AtomicItemType,
+    AttributeItemType,
+    ComplexContent,
+    ElementItemType,
+    ItemType,
+    MixedContent,
+    SequenceType,
+    SimpleContent,
+    TextItemType,
+    is_atomic_subtype,
+)
+
+
+def item_matches(item: Item, item_type: ItemType) -> bool:
+    if isinstance(item_type, AnyItemType):
+        return True
+    if isinstance(item_type, AnyNodeType):
+        return isinstance(item, Node)
+    if isinstance(item_type, AtomicItemType):
+        if not isinstance(item, AtomicValue):
+            return False
+        return is_atomic_subtype(item.type_name, item_type.name)
+    if isinstance(item_type, TextItemType):
+        return isinstance(item, TextNode)
+    if isinstance(item_type, AttributeItemType):
+        if not isinstance(item, AttributeNode):
+            return False
+        if item_type.name is not None and item.name.local != item_type.name:
+            return False
+        return is_atomic_subtype(item.value.type_name, item_type.type_name)
+    if isinstance(item_type, ElementItemType):
+        if not isinstance(item, ElementNode):
+            return False
+        if item_type.name is not None and item.name.local != item_type.name:
+            return False
+        return _content_matches(item, item_type.content)
+    return False
+
+
+def _content_matches(elem: ElementNode, content) -> bool:
+    if content is None or isinstance(content, MixedContent):
+        return True
+    if isinstance(content, SimpleContent):
+        if any(isinstance(c, ElementNode) for c in elem.children()):
+            return False
+        # Check annotation compatibility when the element carries one.
+        if elem.type_annotation not in ("xs:anyType", "xs:untyped"):
+            return is_atomic_subtype(elem.type_annotation, content.type_name) or (
+                elem.type_annotation == "xs:untypedAtomic"
+            )
+        return True
+    if isinstance(content, ComplexContent):
+        children = [c for c in elem.children() if isinstance(c, ElementNode)]
+        return _match_particles(children, content.particles)
+    return False
+
+
+def _match_particles(children: list[ElementNode], particles) -> bool:
+    """Greedy positional matching of element children against particles."""
+    idx = 0
+    for particle in particles:
+        count = 0
+        max_count = particle.occurrence.max_count
+        while idx < len(children) and (max_count is None or count < max_count):
+            if item_matches(children[idx], particle.item_type):
+                idx += 1
+                count += 1
+            else:
+                break
+        if count < particle.occurrence.min_count:
+            return False
+    return idx == len(children)
+
+
+def value_matches(items: Sequence[Item], sequence_type: SequenceType) -> bool:
+    """Does this sequence of items match the sequence type?"""
+    count = len(items)
+    if sequence_type.is_empty:
+        return count == 0
+    occ = sequence_type.occurrence
+    if count < occ.min_count:
+        return False
+    if occ.max_count is not None and count > occ.max_count:
+        return False
+    return all(
+        any(item_matches(item, alt) for alt in sequence_type.alternatives)
+        for item in items
+    )

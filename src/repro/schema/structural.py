@@ -1,0 +1,233 @@
+"""Structural subtyping and intersection over sequence types.
+
+These two relations drive ALDSP's static analysis (section 4.1):
+
+* ``is_subtype(a, b)`` — if it holds for an argument/parameter pair the
+  call is statically safe and no runtime check is needed;
+* ``intersects(a, b)`` — ALDSP's *optimistic* rule: the call is accepted
+  iff the intersection is non-empty, and a ``typematch`` operator enforces
+  the XQuery semantics at runtime.
+
+Structural typing means ``element(E, C)`` relationships are computed from
+the structure ``C`` itself, so wrapping an expression in a constructor and
+then navigating back into it is type-preserving — the property that makes
+view unfolding sound (section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .types import (
+    AnyItemType,
+    AnyNodeType,
+    AtomicItemType,
+    AttributeItemType,
+    ComplexContent,
+    ContentType,
+    ElementItemType,
+    ItemType,
+    MixedContent,
+    Occurrence,
+    Particle,
+    SequenceType,
+    SimpleContent,
+    TextItemType,
+    is_atomic_subtype,
+)
+
+
+# ---------------------------------------------------------------------------
+# Item-type relations
+# ---------------------------------------------------------------------------
+
+
+def item_subtype(sub: ItemType, sup: ItemType) -> bool:
+    if isinstance(sup, AnyItemType):
+        return True
+    if isinstance(sub, AnyItemType):
+        return False
+    if isinstance(sup, AnyNodeType):
+        return isinstance(sub, (ElementItemType, AttributeItemType, TextItemType, AnyNodeType))
+    if isinstance(sub, AnyNodeType):
+        return False
+    if isinstance(sub, AtomicItemType) and isinstance(sup, AtomicItemType):
+        return is_atomic_subtype(sub.name, sup.name)
+    if isinstance(sub, TextItemType) and isinstance(sup, TextItemType):
+        return True
+    if isinstance(sub, AttributeItemType) and isinstance(sup, AttributeItemType):
+        name_ok = sup.name is None or sup.name == sub.name
+        return name_ok and is_atomic_subtype(sub.type_name, sup.type_name)
+    if isinstance(sub, ElementItemType) and isinstance(sup, ElementItemType):
+        if sup.name is not None and sup.name != sub.name:
+            return False
+        return content_subtype(sub.content, sup.content)
+    return False
+
+
+def item_intersects(a: ItemType, b: ItemType) -> bool:
+    if isinstance(a, AnyItemType) or isinstance(b, AnyItemType):
+        return True
+    if isinstance(a, AnyNodeType):
+        return isinstance(b, (ElementItemType, AttributeItemType, TextItemType, AnyNodeType))
+    if isinstance(b, AnyNodeType):
+        return item_intersects(b, a)
+    if isinstance(a, AtomicItemType) and isinstance(b, AtomicItemType):
+        # untyped values may carry any lexical value: optimistically they
+        # intersect every atomic type (a typematch guards at runtime).
+        if "xs:untypedAtomic" in (a.name, b.name):
+            return True
+        return is_atomic_subtype(a.name, b.name) or is_atomic_subtype(b.name, a.name)
+    if isinstance(a, TextItemType) and isinstance(b, TextItemType):
+        return True
+    if isinstance(a, AttributeItemType) and isinstance(b, AttributeItemType):
+        if a.name is not None and b.name is not None and a.name != b.name:
+            return False
+        return is_atomic_subtype(a.type_name, b.type_name) or is_atomic_subtype(
+            b.type_name, a.type_name
+        )
+    if isinstance(a, ElementItemType) and isinstance(b, ElementItemType):
+        if a.name is not None and b.name is not None and a.name != b.name:
+            return False
+        return content_intersects(a.content, b.content)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Content-type relations (structural core)
+# ---------------------------------------------------------------------------
+
+
+def content_subtype(sub: Optional[ContentType], sup: Optional[ContentType]) -> bool:
+    """Is content ``sub`` acceptable wherever ``sup`` is expected?
+
+    ``None`` and :class:`MixedContent` both mean ANYTYPE content, the top of
+    the content lattice.
+    """
+    if sup is None or isinstance(sup, MixedContent):
+        return True
+    if sub is None or isinstance(sub, MixedContent):
+        return False
+    if isinstance(sub, SimpleContent) and isinstance(sup, SimpleContent):
+        return is_atomic_subtype(sub.type_name, sup.type_name)
+    if isinstance(sub, ComplexContent) and isinstance(sup, ComplexContent):
+        return _particles_subtype(sub.particles, sup.particles)
+    return False
+
+
+def content_intersects(a: Optional[ContentType], b: Optional[ContentType]) -> bool:
+    if a is None or b is None or isinstance(a, MixedContent) or isinstance(b, MixedContent):
+        return True
+    if isinstance(a, SimpleContent) and isinstance(b, SimpleContent):
+        if "xs:untypedAtomic" in (a.type_name, b.type_name):
+            return True
+        return is_atomic_subtype(a.type_name, b.type_name) or is_atomic_subtype(
+            b.type_name, a.type_name
+        )
+    if isinstance(a, ComplexContent) and isinstance(b, ComplexContent):
+        return _particles_intersect(a.particles, b.particles)
+    return False
+
+
+def _particles_subtype(sub: tuple[Particle, ...], sup: tuple[Particle, ...]) -> bool:
+    """Positional matching of particle sequences.
+
+    A simple structural discipline adequate for data-service shapes (which
+    are ordered all-singular or star sequences, not general regular
+    expressions): match particles pairwise; extra supertype particles must
+    be optional, extra subtype particles are not allowed.
+    """
+    i = j = 0
+    while i < len(sub) and j < len(sup):
+        sp, pp = sub[i], sup[j]
+        if item_subtype(sp.item_type, pp.item_type):
+            if not _occurrence_within(sp.occurrence, pp.occurrence):
+                return False
+            i += 1
+            j += 1
+            continue
+        # supertype particle may be skipped if it admits empty
+        if pp.occurrence.min_count == 0:
+            j += 1
+            continue
+        return False
+    if i < len(sub):
+        return False
+    return all(p.occurrence.min_count == 0 for p in sup[j:])
+
+
+def _particles_intersect(a: tuple[Particle, ...], b: tuple[Particle, ...]) -> bool:
+    i = j = 0
+    while i < len(a) and j < len(b):
+        pa, pb = a[i], b[j]
+        if item_intersects(pa.item_type, pb.item_type):
+            if pa.occurrence.intersect(pb.occurrence) is None:
+                return False
+            i += 1
+            j += 1
+            continue
+        if pa.occurrence.min_count == 0:
+            i += 1
+            continue
+        if pb.occurrence.min_count == 0:
+            j += 1
+            continue
+        return False
+    return all(p.occurrence.min_count == 0 for p in a[i:]) and all(
+        p.occurrence.min_count == 0 for p in b[j:]
+    )
+
+
+def _occurrence_within(sub: Occurrence, sup: Occurrence) -> bool:
+    if sub.min_count < sup.min_count:
+        return False
+    if sup.max_count is None:
+        return True
+    return sub.max_count is not None and sub.max_count <= sup.max_count
+
+
+# ---------------------------------------------------------------------------
+# Sequence-type relations
+# ---------------------------------------------------------------------------
+
+
+def is_subtype(sub: SequenceType, sup: SequenceType) -> bool:
+    """Structural sequence-type subtyping."""
+    if sub.is_empty:
+        return sup.is_empty or sup.occurrence.min_count == 0
+    if sup.is_empty:
+        return False
+    if not _occurrence_within(sub.occurrence, sup.occurrence):
+        return False
+    return all(
+        any(item_subtype(sa, su) for su in sup.alternatives) for sa in sub.alternatives
+    )
+
+
+def intersects(a: SequenceType, b: SequenceType) -> bool:
+    """ALDSP's optimistic compatibility test (section 4.1).
+
+    Two sequence types intersect when some value inhabits both: either both
+    admit the empty sequence, or their occurrences overlap and some pair of
+    item-type alternatives intersects.
+    """
+    if a.is_empty or b.is_empty:
+        return (a.is_empty or a.occurrence.min_count == 0) and (
+            b.is_empty or b.occurrence.min_count == 0
+        )
+    if a.allows_empty() and b.allows_empty():
+        return True
+    if a.occurrence.intersect(b.occurrence) is None:
+        return False
+    return any(
+        item_intersects(ia, ib) for ia in a.alternatives for ib in b.alternatives
+    )
+
+
+def needs_typematch(argument: SequenceType, parameter: SequenceType) -> bool:
+    """Whether a runtime ``typematch`` must guard this argument.
+
+    Per section 4.1: if subtyping can be shown at compile time the operator
+    is omitted; otherwise (intersection non-empty) it is inserted.
+    """
+    return not is_subtype(argument, parameter)

@@ -1,0 +1,372 @@
+"""XML Schema type system subset used by the ALDSP compiler.
+
+The compiler needs (section 3.1 / 4.1):
+
+* the atomic type hierarchy (``xs:integer`` is-a ``xs:decimal`` ...),
+* *structural* element types — an element type is a name plus a structural
+  content type, not merely a schema-type name,
+* sequence types with occurrence indicators,
+* ``subtype`` and ``intersects`` tests: ALDSP's optimistic static typing
+  accepts ``f($x)`` iff the static type of ``$x`` has a non-empty
+  intersection with ``f``'s parameter type, inserting a runtime
+  ``typematch`` unless subtyping already holds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SchemaError
+
+# ---------------------------------------------------------------------------
+# Atomic type hierarchy
+# ---------------------------------------------------------------------------
+
+#: child -> parent in the xs: atomic hierarchy (subset relevant to ALDSP).
+_ATOMIC_PARENTS = {
+    "xs:anySimpleType": "xs:anyType",
+    "xs:anyAtomicType": "xs:anySimpleType",
+    "xs:untypedAtomic": "xs:anyAtomicType",
+    "xs:string": "xs:anyAtomicType",
+    "xs:boolean": "xs:anyAtomicType",
+    "xs:decimal": "xs:anyAtomicType",
+    "xs:float": "xs:anyAtomicType",
+    "xs:double": "xs:anyAtomicType",
+    "xs:duration": "xs:anyAtomicType",
+    "xs:dateTime": "xs:anyAtomicType",
+    "xs:date": "xs:anyAtomicType",
+    "xs:time": "xs:anyAtomicType",
+    "xs:anyURI": "xs:anyAtomicType",
+    "xs:QName": "xs:anyAtomicType",
+    "xs:hexBinary": "xs:anyAtomicType",
+    "xs:base64Binary": "xs:anyAtomicType",
+    "xs:integer": "xs:decimal",
+    "xs:nonPositiveInteger": "xs:integer",
+    "xs:negativeInteger": "xs:nonPositiveInteger",
+    "xs:long": "xs:integer",
+    "xs:int": "xs:long",
+    "xs:short": "xs:int",
+    "xs:byte": "xs:short",
+    "xs:nonNegativeInteger": "xs:integer",
+    "xs:unsignedLong": "xs:nonNegativeInteger",
+    "xs:unsignedInt": "xs:unsignedLong",
+    "xs:unsignedShort": "xs:unsignedInt",
+    "xs:unsignedByte": "xs:unsignedShort",
+    "xs:positiveInteger": "xs:nonNegativeInteger",
+    "xs:normalizedString": "xs:string",
+    "xs:token": "xs:normalizedString",
+}
+
+NUMERIC_TYPES = frozenset({"xs:decimal", "xs:float", "xs:double"})
+
+
+def atomic_ancestors(name: str) -> list[str]:
+    """The chain from ``name`` up to ``xs:anyType`` (inclusive of name)."""
+    chain = [name]
+    while name in _ATOMIC_PARENTS:
+        name = _ATOMIC_PARENTS[name]
+        chain.append(name)
+    return chain
+
+
+def is_atomic_subtype(sub: str, sup: str) -> bool:
+    return sup in atomic_ancestors(sub)
+
+
+def is_known_atomic(name: str) -> bool:
+    return name in _ATOMIC_PARENTS or name == "xs:anyType"
+
+
+def is_numeric(name: str) -> bool:
+    return any(anc in NUMERIC_TYPES for anc in atomic_ancestors(name))
+
+
+def numeric_promote(left: str, right: str) -> str:
+    """Result type of arithmetic on two numeric (or untyped) operands."""
+    order = ["xs:integer", "xs:decimal", "xs:float", "xs:double"]
+
+    def rank(name: str) -> int:
+        if name == "xs:untypedAtomic":
+            return order.index("xs:double")
+        for i, candidate in enumerate(order):
+            if is_atomic_subtype(name, candidate):
+                return i
+        raise SchemaError(f"{name} is not numeric")
+
+    return order[max(rank(left), rank(right))]
+
+
+# ---------------------------------------------------------------------------
+# Item types
+# ---------------------------------------------------------------------------
+
+
+class ItemType:
+    """Base class for item types."""
+
+    def __repr__(self) -> str:
+        return self.show()
+
+    def show(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AnyItemType(ItemType):
+    def show(self) -> str:
+        return "item()"
+
+
+@dataclass(frozen=True)
+class AnyNodeType(ItemType):
+    def show(self) -> str:
+        return "node()"
+
+
+@dataclass(frozen=True)
+class AtomicItemType(ItemType):
+    """A named atomic type, e.g. ``xs:integer``."""
+
+    name: str
+
+    def __post_init__(self):
+        if not is_known_atomic(self.name):
+            raise SchemaError(f"unknown atomic type {self.name}")
+
+    def show(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TextItemType(ItemType):
+    def show(self) -> str:
+        return "text()"
+
+
+@dataclass(frozen=True)
+class ElementItemType(ItemType):
+    """A structural element type: ``element(NAME, content)``.
+
+    ``name`` of ``None`` means the wildcard ``element()``.  ``content`` is a
+    :class:`ContentType`; ``None`` means ANYTYPE content.  This is where
+    ALDSP departs from the spec: constructed elements keep the structural
+    content type of their content (section 3.1).
+    """
+
+    name: Optional[str] = None
+    content: "Optional[ContentType]" = None
+
+    def show(self) -> str:
+        if self.name is None:
+            return "element()"
+        if self.content is None:
+            return f"element({self.name})"
+        return f"element({self.name}, {self.content.show()})"
+
+
+@dataclass(frozen=True)
+class AttributeItemType(ItemType):
+    name: Optional[str] = None
+    type_name: str = "xs:anyAtomicType"
+
+    def show(self) -> str:
+        if self.name is None:
+            return "attribute()"
+        return f"attribute({self.name}, {self.type_name})"
+
+
+# ---------------------------------------------------------------------------
+# Content types (structural)
+# ---------------------------------------------------------------------------
+
+
+class ContentType:
+    def show(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SimpleContent(ContentType):
+    """Element contains a single atomic value of the named type."""
+
+    type_name: str
+
+    def show(self) -> str:
+        return self.type_name
+
+
+@dataclass(frozen=True)
+class MixedContent(ContentType):
+    """Anything goes (corresponds to ANYTYPE content)."""
+
+    def show(self) -> str:
+        return "mixed"
+
+
+@dataclass(frozen=True)
+class ComplexContent(ContentType):
+    """An ordered sequence of child particles."""
+
+    particles: tuple["Particle", ...] = ()
+
+    def show(self) -> str:
+        inner = ", ".join(p.show() for p in self.particles)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class Particle:
+    """One child slot in complex content: an item type with occurrence."""
+
+    item_type: ItemType
+    occurrence: "Occurrence"
+
+    def show(self) -> str:
+        return f"{self.item_type.show()}{self.occurrence.indicator}"
+
+
+# ---------------------------------------------------------------------------
+# Sequence types
+# ---------------------------------------------------------------------------
+
+
+class Occurrence(enum.Enum):
+    ONE = ""
+    OPTIONAL = "?"
+    STAR = "*"
+    PLUS = "+"
+
+    @property
+    def indicator(self) -> str:
+        return self.value
+
+    @property
+    def min_count(self) -> int:
+        return 0 if self in (Occurrence.OPTIONAL, Occurrence.STAR) else 1
+
+    @property
+    def max_count(self) -> Optional[int]:
+        return 1 if self in (Occurrence.ONE, Occurrence.OPTIONAL) else None
+
+    def union(self, other: "Occurrence") -> "Occurrence":
+        lo = min(self.min_count, other.min_count)
+        ones = [o.max_count for o in (self, other)]
+        hi = None if None in ones else max(ones)  # type: ignore[type-var]
+        return _occurrence_of(lo, hi)
+
+    def intersect(self, other: "Occurrence") -> Optional["Occurrence"]:
+        lo = max(self.min_count, other.min_count)
+        maxes = [o.max_count for o in (self, other)]
+        finite = [m for m in maxes if m is not None]
+        hi = min(finite) if finite else None
+        if hi is not None and lo > hi:
+            return None
+        return _occurrence_of(lo, hi)
+
+
+def _occurrence_of(lo: int, hi: Optional[int]) -> Occurrence:
+    if lo == 0:
+        return Occurrence.OPTIONAL if hi == 1 else Occurrence.STAR
+    return Occurrence.ONE if hi == 1 else Occurrence.PLUS
+
+
+@dataclass(frozen=True)
+class SequenceType:
+    """``item-type occurrence`` or the empty sequence.
+
+    ``alternatives`` allows a union of item types (needed when typing
+    conditional expressions); most sequence types have one alternative.
+    ``allows_empty`` subsumes ``empty-sequence()`` when no alternatives.
+    """
+
+    alternatives: tuple[ItemType, ...]
+    occurrence: Occurrence = Occurrence.ONE
+
+    def show(self) -> str:
+        if not self.alternatives:
+            return "empty-sequence()"
+        inner = " | ".join(a.show() for a in self.alternatives)
+        if len(self.alternatives) > 1:
+            inner = f"({inner})"
+        return f"{inner}{self.occurrence.indicator}"
+
+    def __repr__(self) -> str:
+        return f"SequenceType[{self.show()}]"
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.alternatives
+
+    def allows_empty(self) -> bool:
+        return self.is_empty or self.occurrence.min_count == 0
+
+    def with_occurrence(self, occurrence: Occurrence) -> "SequenceType":
+        return SequenceType(self.alternatives, occurrence)
+
+
+# Convenience constructors -------------------------------------------------
+
+EMPTY = SequenceType(())
+ITEM_STAR = SequenceType((AnyItemType(),), Occurrence.STAR)
+ITEM_SEQ = ITEM_STAR
+
+
+def atomic(name: str, occurrence: Occurrence = Occurrence.ONE) -> SequenceType:
+    return SequenceType((AtomicItemType(name),), occurrence)
+
+
+def element_type(
+    name: Optional[str],
+    content: Optional[ContentType] = None,
+    occurrence: Occurrence = Occurrence.ONE,
+) -> SequenceType:
+    return SequenceType((ElementItemType(name, content),), occurrence)
+
+
+def one(item_type: ItemType) -> SequenceType:
+    return SequenceType((item_type,), Occurrence.ONE)
+
+
+def union(left: SequenceType, right: SequenceType) -> SequenceType:
+    """Type of ``if (...) then left else right`` and similar joins."""
+    if left.is_empty and right.is_empty:
+        return EMPTY
+    if left.is_empty:
+        occ = right.occurrence.union(Occurrence.STAR if right.is_empty else Occurrence.OPTIONAL)
+        return SequenceType(right.alternatives, _optionalize(right.occurrence))
+    if right.is_empty:
+        return SequenceType(left.alternatives, _optionalize(left.occurrence))
+    alts = list(left.alternatives)
+    for alt in right.alternatives:
+        if alt not in alts:
+            alts.append(alt)
+    return SequenceType(tuple(alts), left.occurrence.union(right.occurrence))
+
+
+def _optionalize(occ: Occurrence) -> Occurrence:
+    return occ.union(Occurrence.OPTIONAL) if occ.min_count > 0 else occ
+
+
+def sequence_concat(left: SequenceType, right: SequenceType) -> SequenceType:
+    """Type of the comma operator."""
+    if left.is_empty:
+        return right
+    if right.is_empty:
+        return left
+    alts = list(left.alternatives)
+    for alt in right.alternatives:
+        if alt not in alts:
+            alts.append(alt)
+    lo = left.occurrence.min_count + right.occurrence.min_count
+    maxes = (left.occurrence.max_count, right.occurrence.max_count)
+    hi = None if None in maxes else maxes[0] + maxes[1]  # type: ignore[operator]
+    if hi is not None and hi > 1:
+        hi = None
+    occ = Occurrence.PLUS if lo >= 1 else Occurrence.STAR
+    if lo == 1 and hi == 1:
+        occ = Occurrence.ONE
+    elif lo == 0 and hi == 1:
+        occ = Occurrence.OPTIONAL
+    return SequenceType(tuple(alts), occ)

@@ -1,0 +1,24 @@
+"""Service Data Objects and update automation (section 6)."""
+
+from .changelog import Change, ChangeLog
+from .concurrency import ConcurrencyMode, ConcurrencyPolicy
+from .dataobject import DataGraph, DataObject
+from .decompose import RowUpdate, UpdateDecomposer
+from .lineage import LineageAnalyzer, LineageEntry, LineageMap
+from .submit import SubmitEngine, SubmitResult
+
+__all__ = [
+    "Change",
+    "ChangeLog",
+    "ConcurrencyMode",
+    "ConcurrencyPolicy",
+    "DataGraph",
+    "DataObject",
+    "RowUpdate",
+    "UpdateDecomposer",
+    "LineageAnalyzer",
+    "LineageEntry",
+    "LineageMap",
+    "SubmitEngine",
+    "SubmitResult",
+]

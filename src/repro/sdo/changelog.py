@@ -1,0 +1,60 @@
+"""SDO change logs (section 6).
+
+"When a changed SDO is sent back to ALDSP, what is sent back is the new
+XML data plus a serialized 'change log' identifying the portions of the
+XML data that were changed and what their previous values were."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Change:
+    """One changed leaf: path from the object's root element, old and new
+    values.  ``kind`` distinguishes modify / insert / delete of the leaf."""
+
+    path: tuple[str, ...]
+    old: object
+    new: object
+    kind: str = "modify"  # "modify" | "insert" | "delete"
+
+
+@dataclass
+class ChangeLog:
+    """The serialized change log shipped with a submit."""
+
+    root_name: str
+    changes: list[Change] = field(default_factory=list)
+    #: values of every leaf as originally read (for optimistic concurrency
+    #: policy "all values read must still match")
+    original_values: dict[tuple[str, ...], object] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        return not self.changes
+
+    def changed_paths(self) -> list[tuple[str, ...]]:
+        return [change.path for change in self.changes]
+
+    def serialize(self) -> list[dict]:
+        """The wire form of the change log."""
+        return [
+            {
+                "path": "/".join(change.path),
+                "old": change.old,
+                "new": change.new,
+                "kind": change.kind,
+            }
+            for change in self.changes
+        ]
+
+    @staticmethod
+    def deserialize(root_name: str, entries: list[dict],
+                    original_values: dict | None = None) -> "ChangeLog":
+        changes = [
+            Change(tuple(e["path"].split("/")), e.get("old"), e.get("new"),
+                   e.get("kind", "modify"))
+            for e in entries
+        ]
+        return ChangeLog(root_name, changes, dict(original_values or {}))

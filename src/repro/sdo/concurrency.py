@@ -1,0 +1,50 @@
+"""Optimistic concurrency policies (section 6).
+
+"ALDSP supports optimistic concurrency options that the data service
+designer can choose from ... Choices include requiring all values read to
+still be the same (at update time) as their original (read time) values,
+requiring all values updated to still be the same, or requiring a
+designated subset of the data (e.g., a timestamp element or attribute) to
+still be the same.  ALDSP uses this in the relational case to condition
+the SQL update queries that it generates."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ConcurrencyMode(enum.Enum):
+    #: every value read must still match its read-time value
+    VALUES_READ = "values-read"
+    #: only the values being updated must still match their old values
+    VALUES_UPDATED = "values-updated"
+    #: a designated subset (e.g. a timestamp element) must still match
+    DESIGNATED = "designated"
+    #: no conditioning beyond the primary key (last writer wins)
+    NONE = "none"
+
+
+@dataclass
+class ConcurrencyPolicy:
+    mode: ConcurrencyMode = ConcurrencyMode.VALUES_UPDATED
+    #: for DESIGNATED: slash paths (relative to the object root) of the
+    #: designated elements, e.g. ["TS"] or ["ORDERS/ORDER/VERSION"]
+    designated_paths: list[str] = field(default_factory=list)
+
+    @staticmethod
+    def values_read() -> "ConcurrencyPolicy":
+        return ConcurrencyPolicy(ConcurrencyMode.VALUES_READ)
+
+    @staticmethod
+    def values_updated() -> "ConcurrencyPolicy":
+        return ConcurrencyPolicy(ConcurrencyMode.VALUES_UPDATED)
+
+    @staticmethod
+    def designated(*paths: str) -> "ConcurrencyPolicy":
+        return ConcurrencyPolicy(ConcurrencyMode.DESIGNATED, list(paths))
+
+    @staticmethod
+    def none() -> "ConcurrencyPolicy":
+        return ConcurrencyPolicy(ConcurrencyMode.NONE)

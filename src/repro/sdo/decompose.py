@@ -1,0 +1,198 @@
+"""Update decomposition: change log -> per-source SQL DML (section 6).
+
+Given the lineage map of the data service's lineage-provider function and
+a submitted change log, produce the conditioned UPDATE statements per
+affected database.  "Unaffected data sources are not involved in the
+update, and unchanged portions of affected sources' data are not updated."
+Inverse functions are applied to transformed values on the way back in.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import LineageError, UpdateError
+from ..sql.ast_nodes import BinOp, ColumnRef, SqlLiteral, Update
+from .changelog import Change, ChangeLog
+from .concurrency import ConcurrencyMode, ConcurrencyPolicy
+from .dataobject import DataObject
+from .lineage import LineageEntry, LineageMap, Path
+
+_INDEX_RE = re.compile(r"^(.*?)\[(\d+)\]$")
+
+#: resolver applying a named inverse function to a value (usually the
+#: registered Java function, section 4.5)
+InverseResolver = Callable[[str, object], object]
+
+
+@dataclass
+class RowUpdate:
+    """One conditioned UPDATE against one source row."""
+
+    database: str
+    table: str
+    assignments: dict[str, object]
+    key: dict[str, object]
+    conditions: dict[str, object] = field(default_factory=dict)
+
+    def to_sql(self) -> Update:
+        where = None
+        for column, value in {**self.key, **self.conditions}.items():
+            clause = BinOp("=", ColumnRef(None, column), SqlLiteral(value))
+            where = clause if where is None else BinOp("AND", where, clause)
+        return Update(
+            self.table,
+            [(column, SqlLiteral(value)) for column, value in self.assignments.items()],
+            where,
+        )
+
+
+class UpdateDecomposer:
+    def __init__(self, lineage: LineageMap,
+                 inverse_of: Callable[[str], Optional[str]],
+                 resolver: InverseResolver):
+        self.lineage = lineage
+        self.inverse_of = inverse_of
+        self.resolver = resolver
+
+    def decompose(self, obj: DataObject, policy: ConcurrencyPolicy) -> list[RowUpdate]:
+        log = obj.change_log()
+        if log.root_name != self.lineage.root_name:
+            raise UpdateError(
+                f"change log root {log.root_name} does not match lineage root "
+                f"{self.lineage.root_name}"
+            )
+        rows: dict[tuple, RowUpdate] = {}
+        for change in log.changes:
+            if change.kind != "modify":
+                raise UpdateError(f"unsupported change kind {change.kind}")
+            self._apply_change(obj, log, change, policy, rows)
+        return list(rows.values())
+
+    # -- internals -----------------------------------------------------------------
+
+    def _apply_change(self, obj: DataObject, log: ChangeLog, change: Change,
+                      policy: ConcurrencyPolicy, rows: dict[tuple, RowUpdate]) -> None:
+        schema_path, indexes = _strip_indexes(change.path)
+        entry = self.lineage.entry_for(schema_path)
+
+        stored_new = self._to_stored(entry, change.new)
+        stored_old = self._to_stored(entry, change.old)
+
+        key = self._row_key(obj, entry, schema_path, change.path)
+        row_id = (entry.database, entry.table, tuple(sorted(key.items())))
+        row = rows.get(row_id)
+        if row is None:
+            row = RowUpdate(entry.database, entry.table, {}, key)
+            rows[row_id] = row
+            if policy.mode is ConcurrencyMode.VALUES_READ:
+                row.conditions.update(
+                    self._read_conditions(obj, log, entry, change.path)
+                )
+            elif policy.mode is ConcurrencyMode.DESIGNATED:
+                row.conditions.update(
+                    self._designated_conditions(obj, log, policy, entry, change.path)
+                )
+        row.assignments[entry.column] = stored_new
+        if policy.mode is ConcurrencyMode.VALUES_UPDATED:
+            row.conditions[entry.column] = stored_old
+
+    def _to_stored(self, entry: LineageEntry, value):
+        """Display value -> stored value, through the declared inverse."""
+        if entry.transform is None:
+            return value
+        inverse = self.inverse_of(entry.transform)
+        if inverse is None:
+            raise LineageError(
+                f"column {entry.table}.{entry.column} flows through "
+                f"{entry.transform} which has no declared inverse — not updatable"
+            )
+        return self.resolver(inverse, value)
+
+    def _row_key(self, obj: DataObject, entry: LineageEntry,
+                 schema_path: Path, instance_path: Path) -> dict[str, object]:
+        if not entry.key_columns:
+            raise LineageError(
+                f"table {entry.table} has no primary key — updates cannot "
+                "identify the affected row"
+            )
+        key: dict[str, object] = {}
+        for column in entry.key_columns:
+            key_path = entry.key_paths.get(column)
+            if key_path is None:
+                raise LineageError(
+                    f"primary key column {entry.table}.{column} is not exposed "
+                    "by the data service shape — not updatable"
+                )
+            concrete = _transfer_indexes(instance_path, schema_path, key_path)
+            key[column] = obj.get("/".join(concrete[1:]))
+        return key
+
+    def _read_conditions(self, obj: DataObject, log: ChangeLog,
+                         entry: LineageEntry, instance_path: Path) -> dict[str, object]:
+        """VALUES_READ: every column of this table visible in the same row
+        instance must still hold its read-time value."""
+        conditions: dict[str, object] = {}
+        schema_path, _ = _strip_indexes(instance_path)
+        for other_schema_path, other in self.lineage.entries.items():
+            if (other.database, other.table) != (entry.database, entry.table):
+                continue
+            concrete = _transfer_indexes(instance_path, schema_path, other_schema_path)
+            original = log.original_values.get(concrete)
+            if original is None and concrete not in log.original_values:
+                continue
+            conditions[other.column] = self._to_stored(other, original)
+        return conditions
+
+    def _designated_conditions(self, obj: DataObject, log: ChangeLog,
+                               policy: ConcurrencyPolicy, entry: LineageEntry,
+                               instance_path: Path) -> dict[str, object]:
+        conditions: dict[str, object] = {}
+        schema_path, _ = _strip_indexes(instance_path)
+        for designated in policy.designated_paths:
+            designated_path = (self.lineage.root_name,) + tuple(designated.split("/"))
+            try:
+                designated_entry = self.lineage.entry_for(designated_path)
+            except LineageError:
+                continue
+            if (designated_entry.database, designated_entry.table) != (
+                entry.database, entry.table
+            ):
+                continue
+            concrete = _transfer_indexes(instance_path, schema_path, designated_path)
+            original = log.original_values.get(concrete)
+            if original is not None or concrete in log.original_values:
+                conditions[designated_entry.column] = self._to_stored(
+                    designated_entry, original
+                )
+        return conditions
+
+
+def _strip_indexes(path: Path) -> tuple[Path, dict[int, str]]:
+    """``(A, B[2], C)`` -> (``(A, B, C)``, {1: "[2]"})."""
+    schema: list[str] = []
+    indexes: dict[int, str] = {}
+    for position, step in enumerate(path):
+        match = _INDEX_RE.match(step)
+        if match:
+            schema.append(match.group(1))
+            indexes[position] = f"[{match.group(2)}]"
+        else:
+            schema.append(step)
+    return tuple(schema), indexes
+
+
+def _transfer_indexes(instance_path: Path, schema_path: Path, target: Path) -> Path:
+    """Re-apply the row indexes of ``instance_path`` onto the shared prefix
+    of ``target`` (so the key of *this* ORDER row is read, not the first)."""
+    _, indexes = _strip_indexes(instance_path)
+    concrete: list[str] = []
+    for position, step in enumerate(target):
+        if position < len(schema_path) - 1 and position < len(instance_path) and \
+                schema_path[position] == step and position in indexes:
+            concrete.append(step + indexes[position])
+        else:
+            concrete.append(step)
+    return tuple(concrete)

@@ -1,0 +1,248 @@
+"""Automatic lineage computation (section 6).
+
+"Change propagation requires ALDSP to identify where changed data
+originated ... ALDSP performs automatic computation of the lineage for a
+data service from the query body of the data service function designated
+... as its lineage provider.  Primary key information, query predicates,
+and query result shapes are used together to determine which data in which
+sources are affected by a given update.  Also, ALDSP includes inverse
+functions in its lineage analysis, enabling updates to transformed data
+when inverses are provided."
+
+The analyzer walks the *optimized, unfolded* body of the lineage-provider
+function (the same rewrite machinery as the optimizer, before SQL
+pushdown) and maps each leaf path of the result shape to a source
+(database, table, column), recording the table's primary key and where in
+the result shape the key columns can be read back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..compiler.algebra import SourceCall, TableMeta
+from ..compiler.inverse import InverseRegistry
+from ..errors import LineageError
+from ..sql.pushdown import unwrap_data
+from ..xquery import ast_nodes as ast
+
+Path = tuple[str, ...]
+
+
+@dataclass
+class LineageEntry:
+    """Origin of one leaf path of the result shape."""
+
+    database: str
+    table: str
+    column: str
+    #: primary key columns of the source table
+    key_columns: tuple[str, ...]
+    #: result-shape path exposing each key column (None if not exposed)
+    key_paths: dict[str, Optional[Path]] = field(default_factory=dict)
+    #: forward transformation applied on the way out (e.g. ``int2date``);
+    #: its declared inverse must be applied on the way back in
+    transform: Optional[str] = None
+
+
+@dataclass
+class LineageMap:
+    root_name: str
+    entries: dict[Path, LineageEntry] = field(default_factory=dict)
+
+    def entry_for(self, schema_path: Path) -> LineageEntry:
+        try:
+            return self.entries[schema_path]
+        except KeyError:
+            raise LineageError(
+                f"no lineage for path {'/'.join(schema_path)} — not updatable"
+            ) from None
+
+    def tables(self) -> set[tuple[str, str]]:
+        return {(e.database, e.table) for e in self.entries.values()}
+
+
+class LineageAnalyzer:
+    def __init__(self, inverses: InverseRegistry | None = None):
+        self.inverses = inverses or InverseRegistry()
+
+    def analyze(self, body: ast.AstNode) -> LineageMap:
+        """Compute the lineage map from an optimized function body."""
+        lineage = _Collector(self.inverses)
+        root = lineage.top(body)
+        result = LineageMap(root)
+        result.entries = lineage.entries
+        _fill_key_paths(result)
+        return result
+
+
+class _Collector:
+    def __init__(self, inverses: InverseRegistry):
+        self.inverses = inverses
+        self.entries: dict[Path, LineageEntry] = {}
+
+    def top(self, body: ast.AstNode) -> str:
+        row_vars: dict[str, TableMeta] = {}
+        expr = body
+        while isinstance(expr, ast.FLWOR):
+            next_expr = expr.return_expr
+            for clause in expr.clauses:
+                if isinstance(clause, ast.ForClause):
+                    meta = _table_of(clause.expr)
+                    if meta is not None:
+                        row_vars[clause.var] = meta
+                elif isinstance(clause, ast.LetClause):
+                    meta = _table_of(clause.expr)
+                    if meta is not None:
+                        row_vars[clause.var] = meta
+            expr = next_expr
+        # Whole-row providers (``return $row``) map the row element itself:
+        # every column under (element_name, column).
+        if isinstance(expr, ast.VarRef) and expr.name in row_vars:
+            meta = row_vars[expr.name]
+            for column, _xs in meta.columns:
+                self._register((meta.element_name, column), meta, column, None)
+            return meta.element_name
+        if not isinstance(expr, ast.ElementCtor):
+            raise LineageError("lineage provider must return a constructed element")
+        self._element(expr, (), row_vars)
+        return expr.name
+
+    def _element(self, ctor: ast.ElementCtor, prefix: Path,
+                 row_vars: dict[str, TableMeta]) -> None:
+        path = prefix + (ctor.name,)
+        for part in ctor.content:
+            self._content(part, path, row_vars)
+
+    def _content(self, part: ast.AstNode, path: Path,
+                 row_vars: dict[str, TableMeta]) -> None:
+        while isinstance(part, ast.TypeMatch):
+            part = part.operand
+        # Atomized content (fn:data, transforms over it) produces *text*
+        # inside the enclosing constructor — the parent's leaf rule already
+        # mapped it; only element-producing expressions are handled here.
+        if isinstance(part, (ast.FunctionCall, SourceCall)) and not (
+            isinstance(part, SourceCall) and part.kind == "table"
+        ):
+            return
+        if isinstance(part, ast.ElementCtor):
+            self._element(part, path, row_vars)
+            # A leaf constructor whose single content expression is a
+            # column access maps the constructed leaf to that column.
+            inner_path = path + (part.name,)
+            if len(part.content) == 1 and inner_path not in self.entries:
+                self._leaf(part.content[0], inner_path, row_vars)
+            return
+        if isinstance(part, ast.SequenceExpr):
+            for item in part.items:
+                self._content(item, path, row_vars)
+            return
+        if isinstance(part, ast.FLWOR):
+            inner_vars = dict(row_vars)
+            expr: ast.AstNode = part
+            while isinstance(expr, ast.FLWOR):
+                for clause in expr.clauses:
+                    if isinstance(clause, (ast.ForClause, ast.LetClause)):
+                        meta = _table_of(clause.expr)
+                        if meta is not None:
+                            inner_vars[clause.var] = meta
+                expr = expr.return_expr
+            self._content(expr, path, inner_vars)
+            return
+        if isinstance(part, ast.VarRef) and part.name in row_vars:
+            meta = row_vars[part.name]
+            row_path = path + (meta.element_name,)
+            for column, _xs in meta.columns:
+                self._register(row_path + (column,), meta, column, None)
+            return
+        # Column-valued paths in content position: $var/COL.
+        access = _column_access(part, row_vars)
+        if access is not None:
+            meta, column = access
+            self._register(path + (column,), meta, column, None)
+
+    def _leaf(self, expr: ast.AstNode, path: Path,
+              row_vars: dict[str, TableMeta]) -> None:
+        """Map the content of a leaf constructor to its source column."""
+        expr = _unwrap(expr)
+        transform = None
+        if isinstance(expr, (ast.FunctionCall, SourceCall)) and len(expr.args) == 1:
+            if self.inverses.inverse_of(expr.name) is not None:
+                transform = expr.name
+                expr = _unwrap(expr.args[0])
+        access = _column_access(expr, row_vars)
+        if access is None:
+            return
+        meta, column = access
+        self._register(path, meta, column, transform)
+
+    def _register(self, path: Path, meta: TableMeta, column: str,
+                  transform: Optional[str]) -> None:
+        self.entries[path] = LineageEntry(
+            meta.database, meta.table, column, tuple(meta.primary_key),
+            transform=transform,
+        )
+
+
+def _fill_key_paths(lineage: LineageMap) -> None:
+    """For each entry, locate result paths that expose the key columns of
+    its table *within the same row scope* (longest shared prefix)."""
+    for path, entry in lineage.entries.items():
+        for key_column in entry.key_columns:
+            best: Optional[Path] = None
+            best_shared = -1
+            for other_path, other in lineage.entries.items():
+                if (
+                    other.table == entry.table
+                    and other.database == entry.database
+                    and other.column == key_column
+                    and other.transform is None
+                ):
+                    shared = _shared_prefix(path, other_path)
+                    if shared > best_shared:
+                        best, best_shared = other_path, shared
+            entry.key_paths[key_column] = best
+
+
+def _shared_prefix(a: Path, b: Path) -> int:
+    count = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        count += 1
+    return count
+
+
+def _unwrap(node: ast.AstNode) -> ast.AstNode:
+    while isinstance(node, ast.TypeMatch):
+        node = node.operand
+    return unwrap_data(node)
+
+
+def _table_of(expr: ast.AstNode) -> Optional[TableMeta]:
+    if isinstance(expr, SourceCall) and expr.kind == "table":
+        return expr.table_meta
+    if isinstance(expr, ast.FLWOR):
+        # e.g. a let over a filtered scan
+        for clause in expr.clauses:
+            if isinstance(clause, ast.ForClause):
+                return _table_of(clause.expr)
+    if isinstance(expr, ast.FilterExpr):
+        return _table_of(expr.base)
+    return None
+
+
+def _column_access(expr: ast.AstNode, row_vars: dict[str, TableMeta]):
+    expr = _unwrap(expr)
+    if not isinstance(expr, ast.PathExpr) or not isinstance(expr.base, ast.VarRef):
+        return None
+    if expr.base.name not in row_vars or len(expr.steps) != 1:
+        return None
+    step = expr.steps[0]
+    if step.axis != "child" or not isinstance(step.test, ast.NameTest):
+        return None
+    meta = row_vars[expr.base.name]
+    if meta.column_type(step.test.name) is None:
+        return None
+    return meta, step.test.name

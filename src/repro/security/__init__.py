@@ -1,0 +1,6 @@
+"""Data security: function- and element-level access control, auditing
+(section 7)."""
+
+from .policy import ADMIN, AuditRecord, ElementResource, SecurityService, User
+
+__all__ = ["ADMIN", "AuditRecord", "ElementResource", "SecurityService", "User"]

@@ -1,0 +1,19 @@
+"""Data-services layer: metadata, introspection, platform facade, mediator
+(section 2)."""
+
+from .dataservice import DataService, DataServiceMethod, data_service_from_module
+from .mediator import FilterCriterion, Mediator, RequestConfig
+from .metadata import MetadataRegistry, SourceFunctionDef
+from .platform import Platform
+
+__all__ = [
+    "DataService",
+    "DataServiceMethod",
+    "data_service_from_module",
+    "FilterCriterion",
+    "Mediator",
+    "RequestConfig",
+    "MetadataRegistry",
+    "SourceFunctionDef",
+    "Platform",
+]

@@ -1,0 +1,72 @@
+"""Data services: the ALDSP world model (section 2.1).
+
+A data service packages, for one coarse-grained business-object type:
+a *shape* (XML Schema element type), *read* methods, *navigation* methods,
+and *write* methods (submit).  Each method is an XQuery function; the
+method kinds come from the ``(::pragma function kind="..." ::)``
+annotations in the data-service file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import StaticError
+from ..xquery import ast_nodes as ast
+
+
+@dataclass
+class DataServiceMethod:
+    name: str
+    arity: int
+    kind: str  # "read" | "navigate" | "write" | "library"
+
+    def key(self) -> tuple[str, int]:
+        return (self.name, self.arity)
+
+
+@dataclass
+class DataService:
+    """Deployed data-service metadata.
+
+    ``lineage_provider`` names the function whose body drives lineage
+    analysis for updates; by default the first read function ("should be
+    the 'get all' function if there is one", section 6).
+    """
+
+    name: str
+    methods: list[DataServiceMethod] = field(default_factory=list)
+    lineage_provider: Optional[str] = None
+    #: statically-permitted caching per function (section 5.5)
+    cacheable_functions: set[str] = field(default_factory=set)
+
+    def reads(self) -> list[DataServiceMethod]:
+        return [m for m in self.methods if m.kind == "read"]
+
+    def navigations(self) -> list[DataServiceMethod]:
+        return [m for m in self.methods if m.kind == "navigate"]
+
+    def method(self, name: str) -> DataServiceMethod:
+        for m in self.methods:
+            if m.name == name:
+                return m
+        raise StaticError(f"data service {self.name} has no method {name}")
+
+
+def data_service_from_module(name: str, module: ast.Module) -> DataService:
+    """Build data-service metadata from a parsed data-service file."""
+    service = DataService(name)
+    for (fn_name, arity), decl in module.functions.items():
+        kind = decl.kind or "library"
+        service.methods.append(DataServiceMethod(fn_name, arity, kind))
+        for pragma in decl.pragmas:
+            if pragma.attributes.get("cache") == "true":
+                service.cacheable_functions.add(fn_name)
+            if pragma.attributes.get("lineage") == "provider":
+                service.lineage_provider = fn_name
+    if service.lineage_provider is None:
+        reads = service.reads()
+        if reads:
+            service.lineage_provider = reads[0].name
+    return service

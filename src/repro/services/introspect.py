@@ -1,0 +1,220 @@
+"""Design-time introspection: data sources -> physical data services
+(sections 2.1 and 3.2).
+
+* A relational database yields one data service per table: a read function
+  returning the typed XML-ification of the rows (NULLable columns are
+  optional elements — ragged XML), plus navigation functions generated
+  from foreign keys.  Navigation functions are emitted as actual XQuery
+  source so the optimizer unfolds them like any view.
+* A Web service yields one function per operation, typed from its
+  WSDL-like descriptor.
+* Java functions and registered files become external functions with
+  typed signatures.
+"""
+
+from __future__ import annotations
+
+from ..clock import Clock
+from ..compiler.algebra import TableMeta
+from ..relational.database import Database
+from ..schema.builder import leaf, shape, shape_sequence
+from ..schema.types import (
+    AtomicItemType,
+    ElementItemType,
+    Occurrence,
+    SequenceType,
+)
+from ..sources.javafunc import JavaFunctionAdaptor
+from ..sources.webservice import WebServiceAdaptor, WebServiceDescriptor
+from ..xquery.typecheck import FunctionSignature
+from .metadata import SourceFunctionDef
+
+
+def row_shape(database: Database, table_name: str) -> ElementItemType:
+    """The typed XML-ification of a table's rows (section 2.1)."""
+    table = database.table(table_name)
+    particles = []
+    for column in table.columns:
+        occurrence = "?" if column.nullable else ""
+        particles.append(leaf(column.name, column.xs_type, occurrence))
+    return shape(table_name, particles)
+
+
+def table_meta(database: Database, table_name: str) -> TableMeta:
+    table = database.table(table_name)
+    return TableMeta(
+        database=database.name,
+        table=table_name,
+        element_name=table_name,
+        columns=[(c.name, c.xs_type) for c in table.columns],
+        primary_key=tuple(table.primary_key),
+        vendor=database.vendor,
+    )
+
+
+def introspect_database(database: Database) -> tuple[list[SourceFunctionDef], str]:
+    """Introspect SQL metadata: one table function per table (kind
+    ``table``) and XQuery source for the foreign-key navigation functions.
+    """
+    definitions: list[SourceFunctionDef] = []
+    for table_name in database.tables:
+        signature = FunctionSignature(
+            table_name, [], shape_sequence(row_shape(database, table_name))
+        )
+        definitions.append(
+            SourceFunctionDef(
+                name=table_name,
+                signature=signature,
+                kind="table",
+                table_meta=table_meta(database, table_name),
+                annotations={
+                    "kind": "read",
+                    "connection": database.name,
+                    "vendor": database.vendor,
+                },
+            )
+        )
+    return definitions, _navigation_source(database)
+
+
+def _navigation_source(database: Database) -> str:
+    """XQuery source for navigation functions derived from foreign keys.
+
+    For a foreign key ORDER(CID) -> CUSTOMER(CID), generate::
+
+        getORDER($arg as element(CUSTOMER)) as element(ORDER)*   (1:N)
+        getCUSTOMERForORDER($arg as element(ORDER)) as element(CUSTOMER)*
+    """
+    functions: list[str] = []
+    for table_name, table in database.tables.items():
+        for fk in table.foreign_keys:
+            parent = fk.ref_table
+            child = table_name
+            predicate = " and ".join(
+                f"$row/{child_col} eq $arg/{parent_col}"
+                for child_col, parent_col in zip(fk.columns, fk.ref_columns)
+            )
+            functions.append(
+                f"(::pragma function kind=\"navigate\" source=\"{database.name}\" ::)\n"
+                f"declare function get{child}($arg as element({parent})) "
+                f"as element({child})* {{\n"
+                f"  for $row in {child}() where {predicate} return $row\n"
+                f"}};"
+            )
+            reverse_predicate = " and ".join(
+                f"$row/{parent_col} eq $arg/{child_col}"
+                for child_col, parent_col in zip(fk.columns, fk.ref_columns)
+            )
+            functions.append(
+                f"(::pragma function kind=\"navigate\" source=\"{database.name}\" ::)\n"
+                f"declare function get{parent}For{child}($arg as element({child})) "
+                f"as element({parent})* {{\n"
+                f"  for $row in {parent}() where {reverse_predicate} return $row\n"
+                f"}};"
+            )
+    return "\n\n".join(functions)
+
+
+def introspect_web_service(
+    descriptor: WebServiceDescriptor, clock: Clock | None = None
+) -> list[SourceFunctionDef]:
+    """One external function per operation; the adaptor validates results
+    against the declared output shape (typed token streams)."""
+    definitions = []
+    for operation in descriptor.operations:
+        adaptor = WebServiceAdaptor(descriptor, operation, clock)
+        if operation.style == "document":
+            params = [SequenceType((operation.input_shape,), Occurrence.ONE)] \
+                if operation.input_shape is not None else []
+        elif operation.rpc_param_types is not None:
+            params = [
+                SequenceType((AtomicItemType(t),), Occurrence.ONE)
+                for t in operation.rpc_param_types
+            ]
+        else:
+            params = [
+                SequenceType((AtomicItemType("xs:anyAtomicType"),), Occurrence.ONE)
+            ] * (operation.handler.__code__.co_argcount)
+        signature = FunctionSignature(
+            operation.name,
+            params,
+            SequenceType((operation.output_shape,), Occurrence.ONE),
+        )
+        definitions.append(
+            SourceFunctionDef(
+                name=operation.name,
+                signature=signature,
+                kind="webservice",
+                invoke=adaptor.invoke,
+                cacheable=True,
+                annotations={"service": descriptor.name, "style": operation.style},
+            )
+        )
+    return definitions
+
+
+def java_function_def(
+    name: str,
+    fn,
+    param_types: list[str],
+    return_type: str,
+    clock: Clock | None = None,
+    latency_ms: float = 0.0,
+) -> SourceFunctionDef:
+    """Register a custom Java(Python) function (section 5.3)."""
+    adaptor = JavaFunctionAdaptor(name, fn, clock, latency_ms)
+    signature = FunctionSignature(
+        name,
+        [SequenceType((AtomicItemType(t),), Occurrence.OPTIONAL) for t in param_types],
+        SequenceType((AtomicItemType(return_type),), Occurrence.OPTIONAL),
+    )
+    return SourceFunctionDef(
+        name=name,
+        signature=signature,
+        kind="javafunc",
+        invoke=adaptor.invoke,
+        annotations={"language": "java"},
+    )
+
+
+def stored_procedure_def(
+    database,
+    name: str,
+    procedure,
+    columns: list[tuple[str, str]],
+    param_types: list[str] | None = None,
+    row_element: str | None = None,
+    clock: Clock | None = None,
+) -> SourceFunctionDef:
+    """Surface a stored procedure as an external function (section 5.3)."""
+    from ..schema.builder import leaf as leaf_particle
+    from ..sources.storedproc import StoredProcedureAdaptor
+
+    adaptor = StoredProcedureAdaptor(database, name, procedure, columns,
+                                     row_element, clock)
+    result_shape = shape(adaptor.row_element,
+                         [leaf_particle(n, t, "?") for n, t in columns])
+    signature = FunctionSignature(
+        name,
+        [SequenceType((AtomicItemType(t),), Occurrence.OPTIONAL)
+         for t in (param_types or [])],
+        shape_sequence(result_shape),
+    )
+    return SourceFunctionDef(
+        name=name,
+        signature=signature,
+        kind="storedproc",
+        invoke=adaptor.invoke,
+        annotations={"connection": database.name, "procedure": name},
+    )
+
+
+def file_function_def(name: str, adaptor, record_shape: ElementItemType) -> SourceFunctionDef:
+    signature = FunctionSignature(name, [], shape_sequence(record_shape))
+    return SourceFunctionDef(
+        name=name,
+        signature=signature,
+        kind="file",
+        invoke=adaptor.invoke,
+        annotations={"path": str(getattr(adaptor, "path", ""))},
+    )

@@ -1,0 +1,150 @@
+"""The Java-mediator-style client API (section 2.2).
+
+"The SDO-based Java mediator interface allows Java client programs to call
+data service methods as well as to submit ad hoc queries.  In the method
+call case, a degree of query flexibility remains, as the mediator API
+permits clients to include result filtering and sorting criteria along
+with their request."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import DynamicError
+from ..sdo.dataobject import DataGraph, DataObject
+from ..security.policy import ADMIN, User
+from ..xml.items import ElementNode, Item
+from .platform import Platform
+
+_OPERATORS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+@dataclass
+class FilterCriterion:
+    """``child-path op value`` applied to each result element."""
+
+    path: str
+    op: str
+    value: object
+
+    def matches(self, element: ElementNode) -> bool:
+        actual = _leaf_value(element, self.path)
+        if actual is None:
+            return False
+        try:
+            return _OPERATORS[self.op](actual, self.value)
+        except KeyError:
+            raise DynamicError(f"unknown filter operator {self.op}") from None
+        except TypeError:
+            return False
+
+
+@dataclass
+class RequestConfig:
+    """Client-side filtering/sorting/limiting criteria for a method call."""
+
+    filters: list[FilterCriterion] = field(default_factory=list)
+    order_by: Optional[str] = None
+    descending: bool = False
+    limit: Optional[int] = None
+
+    def where(self, path: str, op: str, value: object) -> "RequestConfig":
+        self.filters.append(FilterCriterion(path, op, value))
+        return self
+
+    def sort(self, path: str, descending: bool = False) -> "RequestConfig":
+        self.order_by = path
+        self.descending = descending
+        return self
+
+    def take(self, limit: int) -> "RequestConfig":
+        self.limit = limit
+        return self
+
+
+class Mediator:
+    """Typed client access to one platform."""
+
+    def __init__(self, platform: Platform, user: User = ADMIN):
+        self.platform = platform
+        self.user = user
+
+    # -- method calls ------------------------------------------------------------
+
+    def invoke(self, service_name: str, method: str, *args,
+               config: RequestConfig | None = None) -> list[DataObject]:
+        """Call a read/navigation method; returns change-tracked SDOs."""
+        items = self.platform.call_python(method, *args, user=self.user)
+        elements = [item for item in items if isinstance(item, ElementNode)]
+        if config is not None:
+            elements = self._apply_config(elements, config)
+        return [DataObject(element, service_name) for element in elements]
+
+    def navigate(self, source: DataObject, method: str,
+                 target_service: str = "") -> list[DataObject]:
+        """Traverse a relationship from one business object to another data
+        service's objects (section 2.1's navigation methods)."""
+        items = self.platform.call(method, [source.element], user=self.user)
+        return [
+            DataObject(item, target_service)
+            for item in items if isinstance(item, ElementNode)
+        ]
+
+    def query(self, xquery: str) -> list[Item]:
+        """Submit an ad hoc query."""
+        return self.platform.execute(xquery, user=self.user)
+
+    def submit(self, *objects: DataObject):
+        """Send changed SDOs back (Figure 5's ``submit``)."""
+        graph = DataGraph(list(objects))
+        return self.platform.submit(graph, user=self.user)
+
+    # -- client-side criteria -------------------------------------------------------
+
+    @staticmethod
+    def _apply_config(elements: list[ElementNode],
+                      config: RequestConfig) -> list[ElementNode]:
+        result = elements
+        for criterion in config.filters:
+            result = [e for e in result if criterion.matches(e)]
+        if config.order_by is not None:
+            path = config.order_by
+
+            def sort_key(element: ElementNode):
+                value = _leaf_value(element, path)
+                return (value is None, str(type(value).__name__), value if value is not None else 0)
+
+            result = sorted(result, key=sort_key, reverse=config.descending)
+        if config.limit is not None:
+            result = result[: config.limit]
+        return result
+
+
+def _leaf_value(element: ElementNode, path: str):
+    from ..xml.qname import QName
+
+    current = element
+    for step in path.split("/"):
+        children = current.child_elements(QName(step))
+        if not children:
+            return None
+        current = children[0]
+    text = current.string_value()
+    base = current.type_annotation.split(":")[-1]
+    try:
+        if base in ("integer", "int", "long", "short"):
+            return int(text)
+        if base in ("double", "float", "decimal"):
+            return float(text)
+    except ValueError:
+        pass
+    return text

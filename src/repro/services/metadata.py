@@ -1,0 +1,72 @@
+"""Data-source metadata registry (section 3.2).
+
+ALDSP captures source metadata in pragmas on externally-defined XQuery
+functions; this registry is that information made first-class.  The
+compiler uses it to resolve function calls to :class:`SourceCall` nodes,
+to type them, and to decide pushability; the runtime uses it to find the
+adaptor that implements each function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from typing import TYPE_CHECKING
+
+from ..errors import StaticError
+from ..xml.items import Item
+from ..xquery.typecheck import FunctionSignature
+
+if TYPE_CHECKING:
+    from ..compiler.algebra import TableMeta
+
+
+@dataclass
+class SourceFunctionDef:
+    """One external function surfaced by introspection.
+
+    ``invoke`` is the adaptor-backed implementation for functional sources
+    (Web services, Java functions, files, stored procedures); relational
+    table functions have ``table_meta`` instead and are normally compiled
+    into SQL (the runtime also supports a full-scan invoke for them).
+    """
+
+    name: str
+    signature: FunctionSignature
+    kind: str  # "table" | "webservice" | "javafunc" | "file" | "storedproc"
+    table_meta: "Optional[TableMeta]" = None
+    invoke: Optional[Callable[[list[list[Item]]], list[Item]]] = None
+    #: design-time permission to cache results of this function (section 5.5)
+    cacheable: bool = False
+    #: pragma attributes captured at introspection time
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def arity(self) -> int:
+        return len(self.signature.params)
+
+
+class MetadataRegistry:
+    """All source functions known to one ALDSP server instance."""
+
+    def __init__(self):
+        self._functions: dict[tuple[str, int], SourceFunctionDef] = {}
+
+    def register(self, definition: SourceFunctionDef) -> None:
+        key = (definition.name, definition.arity)
+        if key in self._functions:
+            raise StaticError(
+                f"source function {definition.name}#{definition.arity} already registered"
+            )
+        self._functions[key] = definition
+
+    def lookup(self, name: str, arity: int) -> Optional[SourceFunctionDef]:
+        return self._functions.get((name, arity))
+
+    def signatures(self) -> dict[tuple[str, int], FunctionSignature]:
+        """External signatures for the type checker's function table."""
+        return {key: d.signature for key, d in self._functions.items()}
+
+    def functions(self) -> list[SourceFunctionDef]:
+        return list(self._functions.values())

@@ -1,0 +1,381 @@
+"""The ALDSP server facade (section 2.2).
+
+One :class:`Platform` instance is an ALDSP server: it owns the source
+registry and metadata, the query compiler with its plan and view caches,
+the runtime (evaluator, function cache, async executor), the security
+service, and the update engine.  Client APIs (mediator/ad hoc queries,
+streaming, submit) all go through it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..clock import Clock, VirtualClock
+from ..compiler.inverse import InverseRegistry
+from ..compiler.pipeline import CompiledPlan, Compiler, CompilerOptions, PlanCache
+from ..compiler.views import ViewPlanCache
+from ..errors import StaticError, UpdateError
+from ..relational.database import Database
+from ..runtime.cache import FunctionCache
+from ..runtime.context import DynamicContext
+from ..runtime.evaluate import Evaluator
+from ..schema.types import ElementItemType
+from ..sdo.concurrency import ConcurrencyPolicy
+from ..sdo.dataobject import DataGraph, DataObject
+from ..sdo.lineage import LineageAnalyzer, LineageMap
+from ..sdo.submit import SubmitEngine, SubmitResult, UpdateOverride
+from ..security.policy import ADMIN, SecurityService, User
+from ..sources.files import CSVFileAdaptor, XMLFileAdaptor
+from ..sources.javafunc import from_python, to_python
+from ..sources.webservice import WebServiceDescriptor
+from ..xml.items import ElementNode, Item
+from ..xquery import ast_nodes as ast
+from .dataservice import DataService, data_service_from_module
+from .introspect import (
+    file_function_def,
+    introspect_database,
+    introspect_web_service,
+    java_function_def,
+)
+from .metadata import MetadataRegistry, SourceFunctionDef
+
+
+class Platform:
+    """An ALDSP server instance."""
+
+    def __init__(self, clock: Clock | None = None, mode: str = "runtime",
+                 cache_backing: Database | None = None):
+        self.clock = clock or VirtualClock()
+        self.registry = MetadataRegistry()
+        self.module = ast.Module()  # the merged prolog of every deployment
+        self.inverses = InverseRegistry()
+        self.view_cache = ViewPlanCache()
+        self.plan_cache = PlanCache()
+        self.options = CompilerOptions(mode=mode)
+        self.cache = FunctionCache(self.clock, backing=cache_backing)
+        self.security = SecurityService()
+        self.ctx = DynamicContext(self.registry, self.module, self.clock, self.cache)
+        self.evaluator = Evaluator(self.ctx)
+        self.services: dict[str, DataService] = {}
+        self._lineage_cache: dict[str, LineageMap] = {}
+        self._update_overrides: dict[str, UpdateOverride] = {}
+
+    # ------------------------------------------------------------------------
+    # Source registration (design time)
+    # ------------------------------------------------------------------------
+
+    def register_database(self, database: Database, navigation: bool = True) -> None:
+        """Introspect a relational source into physical data services."""
+        self.ctx.attach_database(database)
+        definitions, navigation_source = introspect_database(database)
+        for definition in definitions:
+            self.registry.register(definition)
+        if navigation and navigation_source:
+            self.deploy(navigation_source, name=f"{database.name}-navigation")
+        self._invalidate_plans()
+
+    def register_web_service(self, descriptor: WebServiceDescriptor) -> None:
+        for definition in introspect_web_service(descriptor, self.clock):
+            self.registry.register(definition)
+        self._invalidate_plans()
+
+    def register_java_function(self, name: str, fn: Callable,
+                               param_types: list[str], return_type: str,
+                               latency_ms: float = 0.0) -> None:
+        self.registry.register(
+            java_function_def(name, fn, param_types, return_type, self.clock, latency_ms)
+        )
+        self._invalidate_plans()
+
+    def register_xml_file(self, name: str, path, record_shape: ElementItemType) -> None:
+        adaptor = XMLFileAdaptor(name, path, record_shape, self.clock)
+        self.registry.register(file_function_def(name, adaptor, record_shape))
+        self._invalidate_plans()
+
+    def register_csv_file(self, name: str, path, record_shape: ElementItemType,
+                          delimiter: str = ",", has_header: bool = True) -> None:
+        adaptor = CSVFileAdaptor(name, path, record_shape, delimiter, has_header, self.clock)
+        self.registry.register(file_function_def(name, adaptor, record_shape))
+        self._invalidate_plans()
+
+    def register_stored_procedure(self, database: Database, name: str, procedure,
+                                  columns: list[tuple[str, str]],
+                                  param_types: list[str] | None = None,
+                                  row_element: str | None = None) -> None:
+        """Register a stored procedure of a (registered) database as a
+        functional source (section 5.3)."""
+        from .introspect import stored_procedure_def
+
+        if database.name not in self.ctx.databases:
+            self.ctx.attach_database(database)
+        self.registry.register(stored_procedure_def(
+            database, name, procedure, columns, param_types, row_element, self.clock
+        ))
+        self._invalidate_plans()
+
+    def register_inverse(self, function: str, inverse: str) -> None:
+        """Declare ``inverse`` as the inverse of ``function`` (section 4.5)."""
+        self.inverses.declare_inverse(function, inverse)
+        self._invalidate_plans()
+
+    def register_transform_rule(self, op: str, function: str, replacement: str) -> None:
+        self.inverses.register_rule(op, function, replacement)
+        self._invalidate_plans()
+
+    # ------------------------------------------------------------------------
+    # Data-service deployment
+    # ------------------------------------------------------------------------
+
+    def deploy(self, xquery_source: str, name: str | None = None) -> DataService:
+        """Deploy a data-service file: analyze it (with design-time error
+        recovery when the platform is in design mode) and merge its
+        functions into the server prolog."""
+        compiler = self._compiler()
+        module = compiler.analyze_module(xquery_source)
+        for key, decl in module.functions.items():
+            if key in self.module.functions:
+                raise StaticError(f"function {key[0]}#{key[1]} is already deployed")
+        self.module.functions.update(module.functions)
+        self.module.namespaces.update(module.namespaces)
+        self.module.errors.extend(module.errors)
+        # Optimize module-variable initializers so they can reference
+        # sources and deployed functions (evaluated lazily at first use).
+        from ..compiler.optimizer import Optimizer
+
+        optimizer = Optimizer(self.registry, self.module, self.inverses)
+        for var in module.variables.values():
+            if var.value is not None:
+                var.value = optimizer.optimize(var.value)
+        self.module.variables.update(module.variables)
+        service = data_service_from_module(name or f"service-{len(self.services) + 1}", module)
+        self.services[service.name] = service
+        self._invalidate_plans()
+        return service
+
+    # ------------------------------------------------------------------------
+    # Caching / administration
+    # ------------------------------------------------------------------------
+
+    def enable_function_cache(self, function_name: str, ttl_ms: float,
+                              arity: int = 0) -> None:
+        """Administratively enable result caching for a function.
+
+        The function is pinned against inlining — the cache works at call
+        granularity (section 5.5) — and existing plans are invalidated.
+        """
+        self.cache.enable(function_name, ttl_ms)
+        self.options.no_inline.add((function_name, arity))
+        self._invalidate_plans()
+
+    def set_ppk_block_size(self, k: int) -> None:
+        self.options.push.ppk_block_size = k
+        self._invalidate_plans()
+
+    # -- observed cost-based tuning (section 9 future work) --------------------
+
+    @property
+    def observed(self):
+        """The observed per-source cost model (samples accumulate as
+        queries run)."""
+        return self.ctx.observed
+
+    def recommended_ppk(self, database_name: str) -> int | None:
+        """PP-k block size recommended from *observed* source behaviour."""
+        return self.ctx.observed.recommend_ppk(database_name)
+
+    def adapt_ppk(self) -> int | None:
+        """Apply the observed-cost recommendation: the block size becomes
+        the largest recommendation over the observed sources (PP-k blocks
+        hit the slowest source hardest).  Returns the chosen k, or None if
+        there is not enough observational data yet."""
+        recommendations = [
+            k for k in (
+                self.ctx.observed.recommend_ppk(name)
+                for name in self.ctx.observed.sources()
+            ) if k is not None
+        ]
+        if not recommendations:
+            return None
+        chosen = max(recommendations)
+        self.set_ppk_block_size(chosen)
+        return chosen
+
+    def set_pushdown_enabled(self, enabled: bool) -> None:
+        self.options.push.enabled = enabled
+        self._invalidate_plans()
+
+    def register_update_override(self, service_name: str, override: UpdateOverride) -> None:
+        self._update_overrides[service_name] = override
+
+    def reset_stats(self) -> None:
+        """Zero every runtime/source counter (keeps caches and plans)."""
+        self.ctx.stats.reset()
+        self.cache.stats.reset()
+        for database in self.ctx.databases.values():
+            database.stats.reset()
+
+    def _invalidate_plans(self) -> None:
+        self.plan_cache.clear()
+        self.view_cache.clear()
+        self._lineage_cache.clear()
+
+    def _compiler(self) -> Compiler:
+        return Compiler(self.registry, self.module, self.inverses,
+                        self.view_cache, self.options)
+
+    # ------------------------------------------------------------------------
+    # Query execution (client APIs, section 2.2)
+    # ------------------------------------------------------------------------
+
+    def prepare(self, query: str,
+                variables: dict[str, list[Item]] | None = None) -> CompiledPlan:
+        """Compile an ad hoc query, consulting the plan cache.
+
+        ``variables`` only contributes the *names* of the external variables
+        the query may reference; values are bound per execution, so the same
+        plan serves every binding (section 3.3: plans are executed
+        "repeatedly, possibly with different parameter bindings each time").
+        """
+        from ..schema.types import ITEM_STAR
+
+        names = tuple(sorted(variables)) if variables else ()
+        key = query if not names else f"{query}\n#externals:{','.join(names)}"
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            externals = {name: ITEM_STAR for name in names}
+            plan = self._compiler().compile_expression(query, externals=externals or None)
+            self.plan_cache.put(key, plan)
+        return plan
+
+    def execute(self, query: str, variables: dict[str, list[Item]] | None = None,
+                user: User = ADMIN) -> list[Item]:
+        """Execute an ad hoc query; results are fully materialized (the
+        client-server APIs are stateless, section 2.2) and security
+        filtering is applied post-cache (section 7)."""
+        return list(self.stream(query, variables, user))
+
+    def stream(self, query: str, variables: dict[str, list[Item]] | None = None,
+               user: User = ADMIN) -> Iterator[Item]:
+        """The server-side incremental API: results stream without being
+        materialized first (section 2.2)."""
+        plan = self.prepare(query, variables)
+        self.ctx.external_variables = dict(variables or {})
+        for item in self.evaluator.iter_eval(plan.expr, {}):
+            filtered = self.security.filter_items([item], user)
+            yield from filtered
+
+    def explain(self, query: str,
+                variables: dict[str, list[Item]] | None = None) -> str:
+        """A readable rendering of the distributed plan for a query."""
+        from ..compiler.explain import explain as explain_plan
+
+        plan = self.prepare(query, variables)
+        return explain_plan(plan.expr)
+
+    def execute_to_file(self, query: str, path, variables=None, user: User = ADMIN,
+                        indent: int | None = None) -> int:
+        """Server-side API: stream results straight to a file without
+        materializing them first (section 2.2).  Returns the item count."""
+        from ..xml.serialize import serialize_item
+
+        count = 0
+        with open(path, "w") as sink:
+            for item in self.stream(query, variables, user):
+                if count:
+                    sink.write("\n")
+                sink.write(serialize_item(item, indent))
+                count += 1
+        return count
+
+    def call(self, function_name: str, *args: list[Item], user: User = ADMIN) -> list[Item]:
+        """Invoke a data-service method (the mediator's method-call path)."""
+        self.security.check_call(function_name, user)
+        arity = len(args)
+        key = f"#call:{function_name}#{arity}"
+        plan = self.plan_cache.get(key)
+        if plan is None:
+            plan = self._compiler().compile_call(function_name, arity)
+            self.plan_cache.put(key, plan)
+        self.ctx.external_variables = {
+            f"__arg{i}": list(arg) for i, arg in enumerate(args)
+        }
+        result = self.evaluator.eval(plan.expr, {})
+        return self.security.filter_items(result, user)
+
+    def call_python(self, function_name: str, *args, user: User = ADMIN) -> list[Item]:
+        """Convenience: call with plain Python argument values."""
+        converted = [from_python(arg) for arg in args]
+        return self.call(function_name, *converted, user=user)
+
+    # ------------------------------------------------------------------------
+    # Updates (section 6)
+    # ------------------------------------------------------------------------
+
+    def read_for_update(self, service_name: str, function_name: str, *args,
+                        user: User = ADMIN) -> list[DataObject]:
+        """Call a read method and wrap each result element as a tracked SDO."""
+        items = self.call_python(function_name, *args, user=user)
+        objects = []
+        for item in items:
+            if isinstance(item, ElementNode):
+                objects.append(DataObject(item, service_name))
+        return objects
+
+    def lineage(self, service_name: str) -> LineageMap:
+        if service_name in self._lineage_cache:
+            return self._lineage_cache[service_name]
+        service = self.services.get(service_name)
+        if service is None or service.lineage_provider is None:
+            raise UpdateError(f"no lineage provider for service {service_name!r}")
+        decl = None
+        for (fn_name, _arity), candidate in self.module.functions.items():
+            if fn_name == service.lineage_provider:
+                decl = candidate
+                break
+        if decl is None or decl.body is None:
+            raise UpdateError(
+                f"lineage provider {service.lineage_provider} has no body"
+            )
+        # Optimize (unfold views, resolve sources) but do not push SQL.
+        from ..compiler.optimizer import Optimizer
+        import copy
+
+        optimizer = Optimizer(self.registry, self.module, self.inverses)
+        body = optimizer.optimize(copy.deepcopy(decl.body))
+        lineage = LineageAnalyzer(self.inverses).analyze(body)
+        self._lineage_cache[service_name] = lineage
+        return lineage
+
+    def submit(self, graph: DataGraph | DataObject,
+               policy: ConcurrencyPolicy | None = None,
+               user: User = ADMIN) -> SubmitResult:
+        """Propagate SDO changes back to the affected sources atomically."""
+        engine = SubmitEngine(
+            self.ctx.databases, self.inverses.inverse_of, self._apply_inverse
+        )
+        objects = graph.objects if isinstance(graph, DataGraph) else [graph]
+        override = None
+        for obj in objects:
+            if obj.service_name in self._update_overrides:
+                override = self._update_overrides[obj.service_name]
+        for obj in objects:
+            if obj.is_changed():
+                self.security.check_call(f"submit:{obj.service_name}", user)
+        return engine.submit(
+            graph,
+            lineage_for=lambda obj: self.lineage(obj.service_name),
+            policy=policy,
+            override=override,
+        )
+
+    def _apply_inverse(self, function_name: str, value):
+        definition = None
+        for arity in (1, 2):
+            definition = self.registry.lookup(function_name, arity)
+            if definition is not None:
+                break
+        if definition is None or definition.invoke is None:
+            raise UpdateError(f"inverse function {function_name} is not registered")
+        result = definition.invoke([from_python(value)])
+        return to_python(result)

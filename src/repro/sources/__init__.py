@@ -1,0 +1,20 @@
+"""Data-source adaptor framework (sections 2.2, 5.3)."""
+
+from .adaptor import Adaptor
+from .files import CSVFileAdaptor, XMLFileAdaptor
+from .javafunc import JavaFunctionAdaptor, from_python, to_python
+from .storedproc import StoredProcedureAdaptor
+from .webservice import WebServiceAdaptor, WebServiceDescriptor, WebServiceOperation
+
+__all__ = [
+    "Adaptor",
+    "CSVFileAdaptor",
+    "XMLFileAdaptor",
+    "JavaFunctionAdaptor",
+    "StoredProcedureAdaptor",
+    "from_python",
+    "to_python",
+    "WebServiceAdaptor",
+    "WebServiceDescriptor",
+    "WebServiceOperation",
+]

@@ -1,0 +1,78 @@
+"""Adaptor framework base (sections 2.2 and 5.3).
+
+Every data-source invocation follows the same five steps:
+
+1. establish a connection to the physical data source,
+2. translate parameters from the XML token stream to the source's model,
+3. invoke the data source,
+4. translate the result into (typed) XML token-stream form,
+5. release the physical connection.
+
+Adaptors have a design-time side (introspecting metadata into physical
+data services — :mod:`repro.services.introspect`) and this runtime side.
+"""
+
+from __future__ import annotations
+
+from ..clock import Clock, VirtualClock
+from ..errors import SourceError
+from ..xml.items import Item
+from ..xml.tokens import Token, items_to_tokens, tokens_to_items
+
+
+class Adaptor:
+    """Base runtime adaptor.
+
+    Subclasses implement the source-model hooks; ``invoke`` runs the
+    five-step protocol.  ``available`` and ``extra_latency_ms`` support the
+    failure/slowness injection that the failover machinery (section 5.6)
+    is tested against.
+    """
+
+    def __init__(self, name: str, clock: Clock | None = None):
+        self.name = name
+        self.clock = clock or VirtualClock()
+        self.available = True
+        self.extra_latency_ms = 0.0
+        self.invocations = 0
+
+    # -- protocol hooks ---------------------------------------------------------
+
+    def connect(self) -> object:
+        """Step 1; returns an opaque connection handle."""
+        return object()
+
+    def translate_parameters(self, args: list[list[Item]]) -> list[object]:
+        """Step 2: token stream -> source data model (default: items)."""
+        return [list(arg) for arg in args]
+
+    def call(self, connection: object, params: list[object]) -> object:
+        """Step 3: actually invoke the source."""
+        raise NotImplementedError
+
+    def translate_result(self, result: object) -> list[Item]:
+        """Step 4: source result -> typed XML items."""
+        raise NotImplementedError
+
+    def close(self, connection: object) -> None:
+        """Step 5."""
+
+    # -- entry point -----------------------------------------------------------------
+
+    def invoke(self, args: list[list[Item]]) -> list[Item]:
+        if not self.available:
+            raise SourceError(f"source {self.name} is unavailable")
+        self.invocations += 1
+        if self.extra_latency_ms:
+            self.clock.charge_ms(self.extra_latency_ms)
+        connection = self.connect()
+        try:
+            params = self.translate_parameters(args)
+            raw = self.call(connection, params)
+            items = self.translate_result(raw)
+        finally:
+            self.close(connection)
+        # Round-trip through the typed token stream: this is the form in
+        # which data enters the ALDSP runtime (section 5.1).
+        tokens: list[Token] = list(items_to_tokens(items))
+        return tokens_to_items(tokens)

@@ -1,0 +1,67 @@
+"""Custom Java-function sources (section 5.3).
+
+"For custom Java functions, data is translated to/from standard Java
+primitive types and classes, and array support is included."  Here the
+registered functions are Python callables; values cross the boundary as
+native Python scalars (or lists of them — the "array support"), and the
+results are re-typed into atomic values.
+
+Java functions are also what inverse-function support registers
+(section 4.5): ``int2date`` / ``date2int`` in the paper's example.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..clock import Clock
+from ..errors import SourceError
+from ..xml.items import AtomicValue, Item
+from .adaptor import Adaptor
+
+_XS_BY_PYTHON = {bool: "xs:boolean", int: "xs:integer", float: "xs:double", str: "xs:string"}
+
+
+def to_python(arg: list[Item]):
+    """XQuery sequence -> Java(Python) value: scalar, None, or list."""
+    atoms: list[AtomicValue] = []
+    for item in arg:
+        atoms.extend(item.atomize())
+    if not atoms:
+        return None
+    if len(atoms) == 1:
+        return atoms[0].value
+    return [atom.value for atom in atoms]
+
+
+def from_python(value) -> list[Item]:
+    """Java(Python) value -> XQuery sequence."""
+    if value is None:
+        return []
+    if isinstance(value, (list, tuple)):
+        return [atom for entry in value for atom in from_python(entry)]
+    if isinstance(value, AtomicValue):
+        return [value]
+    xs_type = _XS_BY_PYTHON.get(type(value))
+    if xs_type is None:
+        raise SourceError(f"cannot map Java value of type {type(value).__name__}")
+    return [AtomicValue(value, xs_type)]
+
+
+class JavaFunctionAdaptor(Adaptor):
+    def __init__(self, name: str, fn: Callable, clock: Clock | None = None,
+                 latency_ms: float = 0.0):
+        super().__init__(name, clock)
+        self.fn = fn
+        self.latency_ms = latency_ms
+
+    def translate_parameters(self, args: list[list[Item]]) -> list[object]:
+        return [to_python(arg) for arg in args]
+
+    def call(self, connection: object, params: list[object]) -> object:
+        if self.latency_ms:
+            self.clock.charge_ms(self.latency_ms)
+        return self.fn(*params)
+
+    def translate_result(self, result: object) -> list[Item]:
+        return from_python(result)

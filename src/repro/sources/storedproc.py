@@ -1,0 +1,72 @@
+"""Stored-procedure sources (sections 2.2, 5.3).
+
+Stored procedures are *functional* sources: ALDSP can only call them with
+parameters, and they may return complex results.  In the simulation a
+procedure is a Python callable executed inside its database (it may run
+SQL through the engine); its row results are XML-ified exactly like table
+rows, and the call is charged one roundtrip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..clock import Clock
+from ..errors import SourceError
+from ..relational.database import Database
+from ..xml.items import AtomicValue, ElementNode, Item, TextNode
+from ..xml.qname import QName
+from .adaptor import Adaptor
+from .javafunc import to_python
+
+
+class StoredProcedureAdaptor(Adaptor):
+    """Runtime adaptor for one stored procedure.
+
+    ``procedure`` receives the database followed by the (Python-typed)
+    parameters and returns a list of row dicts; ``columns`` gives the
+    (name, xs:type) XML-ification of the result rows.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        name: str,
+        procedure: Callable,
+        columns: Sequence[tuple[str, str]],
+        row_element: str | None = None,
+        clock: Clock | None = None,
+    ):
+        super().__init__(f"{database.name}.{name}", clock or database.clock)
+        self.database = database
+        self.procedure = procedure
+        self.columns = list(columns)
+        self.row_element = row_element or name.upper()
+
+    def translate_parameters(self, args: list[list[Item]]) -> list[object]:
+        return [to_python(arg) for arg in args]
+
+    def call(self, connection: object, params: list[object]) -> object:
+        if not self.database.available:
+            raise SourceError(f"database {self.database.name} is unavailable")
+        rows = self.procedure(self.database, *params)
+        if not isinstance(rows, list):
+            raise SourceError(f"{self.name}: procedure must return a list of rows")
+        self.database.charge_roundtrip(len(rows), f"CALL {self.name}")
+        return rows
+
+    def translate_result(self, result: object) -> list[Item]:
+        items: list[Item] = []
+        for row in result:  # type: ignore[union-attr]
+            if not isinstance(row, dict):
+                raise SourceError(f"{self.name}: rows must be dicts")
+            element = ElementNode(QName(self.row_element))
+            for column, xs_type in self.columns:
+                value = row.get(column)
+                if value is None:
+                    continue  # NULL -> missing element (section 4.4)
+                child = ElementNode(QName(column), type_annotation=xs_type)
+                child.add_child(TextNode(AtomicValue(value, xs_type).string_value()))
+                element.add_child(child)
+            items.append(element)
+        return items

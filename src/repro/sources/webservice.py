@@ -1,0 +1,117 @@
+"""Simulated Web-service sources (the functional-source category).
+
+Stands in for the paper's document-style and rpc/encoded SOAP services
+(e.g. the credit-rating service of the running example).  An operation is
+described WSDL-style — input/output element shapes plus a handler — and
+results are schema-validated to produce typed token streams, exactly the
+adaptor behaviour of section 5.3.  Latency and availability are injectable
+for the async/failover/cache experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..clock import Clock
+from ..errors import SourceError
+from ..schema.builder import validate
+from ..schema.types import ElementItemType
+from ..xml.items import AtomicValue, ElementNode, Item
+from .adaptor import Adaptor
+
+
+@dataclass
+class WebServiceOperation:
+    """One WSDL operation.
+
+    ``handler`` receives the input element (document style) or the list of
+    atomic parameter values (rpc style) and returns the output element(s).
+    """
+
+    name: str
+    input_shape: ElementItemType | None
+    output_shape: ElementItemType
+    handler: Callable
+    style: str = "document"  # "document" | "rpc"
+    latency_ms: float = 20.0
+    #: rpc/encoded style: declared parameter types (defaults to the
+    #: handler's positional arity with xs:anyAtomicType)
+    rpc_param_types: "list[str] | None" = None
+
+
+@dataclass
+class WebServiceDescriptor:
+    """A WSDL-like description of one service endpoint."""
+
+    name: str
+    operations: list[WebServiceOperation] = field(default_factory=list)
+
+    def operation(self, name: str) -> WebServiceOperation:
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise SourceError(f"service {self.name} has no operation {name}")
+
+
+class WebServiceAdaptor(Adaptor):
+    """Runtime adaptor for one operation of a simulated Web service."""
+
+    def __init__(self, descriptor: WebServiceDescriptor,
+                 operation: WebServiceOperation, clock: Clock | None = None):
+        super().__init__(f"{descriptor.name}.{operation.name}", clock)
+        self.descriptor = descriptor
+        self.operation = operation
+
+    def translate_parameters(self, args: list[list[Item]]) -> list[object]:
+        op = self.operation
+        if op.style == "document":
+            if len(args) != 1 or len(args[0]) != 1 or not isinstance(args[0][0], ElementNode):
+                raise SourceError(
+                    f"{self.name}: document-style operation takes one element"
+                )
+            doc = args[0][0]
+            if op.input_shape is not None:
+                validate(doc, op.input_shape)
+            return [doc]
+        # rpc/encoded: atomic parameter values
+        values = []
+        for arg in args:
+            atoms: list[AtomicValue] = []
+            for item in arg:
+                atoms.extend(item.atomize())
+            if len(atoms) != 1:
+                raise SourceError(f"{self.name}: rpc parameter must be a single value")
+            values.append(atoms[0].value)
+        return values
+
+    def call(self, connection: object, params: list[object]) -> object:
+        from ..errors import ReproError
+
+        self.clock.charge_ms(self.operation.latency_ms)
+        try:
+            if self.operation.style == "document":
+                return self.operation.handler(params[0])
+            return self.operation.handler(*params)
+        except ReproError:
+            raise
+        except Exception as exc:
+            # A fault inside the remote service is a *source* failure:
+            # fn-bea:fail-over must be able to catch it (section 5.6).
+            raise SourceError(f"{self.name}: service fault: {exc}") from exc
+
+    def translate_result(self, result: object) -> list[Item]:
+        items: Sequence[Item]
+        if isinstance(result, ElementNode):
+            items = [result]
+        elif isinstance(result, (list, tuple)):
+            items = list(result)
+        elif isinstance(result, AtomicValue):
+            items = [result]
+        else:
+            raise SourceError(f"{self.name}: handler returned {type(result).__name__}")
+        # Validate against the declared output shape -> typed token stream.
+        for item in items:
+            if isinstance(item, ElementNode):
+                validate(item, self.operation.output_shape)
+        return list(items)

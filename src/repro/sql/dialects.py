@@ -1,0 +1,352 @@
+"""Vendor-specific SQL rendering (section 4.4).
+
+"Actual SQL syntax generation during pushdown is done in a vendor/version-
+dependent manner" — each dialect declares its capabilities (which functions
+are pushable and with what syntax, how pagination is expressed, ...) and
+renders the shared SQL AST accordingly.  The *base SQL92 platform* is the
+conservative fallback for unknown databases: anything it cannot express is
+simply not pushed and is evaluated in the middleware instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SQLError
+from .ast_nodes import (
+    AggCall,
+    BinOp,
+    CaseExpr,
+    ColumnRef,
+    Delete,
+    ExistsExpr,
+    FromItem,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Join,
+    NotExpr,
+    OrderItem,
+    Param,
+    RowNumberOver,
+    RowNumExpr,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    SqlExpr,
+    SqlLiteral,
+    SubqueryRef,
+    TableRef,
+    Update,
+)
+
+
+@dataclass
+class Capabilities:
+    """What a relational platform supports for pushdown."""
+
+    name: str
+    #: pagination style: "rownum" | "rownumber" | None (no pushdown)
+    pagination: str | None = None
+    #: vendor spellings for the engine-neutral function names we emit.
+    function_map: dict[str, str] = field(default_factory=dict)
+    #: functions that simply cannot be pushed on this platform.
+    unpushable_functions: frozenset[str] = frozenset()
+    supports_case: bool = True
+    supports_exists: bool = True
+    supports_outer_join: bool = True
+    #: string concatenation operator
+    concat_operator: str = "||"
+
+
+ORACLE = Capabilities(
+    name="oracle",
+    pagination="rownum",
+    function_map={},
+)
+
+DB2 = Capabilities(
+    name="db2",
+    pagination="rownumber",
+    function_map={},
+)
+
+SQLSERVER = Capabilities(
+    name="sqlserver",
+    pagination="rownumber",
+    function_map={"SUBSTR": "SUBSTRING", "LENGTH": "LEN", "CEIL": "CEILING"},
+    concat_operator="+",
+)
+
+SYBASE = Capabilities(
+    name="sybase",
+    pagination=None,
+    function_map={"SUBSTR": "SUBSTRING", "LENGTH": "LEN", "CEIL": "CEILING"},
+    concat_operator="+",
+)
+
+SQL92 = Capabilities(
+    name="sql92",
+    pagination=None,
+    function_map={"SUBSTR": "SUBSTRING"},
+    unpushable_functions=frozenset({"CEIL", "FLOOR", "ROUND"}),
+)
+
+DIALECTS: dict[str, Capabilities] = {
+    "oracle": ORACLE,
+    "db2": DB2,
+    "sqlserver": SQLSERVER,
+    "sybase": SYBASE,
+    "sql92": SQL92,
+}
+
+
+def capabilities_for(vendor: str) -> Capabilities:
+    """Look up a vendor's capability table; unknown vendors get the
+    conservative base-SQL92 treatment (section 4.4)."""
+    return DIALECTS.get(vendor.lower(), SQL92)
+
+
+class SqlRenderer:
+    """Renders SQL AST to text for a given capability table."""
+
+    def __init__(self, capabilities: Capabilities):
+        self.caps = capabilities
+
+    # -- statements ----------------------------------------------------------
+
+    def render(self, stmt) -> str:
+        if isinstance(stmt, Select):
+            return self.render_select(stmt)
+        if isinstance(stmt, Insert):
+            columns = ", ".join(self._ident(c) for c in stmt.columns)
+            values = ", ".join(self.expr(v) for v in stmt.values)
+            return f"INSERT INTO {self._ident(stmt.table)} ({columns}) VALUES ({values})"
+        if isinstance(stmt, Update):
+            sets = ", ".join(
+                f"{self._ident(col)} = {self.expr(val)}" for col, val in stmt.assignments
+            )
+            sql = f"UPDATE {self._ident(stmt.table)} SET {sets}"
+            if stmt.where is not None:
+                sql += f" WHERE {self.expr(stmt.where)}"
+            return sql
+        if isinstance(stmt, Delete):
+            sql = f"DELETE FROM {self._ident(stmt.table)}"
+            if stmt.where is not None:
+                sql += f" WHERE {self.expr(stmt.where)}"
+            return sql
+        raise SQLError(f"cannot render {type(stmt).__name__}")
+
+    def render_select(self, stmt: Select) -> str:
+        if stmt.fetch is not None:
+            return self._render_paginated(stmt)
+        return self._render_plain_select(stmt)
+
+    def _render_plain_select(self, stmt: Select) -> str:
+        parts = ["SELECT"]
+        if stmt.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(self._select_item(item) for item in stmt.items))
+        if stmt.from_items:
+            parts.append("FROM")
+            parts.append(", ".join(self._from_item(f) for f in stmt.from_items))
+        if stmt.where is not None:
+            parts.append(f"WHERE {self.expr(stmt.where)}")
+        if stmt.group_by:
+            parts.append("GROUP BY " + ", ".join(self.expr(e) for e in stmt.group_by))
+        if stmt.having is not None:
+            parts.append(f"HAVING {self.expr(stmt.having)}")
+        if stmt.order_by:
+            parts.append("ORDER BY " + ", ".join(self._order_item(o) for o in stmt.order_by))
+        return " ".join(parts)
+
+    def _render_paginated(self, stmt: Select) -> str:
+        if self.caps.pagination is None:
+            raise SQLError(f"{self.caps.name}: pagination is not pushable")
+        assert stmt.fetch is not None
+        offset, count = stmt.fetch
+        inner = Select(
+            items=stmt.items,
+            from_items=stmt.from_items,
+            where=stmt.where,
+            group_by=stmt.group_by,
+            having=stmt.having,
+            order_by=stmt.order_by,
+            distinct=stmt.distinct,
+        )
+        aliases = [item.alias or f"c{i + 1}" for i, item in enumerate(stmt.items)]
+        if self.caps.pagination == "rownum":
+            return self._render_rownum(inner, aliases, offset, count)
+        return self._render_rownumber(inner, aliases, offset, count)
+
+    def _render_rownum(self, inner: Select, aliases: list[str],
+                       offset: int, count: int | None) -> str:
+        """Oracle's double-nested ROWNUM pattern (Table 2(i))."""
+        rn_alias = f"c{len(aliases) + 1}"
+        middle_items = [SelectItem(RowNumExpr(), rn_alias)] + [
+            SelectItem(ColumnRef("t3", a), a) for a in aliases
+        ]
+        middle = Select(items=middle_items, from_items=[SubqueryRef(inner, "t3")])
+        lo = BinOp(">=", ColumnRef("t4", rn_alias), SqlLiteral(offset))
+        condition: SqlExpr = lo
+        if count is not None:
+            hi = BinOp("<", ColumnRef("t4", rn_alias), SqlLiteral(offset + count))
+            condition = BinOp("AND", lo, hi)
+        outer = Select(
+            items=[SelectItem(ColumnRef("t4", a), a) for a in aliases],
+            from_items=[SubqueryRef(middle, "t4")],
+            where=condition,
+        )
+        return self._render_plain_select(outer)
+
+    def _render_rownumber(self, inner: Select, aliases: list[str],
+                          offset: int, count: int | None) -> str:
+        """DB2 / SQL Server: ROW_NUMBER() OVER (ORDER BY ...) wrapper."""
+        rn_alias = f"c{len(aliases) + 1}"
+        over_order = inner.order_by or [OrderItem(ColumnRef(None, aliases[0]))]
+        body = Select(
+            items=inner.items + [SelectItem(RowNumberOver(over_order), rn_alias)],
+            from_items=inner.from_items,
+            where=inner.where,
+            group_by=inner.group_by,
+            having=inner.having,
+            distinct=inner.distinct,
+        )
+        lo = BinOp(">=", ColumnRef("t4", rn_alias), SqlLiteral(offset))
+        condition: SqlExpr = lo
+        if count is not None:
+            hi = BinOp("<", ColumnRef("t4", rn_alias), SqlLiteral(offset + count))
+            condition = BinOp("AND", lo, hi)
+        outer = Select(
+            items=[SelectItem(ColumnRef("t4", a), a) for a in aliases],
+            from_items=[SubqueryRef(body, "t4")],
+            where=condition,
+            order_by=[OrderItem(ColumnRef("t4", rn_alias))],
+        )
+        return self._render_plain_select(outer)
+
+    # -- pieces ----------------------------------------------------------------
+
+    def _select_item(self, item: SelectItem) -> str:
+        text = self.expr(item.expr)
+        if item.alias:
+            return f"{text} AS {item.alias}"
+        return text
+
+    def _order_item(self, item: OrderItem) -> str:
+        text = self.expr(item.expr)
+        return f"{text} DESC" if item.descending else text
+
+    def _from_item(self, item: FromItem) -> str:
+        if isinstance(item, TableRef):
+            return f"{self._ident(item.name)} {item.alias}"
+        if isinstance(item, SubqueryRef):
+            return f"({self.render_select(item.subquery)}) {item.alias}"
+        if isinstance(item, Join):
+            if item.kind == "left" and not self.caps.supports_outer_join:
+                raise SQLError(f"{self.caps.name}: outer join is not pushable")
+            keyword = "JOIN" if item.kind == "inner" else "LEFT OUTER JOIN"
+            left = self._from_item(item.left)
+            right = self._from_item(item.right)
+            condition = self.expr(item.condition) if item.condition is not None else "1 = 1"
+            return f"{left} {keyword} {right} ON {condition}"
+        raise SQLError(f"cannot render FROM item {type(item).__name__}")
+
+    def _ident(self, name: str) -> str:
+        return f'"{name}"'
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node: SqlExpr) -> str:
+        if isinstance(node, ColumnRef):
+            # Generated aliases (c1, c2, rn...) are bare; real column names quoted.
+            if _is_generated_alias(node.column):
+                column = node.column
+            else:
+                column = self._ident(node.column)
+            return f"{node.table}.{column}" if node.table else column
+        if isinstance(node, SqlLiteral):
+            return self._literal(node.value)
+        if isinstance(node, Param):
+            return "?"
+        if isinstance(node, BinOp):
+            if node.op in ("AND", "OR"):
+                # Flatten same-operator chains: a 200-way PP-k disjunction
+                # renders as one flat (a OR b OR ...) rather than 200
+                # nested parenthesis levels.
+                operands: list[str] = []
+
+                def collect(operand: SqlExpr, op: str) -> None:
+                    if isinstance(operand, BinOp) and operand.op == op:
+                        collect(operand.left, op)
+                        collect(operand.right, op)
+                    else:
+                        operands.append(self.expr(operand))
+
+                collect(node, node.op)
+                return "(" + f" {node.op} ".join(operands) + ")"
+            op = node.op
+            if op == "||":
+                op = self.caps.concat_operator
+            return f"{self.expr(node.left)} {op} {self.expr(node.right)}"
+        if isinstance(node, NotExpr):
+            return f"NOT ({self.expr(node.operand)})"
+        if isinstance(node, IsNull):
+            suffix = "IS NOT NULL" if node.negated else "IS NULL"
+            return f"{self.expr(node.operand)} {suffix}"
+        if isinstance(node, InList):
+            values = ", ".join(self.expr(v) for v in node.values)
+            keyword = "NOT IN" if node.negated else "IN"
+            return f"{self.expr(node.operand)} {keyword} ({values})"
+        if isinstance(node, FuncCall):
+            name = self.caps.function_map.get(node.name, node.name)
+            if name in self.caps.unpushable_functions:
+                raise SQLError(f"{self.caps.name}: function {node.name} is not pushable")
+            args = ", ".join(self.expr(a) for a in node.args)
+            return f"{name}({args})"
+        if isinstance(node, AggCall):
+            inner = "*" if node.arg is None else self.expr(node.arg)
+            if node.distinct:
+                inner = f"DISTINCT {inner}"
+            return f"{node.name}({inner})"
+        if isinstance(node, CaseExpr):
+            if not self.caps.supports_case:
+                raise SQLError(f"{self.caps.name}: CASE is not pushable")
+            parts = ["CASE"]
+            for condition, value in node.whens:
+                parts.append(f"WHEN {self.expr(condition)} THEN {self.expr(value)}")
+            if node.else_value is not None:
+                parts.append(f"ELSE {self.expr(node.else_value)}")
+            parts.append("END")
+            return " ".join(parts)
+        if isinstance(node, ExistsExpr):
+            keyword = "NOT EXISTS" if node.negated else "EXISTS"
+            return f"{keyword}({self.render_select(node.subquery)})"
+        if isinstance(node, ScalarSubquery):
+            return f"({self.render_select(node.subquery)})"
+        if isinstance(node, RowNumExpr):
+            return "ROWNUM"
+        if isinstance(node, RowNumberOver):
+            order = ", ".join(self._order_item(o) for o in node.order_by)
+            return f"ROW_NUMBER() OVER (ORDER BY {order})"
+        raise SQLError(f"cannot render expression {type(node).__name__}")
+
+    def _literal(self, value) -> str:
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, (int, float)):
+            return str(value)
+        escaped = str(value).replace("'", "''")
+        return f"'{escaped}'"
+
+
+def _is_generated_alias(name: str) -> bool:
+    return (name.startswith("c") and name[1:].isdigit()) or name == "rn"
+
+
+def render_sql(stmt, vendor: str = "oracle") -> str:
+    """Render a statement for the named vendor."""
+    return SqlRenderer(capabilities_for(vendor)).render(stmt)

@@ -1,0 +1,65 @@
+"""XML data model substrate: items, typed token streams, tuple representations.
+
+This package implements the internal data representation described in
+section 5.1 of the paper: the typed XML token stream of the BEA streaming
+XQuery processor plus the three tuple representations ALDSP added for
+data-centric (especially relational) workloads.
+"""
+
+from .items import (
+    ANYTYPE,
+    UNTYPED,
+    AtomicValue,
+    AttributeNode,
+    DocumentNode,
+    ElementNode,
+    Item,
+    Node,
+    TextNode,
+    element,
+)
+from .parser import parse_document, parse_element_text
+from .qname import FN_BEA_NS, FN_NS, XS_NS, NamespaceContext, QName, qname
+from .serialize import serialize
+from .tokens import Token, TokenStream, TokenType, items_to_tokens, tokens_to_items
+from .tuples import (
+    ArrayTuple,
+    SingleTokenTuple,
+    StreamTuple,
+    TupleRepr,
+    choose_representation,
+    make_tuple,
+)
+
+__all__ = [
+    "ANYTYPE",
+    "UNTYPED",
+    "AtomicValue",
+    "AttributeNode",
+    "DocumentNode",
+    "ElementNode",
+    "Item",
+    "Node",
+    "TextNode",
+    "element",
+    "parse_document",
+    "parse_element_text",
+    "FN_BEA_NS",
+    "FN_NS",
+    "XS_NS",
+    "NamespaceContext",
+    "QName",
+    "qname",
+    "serialize",
+    "Token",
+    "TokenStream",
+    "TokenType",
+    "items_to_tokens",
+    "tokens_to_items",
+    "ArrayTuple",
+    "SingleTokenTuple",
+    "StreamTuple",
+    "TupleRepr",
+    "choose_representation",
+    "make_tuple",
+]

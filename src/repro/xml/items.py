@@ -1,0 +1,337 @@
+"""XQuery Data Model items: nodes and typed atomic values.
+
+ALDSP always processes the *typed* data model (section 5.1): every atomic
+value and every element carries a type annotation.  Elements constructed by
+queries are annotated ``xs:anyType`` at runtime per the XQuery spec, but the
+static analyzer retains the structural type of their content (section 3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import DynamicError, XMLError
+from .qname import QName
+
+_node_ids = itertools.count(1)
+
+#: Type-annotation name for unvalidated content.
+UNTYPED = "xs:untypedAtomic"
+ANYTYPE = "xs:anyType"
+
+
+class Item:
+    """Base class for everything that can appear in an XQuery sequence."""
+
+    __slots__ = ()
+
+    def string_value(self) -> str:
+        raise NotImplementedError
+
+    def atomize(self) -> "list[AtomicValue]":
+        """Implement fn:data() for this item."""
+        raise NotImplementedError
+
+
+class AtomicValue(Item):
+    """A typed atomic value, e.g. ``42`` as ``xs:integer``.
+
+    ``value`` holds a natural Python representation (int, float, str, bool,
+    Decimal, datetime...).  ``type_name`` is a lexical QName such as
+    ``xs:integer``; the schema package maps these names onto the atomic type
+    hierarchy.
+    """
+
+    __slots__ = ("value", "type_name")
+
+    def __init__(self, value, type_name: str = UNTYPED):
+        self.value = value
+        self.type_name = type_name
+
+    def string_value(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return str(self.value)
+
+    def atomize(self) -> "list[AtomicValue]":
+        return [self]
+
+    def __repr__(self) -> str:
+        return f"AtomicValue({self.value!r}, {self.type_name!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, AtomicValue)
+            and self.value == other.value
+            and self.type_name == other.type_name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.value, self.type_name))
+
+
+class Node(Item):
+    """Base class for XML nodes.  Nodes have identity and document order."""
+
+    __slots__ = ("node_id", "parent")
+
+    def __init__(self):
+        self.node_id = next(_node_ids)
+        self.parent: Node | None = None
+
+    def children(self) -> "Sequence[Node]":
+        return ()
+
+    def typed_value(self) -> "list[AtomicValue]":
+        raise DynamicError(f"cannot atomize {type(self).__name__}")
+
+    def atomize(self) -> "list[AtomicValue]":
+        return self.typed_value()
+
+
+class TextNode(Node):
+    __slots__ = ("content",)
+
+    def __init__(self, content: str):
+        super().__init__()
+        self.content = content
+
+    def string_value(self) -> str:
+        return self.content
+
+    def typed_value(self) -> list[AtomicValue]:
+        return [AtomicValue(self.content, UNTYPED)]
+
+    def __repr__(self) -> str:
+        return f"TextNode({self.content!r})"
+
+
+class AttributeNode(Node):
+    """An attribute with a typed value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: QName, value: AtomicValue):
+        super().__init__()
+        self.name = name
+        self.value = value
+
+    def string_value(self) -> str:
+        return self.value.string_value()
+
+    def typed_value(self) -> list[AtomicValue]:
+        return [self.value]
+
+    def __repr__(self) -> str:
+        return f"AttributeNode({self.name}, {self.value!r})"
+
+
+class ElementNode(Node):
+    """An element node.
+
+    ``type_annotation`` records the runtime type: for data arriving from
+    typed sources (relational rows, validated service results) this is the
+    source-derived type name; for constructed elements it is ``xs:anyType``
+    (but the *content* keeps its annotations — ALDSP's structural typing).
+    """
+
+    __slots__ = ("name", "attributes", "_children", "type_annotation", "nilled")
+
+    def __init__(
+        self,
+        name: QName,
+        attributes: Iterable[AttributeNode] = (),
+        children: Iterable[Node] = (),
+        type_annotation: str = ANYTYPE,
+    ):
+        super().__init__()
+        self.name = name
+        self.attributes: list[AttributeNode] = []
+        self._children: list[Node] = []
+        self.type_annotation = type_annotation
+        self.nilled = False
+        for attr in attributes:
+            self.add_attribute(attr)
+        for child in children:
+            self.add_child(child)
+
+    def add_attribute(self, attr: AttributeNode) -> None:
+        if any(existing.name.matches(attr.name) for existing in self.attributes):
+            raise XMLError(f"duplicate attribute {attr.name}")
+        attr.parent = self
+        self.attributes.append(attr)
+
+    def add_child(self, child: Node) -> None:
+        if isinstance(child, AttributeNode):
+            self.add_attribute(child)
+            return
+        child.parent = self
+        self._children.append(child)
+
+    def children(self) -> Sequence[Node]:
+        return self._children
+
+    def child_elements(self, name: QName | None = None) -> list["ElementNode"]:
+        """Child axis with an optional name test (namespace-insensitive match
+        on local name when the test carries no namespace)."""
+        result = []
+        for child in self._children:
+            if isinstance(child, ElementNode) and _name_test(child.name, name):
+                result.append(child)
+        return result
+
+    def attribute(self, name: QName) -> AttributeNode | None:
+        for attr in self.attributes:
+            if _name_test(attr.name, name):
+                return attr
+        return None
+
+    def string_value(self) -> str:
+        parts: list[str] = []
+
+        def walk(node: Node) -> None:
+            if isinstance(node, TextNode):
+                parts.append(node.content)
+            for child in node.children():
+                walk(child)
+
+        walk(self)
+        return "".join(parts)
+
+    def typed_value(self) -> list[AtomicValue]:
+        """fn:data() on an element: if it has element children it is
+        complex content and cannot be atomized; simple content yields the
+        concatenated text with the element's simple type (untyped for
+        constructed elements)."""
+        if any(isinstance(c, ElementNode) for c in self._children):
+            raise DynamicError(
+                f"cannot atomize element {self.name} with complex content"
+            )
+        text = self.string_value()
+        # Typed sources annotate leaf elements with their column/schema type
+        # so atomization preserves it; otherwise untypedAtomic.
+        if self.type_annotation not in (ANYTYPE, "xs:untyped"):
+            return [AtomicValue(_parse_lexical(text, self.type_annotation), self.type_annotation)]
+        return [AtomicValue(text, UNTYPED)]
+
+    def deep_copy(self) -> "ElementNode":
+        copy = ElementNode(self.name, type_annotation=self.type_annotation)
+        for attr in self.attributes:
+            copy.add_attribute(AttributeNode(attr.name, attr.value))
+        for child in self._children:
+            if isinstance(child, ElementNode):
+                copy.add_child(child.deep_copy())
+            elif isinstance(child, TextNode):
+                copy.add_child(TextNode(child.content))
+        return copy
+
+    def __repr__(self) -> str:
+        return f"<ElementNode {self.name} children={len(self._children)}>"
+
+
+class DocumentNode(Node):
+    __slots__ = ("_children",)
+
+    def __init__(self, children: Iterable[Node] = ()):
+        super().__init__()
+        self._children: list[Node] = []
+        for child in children:
+            child.parent = self
+            self._children.append(child)
+
+    def children(self) -> Sequence[Node]:
+        return self._children
+
+    def root_element(self) -> ElementNode:
+        for child in self._children:
+            if isinstance(child, ElementNode):
+                return child
+        raise XMLError("document has no root element")
+
+    def string_value(self) -> str:
+        return "".join(c.string_value() for c in self._children)
+
+    def typed_value(self) -> list[AtomicValue]:
+        return [AtomicValue(self.string_value(), UNTYPED)]
+
+
+def _name_test(name: QName, test: QName | None) -> bool:
+    if test is None:
+        return True
+    if test.local == "*":
+        return True
+    if test.namespace:
+        return name.matches(test)
+    return name.local == test.local
+
+
+def _parse_lexical(text: str, type_name: str):
+    """Convert a lexical value to its natural Python representation for the
+    named atomic type.  Used when re-atomizing typed leaf elements."""
+    base = type_name.split(":")[-1]
+    try:
+        if base in ("integer", "int", "long", "short", "byte", "nonNegativeInteger",
+                    "positiveInteger", "negativeInteger", "unsignedInt", "unsignedLong"):
+            return int(text)
+        if base in ("decimal", "double", "float"):
+            return float(text)
+        if base == "boolean":
+            return text.strip() in ("true", "1")
+    except ValueError as exc:
+        raise DynamicError(f"invalid lexical value {text!r} for {type_name}") from exc
+    return text
+
+
+def element(
+    name: QName | str,
+    *children,
+    attrs: dict[str, object] | None = None,
+    type_annotation: str = ANYTYPE,
+) -> ElementNode:
+    """Ergonomic element builder used by adaptors and tests.
+
+    Children may be nodes, atomic values, or plain Python values (which
+    become typed text content).
+    """
+    if isinstance(name, str):
+        name = QName(name)
+    node = ElementNode(name, type_annotation=type_annotation)
+    if attrs:
+        for key, value in attrs.items():
+            node.add_attribute(AttributeNode(QName(key), _as_atomic(value)))
+    for child in children:
+        if isinstance(child, Node):
+            node.add_child(child)
+        elif isinstance(child, AtomicValue):
+            node.add_child(TextNode(child.string_value()))
+            node.type_annotation = child.type_name
+        else:
+            atom = _as_atomic(child)
+            node.add_child(TextNode(atom.string_value()))
+            node.type_annotation = atom.type_name
+    return node
+
+
+def _as_atomic(value) -> AtomicValue:
+    if isinstance(value, AtomicValue):
+        return value
+    if isinstance(value, bool):
+        return AtomicValue(value, "xs:boolean")
+    if isinstance(value, int):
+        return AtomicValue(value, "xs:integer")
+    if isinstance(value, float):
+        return AtomicValue(value, "xs:double")
+    return AtomicValue(str(value), "xs:string")
+
+
+def sequence_string(items: Iterable[Item]) -> str:
+    """Space-joined string values, as fn:string-join($seq, ' ')."""
+    return " ".join(item.string_value() for item in items)
+
+
+def iter_descendants(node: Node) -> Iterator[Node]:
+    """Document-order descendants of ``node`` (excluding the node itself)."""
+    for child in node.children():
+        yield child
+        yield from iter_descendants(child)

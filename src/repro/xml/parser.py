@@ -1,0 +1,181 @@
+"""A small XML text parser producing data-model items.
+
+Used by the non-queryable file adaptors (section 5.3): XML files are parsed
+into the data model and validated against their registration-time schema to
+produce typed token streams.  Supports elements, attributes, character data,
+entity references, comments, processing instructions (skipped), and CDATA.
+It does not aim at full XML 1.0 conformance (no DTDs).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import XMLError
+from .items import AtomicValue, AttributeNode, DocumentNode, ElementNode, TextNode
+from .qname import QName
+
+_NAME_RE = re.compile(r"[A-Za-z_][\w.\-]*(?::[A-Za-z_][\w.\-]*)?")
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+
+class _Cursor:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, count: int = 1) -> str:
+        return self.text[self.pos : self.pos + count]
+
+    def advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def skip_whitespace(self) -> None:
+        while not self.at_end() and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise XMLError(
+                f"expected {literal!r} at offset {self.pos}: "
+                f"...{self.text[self.pos:self.pos + 20]!r}"
+            )
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise XMLError(f"expected name at offset {self.pos}")
+        self.pos = match.end()
+        return match.group()
+
+
+def _decode_entities(text: str) -> str:
+    def repl(match: re.Match) -> str:
+        body = match.group(1)
+        if body.startswith("#x") or body.startswith("#X"):
+            return chr(int(body[2:], 16))
+        if body.startswith("#"):
+            return chr(int(body[1:]))
+        if body in _ENTITIES:
+            return _ENTITIES[body]
+        raise XMLError(f"unknown entity &{body};")
+
+    return re.sub(r"&([^;]+);", repl, text)
+
+
+def parse_document(text: str) -> DocumentNode:
+    """Parse an XML document (prolog optional)."""
+    cursor = _Cursor(text)
+    _skip_misc(cursor)
+    root = _parse_element(cursor)
+    _skip_misc(cursor)
+    if not cursor.at_end():
+        raise XMLError(f"trailing content after root element at offset {cursor.pos}")
+    return DocumentNode([root])
+
+
+def parse_element_text(text: str) -> ElementNode:
+    """Parse a single element fragment."""
+    return parse_document(text).root_element()
+
+
+def _skip_misc(cursor: _Cursor) -> None:
+    while True:
+        cursor.skip_whitespace()
+        if cursor.peek(2) == "<?":
+            end = cursor.text.find("?>", cursor.pos)
+            if end < 0:
+                raise XMLError("unterminated processing instruction")
+            cursor.pos = end + 2
+        elif cursor.peek(4) == "<!--":
+            end = cursor.text.find("-->", cursor.pos)
+            if end < 0:
+                raise XMLError("unterminated comment")
+            cursor.pos = end + 3
+        else:
+            return
+
+
+def _parse_element(cursor: _Cursor) -> ElementNode:
+    cursor.expect("<")
+    name = cursor.read_name()
+    elem = ElementNode(_qname_of(name))
+    # Attributes
+    while True:
+        cursor.skip_whitespace()
+        if cursor.peek(2) == "/>":
+            cursor.advance(2)
+            return elem
+        if cursor.peek() == ">":
+            cursor.advance()
+            break
+        attr_name = cursor.read_name()
+        cursor.skip_whitespace()
+        cursor.expect("=")
+        cursor.skip_whitespace()
+        quote = cursor.advance()
+        if quote not in ("'", '"'):
+            raise XMLError(f"attribute value must be quoted at offset {cursor.pos}")
+        end = cursor.text.find(quote, cursor.pos)
+        if end < 0:
+            raise XMLError("unterminated attribute value")
+        raw = cursor.text[cursor.pos : end]
+        cursor.pos = end + 1
+        value = _decode_entities(raw)
+        if attr_name == "xmlns" or attr_name.startswith("xmlns:"):
+            # Namespace declarations are recorded but not turned into
+            # attribute nodes (data-model behaviour).
+            continue
+        elem.add_attribute(AttributeNode(_qname_of(attr_name), AtomicValue(value, "xs:untypedAtomic")))
+    # Content
+    while True:
+        if cursor.at_end():
+            raise XMLError(f"unterminated element <{name}>")
+        if cursor.peek(2) == "</":
+            cursor.advance(2)
+            closing = cursor.read_name()
+            if closing != name:
+                raise XMLError(f"mismatched end tag </{closing}> for <{name}>")
+            cursor.skip_whitespace()
+            cursor.expect(">")
+            return elem
+        if cursor.peek(4) == "<!--":
+            end = cursor.text.find("-->", cursor.pos)
+            if end < 0:
+                raise XMLError("unterminated comment")
+            cursor.pos = end + 3
+            continue
+        if cursor.peek(9) == "<![CDATA[":
+            end = cursor.text.find("]]>", cursor.pos)
+            if end < 0:
+                raise XMLError("unterminated CDATA section")
+            elem.add_child(TextNode(cursor.text[cursor.pos + 9 : end]))
+            cursor.pos = end + 3
+            continue
+        if cursor.peek() == "<":
+            elem.add_child(_parse_element(cursor))
+            continue
+        end = cursor.text.find("<", cursor.pos)
+        if end < 0:
+            raise XMLError(f"unterminated element <{name}>")
+        raw = cursor.text[cursor.pos : end]
+        cursor.pos = end
+        if raw.strip():
+            elem.add_child(TextNode(_decode_entities(raw)))
+        elif any(not isinstance(c, TextNode) for c in elem.children()) or not elem.children():
+            pass  # ignorable whitespace between elements
+        else:
+            elem.add_child(TextNode(_decode_entities(raw)))
+
+
+def _qname_of(lexical: str) -> QName:
+    if ":" in lexical:
+        prefix, local = lexical.split(":", 1)
+        return QName(local, "", prefix)
+    return QName(lexical)

@@ -1,0 +1,108 @@
+"""Qualified names and namespace handling for the XML data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Well-known namespace URIs used throughout the engine.
+XS_NS = "http://www.w3.org/2001/XMLSchema"
+FN_NS = "http://www.w3.org/2005/xpath-functions"
+FN_BEA_NS = "http://www.bea.com/xquery/xquery-functions"
+
+#: Prefixes that every static context knows about out of the box.
+DEFAULT_NAMESPACES = {
+    "xs": XS_NS,
+    "fn": FN_NS,
+    "fn-bea": FN_BEA_NS,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class QName:
+    """An expanded XML name: namespace URI plus local part.
+
+    The prefix is remembered for serialization but does not participate in
+    equality, mirroring the XQuery Data Model.
+    """
+
+    local: str
+    namespace: str = ""
+    prefix: str = field(default="", compare=False)
+
+    def __str__(self) -> str:
+        if self.prefix:
+            return f"{self.prefix}:{self.local}"
+        if self.namespace:
+            return f"{{{self.namespace}}}{self.local}"
+        return self.local
+
+    @property
+    def lexical(self) -> str:
+        """The prefixed lexical form (``prefix:local`` or ``local``)."""
+        return f"{self.prefix}:{self.local}" if self.prefix else self.local
+
+    def matches(self, other: "QName") -> bool:
+        """Name test: equality on namespace and local part."""
+        return self.local == other.local and self.namespace == other.namespace
+
+
+class NamespaceContext:
+    """Maps prefixes to namespace URIs; supports nested scopes.
+
+    The XQuery parser pushes a scope for each module prolog and each direct
+    element constructor that declares namespaces.
+    """
+
+    def __init__(self, parent: "NamespaceContext | None" = None):
+        self._parent = parent
+        self._bindings: dict[str, str] = dict(DEFAULT_NAMESPACES) if parent is None else {}
+        self._default_element_ns: str | None = None
+
+    def bind(self, prefix: str, uri: str) -> None:
+        self._bindings[prefix] = uri
+
+    def set_default_element_namespace(self, uri: str) -> None:
+        self._default_element_ns = uri
+
+    def lookup(self, prefix: str) -> str | None:
+        ctx: NamespaceContext | None = self
+        while ctx is not None:
+            if prefix in ctx._bindings:
+                return ctx._bindings[prefix]
+            ctx = ctx._parent
+        return None
+
+    def default_element_namespace(self) -> str:
+        ctx: NamespaceContext | None = self
+        while ctx is not None:
+            if ctx._default_element_ns is not None:
+                return ctx._default_element_ns
+            ctx = ctx._parent
+        return ""
+
+    def child(self) -> "NamespaceContext":
+        return NamespaceContext(parent=self)
+
+    def resolve(self, lexical: str, default_to_element_ns: bool = True) -> QName:
+        """Resolve a lexical QName (``prefix:local`` or ``local``).
+
+        Unprefixed names resolve to the default element namespace for
+        element names and to no namespace otherwise.
+        """
+        if ":" in lexical:
+            prefix, local = lexical.split(":", 1)
+            uri = self.lookup(prefix)
+            if uri is None:
+                from ..errors import StaticError
+
+                raise StaticError(f"undeclared namespace prefix: {prefix!r}")
+            return QName(local, uri, prefix)
+        ns = self.default_element_namespace() if default_to_element_ns else ""
+        return QName(lexical, ns)
+
+
+def qname(name: str, namespace: str = "", prefix: str = "") -> QName:
+    """Convenience constructor accepting ``local`` or ``prefix:local``."""
+    if not prefix and ":" in name and not name.startswith("{"):
+        prefix, name = name.split(":", 1)
+    return QName(name, namespace, prefix)

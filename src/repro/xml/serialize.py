@@ -1,0 +1,74 @@
+"""Serialization of data-model items to XML text."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .items import (
+    AtomicValue,
+    AttributeNode,
+    DocumentNode,
+    ElementNode,
+    Item,
+    Node,
+    TextNode,
+)
+
+
+def escape_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(text: str) -> str:
+    return escape_text(text).replace('"', "&quot;")
+
+
+def serialize_item(item: Item, indent: int | None = None, _level: int = 0) -> str:
+    """Serialize one item.  ``indent`` enables pretty printing."""
+    pad = "" if indent is None else "\n" + " " * (indent * _level)
+    if isinstance(item, AtomicValue):
+        return item.string_value()
+    if isinstance(item, TextNode):
+        return escape_text(item.content)
+    if isinstance(item, AttributeNode):
+        return f'{item.name.lexical}="{escape_attribute(item.string_value())}"'
+    if isinstance(item, DocumentNode):
+        return "".join(serialize_item(c, indent, _level) for c in item.children())
+    if isinstance(item, ElementNode):
+        attrs = "".join(
+            f' {a.name.lexical}="{escape_attribute(a.string_value())}"'
+            for a in item.attributes
+        )
+        name = item.name.lexical
+        children = item.children()
+        if not children:
+            return f"{pad}<{name}{attrs}/>" if indent is not None else f"<{name}{attrs}/>"
+        only_text = all(isinstance(c, TextNode) for c in children)
+        inner = "".join(
+            serialize_item(c, None if only_text else indent, _level + 1) for c in children
+        )
+        closing_pad = pad if indent is not None and not only_text else ""
+        if indent is None:
+            return f"<{name}{attrs}>{inner}</{name}>"
+        return f"{pad}<{name}{attrs}>{inner}{closing_pad}</{name}>"
+    raise TypeError(f"cannot serialize {type(item).__name__}")
+
+
+def serialize(items: Item | Iterable[Item], indent: int | None = None) -> str:
+    """Serialize an item or sequence of items.
+
+    Adjacent atomic values are separated by a single space, per the XQuery
+    serialization rules.
+    """
+    if isinstance(items, (Node, AtomicValue)):
+        items = [items]
+    parts: list[str] = []
+    previous_atomic = False
+    for item in items:
+        is_atomic = isinstance(item, AtomicValue)
+        if is_atomic and previous_atomic:
+            parts.append(" ")
+        parts.append(serialize_item(item, indent))
+        previous_atomic = is_atomic
+    text = "".join(parts)
+    return text.lstrip("\n") if indent is not None else text

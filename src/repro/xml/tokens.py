@@ -1,0 +1,194 @@
+"""The typed XML token stream (paper section 5.1).
+
+The token stream is ALDSP's internal streaming representation: a SAX-like
+event stream whose events ("tokens") are materialized objects, like StAX,
+but covering the full *typed* XQuery Data Model rather than just the
+InfoSet.  Every data-source adaptor feeds typed tokens into the runtime.
+
+Besides the XML events, the stream defines tuple-delimiting tokens
+(``BEGIN_TUPLE`` / ``END_TUPLE`` / ``FIELD_SEPARATOR``) and a wrapping token
+(``WRAPPED``) used by the three tuple representations of Figure 4 (see
+:mod:`repro.xml.tuples`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import XMLError
+from .items import (
+    AtomicValue,
+    AttributeNode,
+    DocumentNode,
+    ElementNode,
+    Item,
+    Node,
+    TextNode,
+)
+from .qname import QName
+
+
+class TokenType(enum.Enum):
+    START_DOCUMENT = "start-document"
+    END_DOCUMENT = "end-document"
+    START_ELEMENT = "start-element"
+    END_ELEMENT = "end-element"
+    ATTRIBUTE = "attribute"
+    TEXT = "text"
+    ATOMIC = "atomic"
+    # Tuple framing (not part of the XQuery Data Model; internal only).
+    BEGIN_TUPLE = "begin-tuple"
+    END_TUPLE = "end-tuple"
+    FIELD_SEPARATOR = "field-separator"
+    # A single token wrapping a nested token list (Figure 4, middle row).
+    WRAPPED = "wrapped"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One event in the typed token stream.
+
+    ``name`` is set for element/attribute tokens; ``value`` carries the
+    atomic value for ATTRIBUTE/ATOMIC tokens, the character content for TEXT
+    tokens, the nested token tuple for WRAPPED tokens, and the type
+    annotation name for START_ELEMENT tokens.
+    """
+
+    type: TokenType
+    name: QName | None = None
+    value: object = None
+
+    def __repr__(self) -> str:
+        bits = [self.type.value]
+        if self.name is not None:
+            bits.append(str(self.name))
+        if self.value is not None and self.type is not TokenType.WRAPPED:
+            bits.append(repr(self.value))
+        return f"Token({', '.join(bits)})"
+
+
+def item_to_tokens(item: Item) -> Iterator[Token]:
+    """Stream one data-model item as typed tokens."""
+    if isinstance(item, AtomicValue):
+        yield Token(TokenType.ATOMIC, value=item)
+    elif isinstance(item, TextNode):
+        yield Token(TokenType.TEXT, value=item.content)
+    elif isinstance(item, AttributeNode):
+        yield Token(TokenType.ATTRIBUTE, name=item.name, value=item.value)
+    elif isinstance(item, ElementNode):
+        yield Token(TokenType.START_ELEMENT, name=item.name, value=item.type_annotation)
+        for attr in item.attributes:
+            yield Token(TokenType.ATTRIBUTE, name=attr.name, value=attr.value)
+        for child in item.children():
+            yield from item_to_tokens(child)
+        yield Token(TokenType.END_ELEMENT, name=item.name)
+    elif isinstance(item, DocumentNode):
+        yield Token(TokenType.START_DOCUMENT)
+        for child in item.children():
+            yield from item_to_tokens(child)
+        yield Token(TokenType.END_DOCUMENT)
+    else:  # pragma: no cover - defensive
+        raise XMLError(f"cannot tokenize {type(item).__name__}")
+
+
+def items_to_tokens(items: Iterable[Item]) -> Iterator[Token]:
+    for item in items:
+        yield from item_to_tokens(item)
+
+
+def tokens_to_items(tokens: Iterable[Token]) -> list[Item]:
+    """Rebuild data-model items from a token stream.
+
+    Tuple-framing tokens are rejected here; use :mod:`repro.xml.tuples` to
+    decode framed streams.
+    """
+    items: list[Item] = []
+    stream = iter(tokens)
+    for token in stream:
+        items.append(_build_item(token, stream))
+    return items
+
+
+def _build_item(token: Token, stream: Iterator[Token]) -> Item:
+    if token.type is TokenType.ATOMIC:
+        assert isinstance(token.value, AtomicValue)
+        return token.value
+    if token.type is TokenType.TEXT:
+        return TextNode(str(token.value))
+    if token.type is TokenType.ATTRIBUTE:
+        assert token.name is not None and isinstance(token.value, AtomicValue)
+        return AttributeNode(token.name, token.value)
+    if token.type is TokenType.START_ELEMENT:
+        assert token.name is not None
+        elem = ElementNode(token.name, type_annotation=str(token.value))
+        for inner in stream:
+            if inner.type is TokenType.END_ELEMENT:
+                if inner.name is not None and not inner.name.matches(token.name):
+                    raise XMLError(
+                        f"mismatched element tokens: {token.name} closed by {inner.name}"
+                    )
+                return elem
+            if inner.type is TokenType.ATTRIBUTE:
+                assert inner.name is not None and isinstance(inner.value, AtomicValue)
+                elem.add_attribute(AttributeNode(inner.name, inner.value))
+            else:
+                elem.add_child(_require_node(_build_item(inner, stream)))
+        raise XMLError(f"unterminated element token stream for {token.name}")
+    if token.type is TokenType.START_DOCUMENT:
+        doc = DocumentNode()
+        for inner in stream:
+            if inner.type is TokenType.END_DOCUMENT:
+                return doc
+            child = _require_node(_build_item(inner, stream))
+            child.parent = doc
+            doc._children.append(child)
+        raise XMLError("unterminated document token stream")
+    raise XMLError(f"unexpected token {token} outside tuple context")
+
+
+def _require_node(item: Item) -> Node:
+    if isinstance(item, AtomicValue):
+        return TextNode(item.string_value())
+    assert isinstance(item, Node)
+    return item
+
+
+class TokenStream:
+    """A pull-based token stream with one-token lookahead.
+
+    Operators that consume token streams (the tuple decoders, the
+    serializer) use this thin cursor rather than juggling raw iterators.
+    """
+
+    def __init__(self, tokens: Iterable[Token]):
+        self._iter = iter(tokens)
+        self._peeked: Token | None = None
+        self.consumed = 0
+
+    def peek(self) -> Token | None:
+        if self._peeked is None:
+            self._peeked = next(self._iter, None)
+        return self._peeked
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise XMLError("unexpected end of token stream")
+        self._peeked = None
+        self.consumed += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+    def expect(self, token_type: TokenType) -> Token:
+        token = self.next()
+        if token.type is not token_type:
+            raise XMLError(f"expected {token_type.value}, found {token.type.value}")
+        return token
+
+    def __iter__(self) -> Iterator[Token]:
+        while not self.at_end():
+            yield self.next()

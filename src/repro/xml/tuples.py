@@ -1,0 +1,287 @@
+"""The three tuple representations of Figure 4 (paper section 5.1).
+
+XQuery never surfaces tuples (they are not XML-serializable and not part of
+the data model) but FLWOR variable bindings imply tuples internally.  ALDSP
+supports three representations, chosen by the optimizer per use site:
+
+* **stream** — a ``BeginTuple ... FieldSeparator ... EndTuple`` framed token
+  stream.  Lowest memory, but reading field *i* costs a scan over all
+  preceding fields and skipping a field still walks its tokens.
+* **single token** — the whole framed stream wrapped in one ``WRAPPED``
+  token.  Cheap to skip (one token), expensive to access (the nested stream
+  must be extracted and scanned).
+* **array** — one token per field.  Usable when every field is a single
+  token (the relational case: each column is one atomic token); highest
+  memory, O(1) field access.
+
+All three implement :class:`TupleRepr`.  Each class counts the token
+touches its accessors perform so the Figure-4 benchmark can report the
+access-cost/memory tradeoff the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import XMLError
+from .items import Item
+from .tokens import Token, TokenStream, TokenType, items_to_tokens, tokens_to_items
+
+_BEGIN = Token(TokenType.BEGIN_TUPLE)
+_END = Token(TokenType.END_TUPLE)
+_SEP = Token(TokenType.FIELD_SEPARATOR)
+
+
+class TupleRepr:
+    """Common interface of the three tuple representations."""
+
+    #: number of individual tokens touched by accessor calls (cost metric)
+    tokens_touched: int
+
+    def arity(self) -> int:
+        raise NotImplementedError
+
+    def field(self, index: int) -> list[Item]:
+        """Return field ``index`` as a data-model sequence."""
+        raise NotImplementedError
+
+    def to_tokens(self) -> list[Token]:
+        """Render as a framed token stream (the interchange form)."""
+        raise NotImplementedError
+
+    def memory_tokens(self) -> int:
+        """Number of resident token objects (the paper's memory metric)."""
+        raise NotImplementedError
+
+    def skip(self) -> int:
+        """Cost (token touches) of skipping this whole tuple in a stream."""
+        raise NotImplementedError
+
+
+def _frame_fields(fields: Sequence[Sequence[Item]]) -> list[Token]:
+    tokens: list[Token] = [_BEGIN]
+    for i, field_items in enumerate(fields):
+        if i > 0:
+            tokens.append(_SEP)
+        tokens.extend(items_to_tokens(field_items))
+    tokens.append(_END)
+    return tokens
+
+
+def _split_fields(tokens: Sequence[Token]) -> list[list[Token]]:
+    """Split a framed token list into per-field token lists."""
+    if not tokens or tokens[0].type is not TokenType.BEGIN_TUPLE:
+        raise XMLError("tuple stream must start with BeginTuple")
+    if tokens[-1].type is not TokenType.END_TUPLE:
+        raise XMLError("tuple stream must end with EndTuple")
+    fields: list[list[Token]] = [[]]
+    depth = 0
+    for token in tokens[1:-1]:
+        if token.type is TokenType.FIELD_SEPARATOR and depth == 0:
+            fields.append([])
+            continue
+        if token.type in (TokenType.START_ELEMENT, TokenType.START_DOCUMENT, TokenType.BEGIN_TUPLE):
+            depth += 1
+        elif token.type in (TokenType.END_ELEMENT, TokenType.END_DOCUMENT, TokenType.END_TUPLE):
+            depth -= 1
+        fields[-1].append(token)
+    return fields
+
+
+class StreamTuple(TupleRepr):
+    """Figure 4, top row: the framed token-stream representation."""
+
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens = list(tokens)
+        self.tokens_touched = 0
+
+    @classmethod
+    def from_fields(cls, fields: Sequence[Sequence[Item]]) -> "StreamTuple":
+        return cls(_frame_fields(fields))
+
+    def arity(self) -> int:
+        self.tokens_touched += len(self._tokens)
+        return len(_split_fields(self._tokens))
+
+    def field(self, index: int) -> list[Item]:
+        # Scanning cost: every token up to and including the requested field.
+        fields = _split_fields(self._tokens)
+        if index >= len(fields):
+            raise XMLError(f"tuple has {len(fields)} fields, asked for {index}")
+        touched = 1  # BeginTuple
+        for i in range(index + 1):
+            touched += len(fields[i]) + 1  # field tokens + separator/end
+        self.tokens_touched += touched
+        return tokens_to_items(fields[index])
+
+    def to_tokens(self) -> list[Token]:
+        return list(self._tokens)
+
+    def memory_tokens(self) -> int:
+        return len(self._tokens)
+
+    def skip(self) -> int:
+        # A stream consumer must walk every token to find EndTuple.
+        self.tokens_touched += len(self._tokens)
+        return len(self._tokens)
+
+
+class SingleTokenTuple(TupleRepr):
+    """Figure 4, middle row: the whole tuple wrapped in one token.
+
+    Cheap when content can be skipped; extraction re-materializes the
+    framed stream for processing.
+    """
+
+    def __init__(self, wrapped: Token):
+        if wrapped.type is not TokenType.WRAPPED:
+            raise XMLError("SingleTokenTuple requires a WRAPPED token")
+        self._wrapped = wrapped
+        self.tokens_touched = 0
+
+    @classmethod
+    def from_fields(cls, fields: Sequence[Sequence[Item]]) -> "SingleTokenTuple":
+        return cls(Token(TokenType.WRAPPED, value=tuple(_frame_fields(fields))))
+
+    def _inner(self) -> list[Token]:
+        return list(self._wrapped.value)  # type: ignore[arg-type]
+
+    def extract(self) -> StreamTuple:
+        """Unwrap into the stream representation (the 'expensive access')."""
+        inner = self._inner()
+        self.tokens_touched += len(inner)
+        return StreamTuple(inner)
+
+    def arity(self) -> int:
+        return self.extract().arity()
+
+    def field(self, index: int) -> list[Item]:
+        stream = self.extract()
+        items = stream.field(index)
+        self.tokens_touched += stream.tokens_touched
+        return items
+
+    def to_tokens(self) -> list[Token]:
+        return self._inner()
+
+    def memory_tokens(self) -> int:
+        # The wrapper plus the retained nested tokens.
+        return 1 + len(self._wrapped.value)  # type: ignore[arg-type]
+
+    def skip(self) -> int:
+        self.tokens_touched += 1
+        return 1
+
+
+class ArrayTuple(TupleRepr):
+    """Figure 4, bottom row: one token per field.
+
+    Only usable when every field is representable by a single token — e.g.
+    rows arriving from relational sources, where each column value is one
+    atomic token.  Highest memory, cheap access to every field.
+    """
+
+    def __init__(self, field_tokens: Sequence[Token]):
+        self._fields = list(field_tokens)
+        self.tokens_touched = 0
+
+    @classmethod
+    def from_fields(cls, fields: Sequence[Sequence[Item]]) -> "ArrayTuple":
+        field_tokens: list[Token] = []
+        for field_items in fields:
+            tokens = list(items_to_tokens(field_items))
+            if len(tokens) == 1:
+                field_tokens.append(tokens[0])
+            else:
+                # Field needs more than one token: wrap (still one slot).
+                field_tokens.append(Token(TokenType.WRAPPED, value=tuple(tokens)))
+        return cls(field_tokens)
+
+    def arity(self) -> int:
+        return len(self._fields)
+
+    def field(self, index: int) -> list[Item]:
+        token = self._fields[index]
+        self.tokens_touched += 1
+        if token.type is TokenType.WRAPPED:
+            nested = list(token.value)  # type: ignore[arg-type]
+            self.tokens_touched += len(nested)
+            return tokens_to_items(nested)
+        return tokens_to_items([token])
+
+    def to_tokens(self) -> list[Token]:
+        tokens: list[Token] = [_BEGIN]
+        for i, token in enumerate(self._fields):
+            if i > 0:
+                tokens.append(_SEP)
+            if token.type is TokenType.WRAPPED:
+                tokens.extend(token.value)  # type: ignore[arg-type]
+            else:
+                tokens.append(token)
+        tokens.append(_END)
+        return tokens
+
+    def memory_tokens(self) -> int:
+        total = 0
+        for token in self._fields:
+            if token.type is TokenType.WRAPPED:
+                total += 1 + len(token.value)  # type: ignore[arg-type]
+            else:
+                total += 1
+        # Array overhead: the paper notes higher memory requirements; we
+        # charge one slot per field for the array itself.
+        return total + len(self._fields)
+
+    def skip(self) -> int:
+        self.tokens_touched += len(self._fields)
+        return len(self._fields)
+
+
+REPRESENTATIONS = {
+    "stream": StreamTuple,
+    "single-token": SingleTokenTuple,
+    "array": ArrayTuple,
+}
+
+
+def make_tuple(representation: str, fields: Sequence[Sequence[Item]]) -> TupleRepr:
+    """Build a tuple in the named representation from field sequences."""
+    try:
+        cls = REPRESENTATIONS[representation]
+    except KeyError:
+        raise XMLError(f"unknown tuple representation {representation!r}") from None
+    return cls.from_fields(fields)
+
+
+def choose_representation(field_token_widths: Sequence[int], access_ratio: float) -> str:
+    """The optimizer's representation choice (section 5.1).
+
+    ``field_token_widths`` — tokens needed per field; ``access_ratio`` — the
+    expected fraction of fields accessed downstream.  Relational-style
+    tuples (every field one token) with frequent access pick the array
+    representation; rarely accessed tuples are wrapped into a single token;
+    everything else stays a stream.
+    """
+    every_field_single = all(width == 1 for width in field_token_widths)
+    if every_field_single and access_ratio >= 0.25:
+        return "array"
+    if access_ratio < 0.25:
+        return "single-token"
+    return "stream"
+
+
+def decode_framed_stream(tokens: Iterable[Token]) -> Iterator[StreamTuple]:
+    """Split a concatenation of framed tuples into StreamTuple objects."""
+    stream = TokenStream(tokens)
+    while not stream.at_end():
+        first = stream.expect(TokenType.BEGIN_TUPLE)
+        collected = [first]
+        depth = 1
+        while depth:
+            token = stream.next()
+            if token.type is TokenType.BEGIN_TUPLE:
+                depth += 1
+            elif token.type is TokenType.END_TUPLE:
+                depth -= 1
+            collected.append(token)
+        yield StreamTuple(collected)

@@ -1,0 +1,21 @@
+"""XQuery front-end: lexer, parser, normalization, type checking, builtins."""
+
+from . import ast_nodes as ast
+from .functions import all_builtins, atomize, builtin, effective_boolean_value, is_builtin
+from .lexer import Lexer, Pragma
+from .parser import Parser, fresh_var, parse_expression, parse_module
+
+__all__ = [
+    "ast",
+    "all_builtins",
+    "atomize",
+    "builtin",
+    "effective_boolean_value",
+    "is_builtin",
+    "Lexer",
+    "Pragma",
+    "Parser",
+    "fresh_var",
+    "parse_expression",
+    "parse_module",
+]

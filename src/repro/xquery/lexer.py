@@ -1,0 +1,202 @@
+"""XQuery lexer.
+
+Lexes the XQuery subset used by ALDSP data services (July 2004 working
+draft dialect, section 3.1) plus ALDSP's syntactic extensions.  Notable
+points:
+
+* XQuery comments ``(: ... :)`` nest and are skipped — except ALDSP
+  *pragma comments* ``(::pragma ... ::)`` (section 3.2), which are captured
+  and handed to the parser so they can be attached to the next declaration.
+* Direct element constructors are not lexed here: the parser switches to
+  character-level scanning (via :meth:`Lexer.char_pos` / :meth:`Lexer.seek`)
+  when it decides a ``<`` begins a constructor.
+* Keywords are context sensitive in XQuery, so the lexer only emits NAME
+  tokens; the parser matches keyword spellings.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+NAME = "name"
+STRING = "string"
+INTEGER = "integer"
+DECIMAL = "decimal"
+DOUBLE = "double"
+SYMBOL = "symbol"
+EOF = "eof"
+
+#: Multi-character symbols first (maximal munch).
+_SYMBOLS = [
+    ":=", "!=", "<=", ">=", "<<", ">>", "//", "..", "::",
+    "(", ")", "[", "]", "{", "}", ",", ";", "=", "<", ">",
+    "+", "-", "*", "/", "?", "@", "$", ".", "|",
+]
+
+_NCNAME = r"[A-Za-z_][A-Za-z0-9_\-.]*"
+_NAME_RE = re.compile(rf"{_NCNAME}(?::{_NCNAME})?")
+_NUMBER_RE = re.compile(r"(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?")
+
+
+@dataclass(frozen=True, slots=True)
+class LexToken:
+    kind: str
+    value: str
+    line: int
+    column: int
+    pos: int  # character offset of the token start
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value!r}@{self.line}:{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
+class Pragma:
+    """A captured ``(::pragma ... ::)`` comment."""
+
+    kind: str  # e.g. "function", "xds"
+    attributes: dict[str, str]
+    raw: str
+    line: int
+
+
+_PRAGMA_ATTR_RE = re.compile(r'([\w.\-:]+)\s*=\s*"([^"]*)"')
+
+
+class Lexer:
+    """On-demand lexer with character-offset seek support."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        #: pragmas collected since the last drain (the parser attaches them
+        #: to the next declaration it parses).
+        self.pending_pragmas: list[Pragma] = []
+
+    # -- position helpers ---------------------------------------------------
+
+    def line_col(self, pos: int | None = None) -> tuple[int, int]:
+        pos = self.pos if pos is None else pos
+        line = self.text.count("\n", 0, pos) + 1
+        last_nl = self.text.rfind("\n", 0, pos)
+        return line, pos - last_nl
+
+    @property
+    def char_pos(self) -> int:
+        return self.pos
+
+    def seek(self, pos: int) -> None:
+        self.pos = pos
+
+    def error(self, message: str) -> ParseError:
+        line, col = self.line_col()
+        return ParseError(message, line, col)
+
+    # -- scanning -----------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments; capture pragma comments."""
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch.isspace():
+                self.pos += 1
+                continue
+            if text.startswith("(:", self.pos):
+                self._consume_comment()
+                continue
+            return
+
+    def _consume_comment(self) -> None:
+        start = self.pos
+        depth = 0
+        pos = self.pos
+        text = self.text
+        while pos < len(text):
+            if text.startswith("(:", pos):
+                depth += 1
+                pos += 2
+            elif text.startswith(":)", pos):
+                depth -= 1
+                pos += 2
+                if depth == 0:
+                    body = text[start + 2 : pos - 2]
+                    self.pos = pos
+                    if body.startswith(":pragma"):
+                        self._capture_pragma(body, start)
+                    return
+            else:
+                pos += 1
+        self.pos = pos
+        raise self.error("unterminated comment")
+
+    def _capture_pragma(self, body: str, start: int) -> None:
+        # body looks like ":pragma function ... :" (trailing ':' from '::)')
+        content = body[len(":pragma") :].strip().rstrip(":").strip()
+        kind = content.split(None, 1)[0] if content else ""
+        attrs = dict(_PRAGMA_ATTR_RE.findall(content))
+        line, _ = self.line_col(start)
+        self.pending_pragmas.append(Pragma(kind, attrs, content, line))
+
+    def drain_pragmas(self) -> list[Pragma]:
+        pragmas, self.pending_pragmas = self.pending_pragmas, []
+        return pragmas
+
+    def next_token(self) -> LexToken:
+        self._skip_trivia()
+        line, col = self.line_col()
+        start = self.pos
+        text = self.text
+        if self.pos >= len(text):
+            return LexToken(EOF, "", line, col, start)
+        ch = text[self.pos]
+
+        # String literals with doubled-quote escapes.
+        if ch in ("'", '"'):
+            return self._lex_string(ch, line, col, start)
+
+        # Numbers.
+        if ch.isdigit() or (ch == "." and self.pos + 1 < len(text) and text[self.pos + 1].isdigit()):
+            match = _NUMBER_RE.match(text, self.pos)
+            assert match
+            self.pos = match.end()
+            literal = match.group()
+            if match.group(2):
+                return LexToken(DOUBLE, literal, line, col, start)
+            if "." in literal:
+                return LexToken(DECIMAL, literal, line, col, start)
+            return LexToken(INTEGER, literal, line, col, start)
+
+        # Names / QNames.
+        match = _NAME_RE.match(text, self.pos)
+        if match:
+            self.pos = match.end()
+            return LexToken(NAME, match.group(), line, col, start)
+
+        # Symbols.
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, self.pos):
+                self.pos += len(symbol)
+                return LexToken(SYMBOL, symbol, line, col, start)
+
+        raise self.error(f"unexpected character {ch!r}")
+
+    def _lex_string(self, quote: str, line: int, col: int, start: int) -> LexToken:
+        text = self.text
+        pos = self.pos + 1
+        parts: list[str] = []
+        while pos < len(text):
+            ch = text[pos]
+            if ch == quote:
+                if text.startswith(quote * 2, pos):
+                    parts.append(quote)
+                    pos += 2
+                    continue
+                self.pos = pos + 1
+                return LexToken(STRING, "".join(parts), line, col, start)
+            parts.append(ch)
+            pos += 1
+        raise self.error("unterminated string literal")

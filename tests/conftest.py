@@ -1,0 +1,146 @@
+"""Shared fixtures: the paper's running-example federation.
+
+Two relational databases (``custdb`` with CUSTOMER/ORDER on Oracle,
+``ccdb`` with CREDIT_CARD on DB2), the credit-rating Web service, and the
+getProfile logical data service of Figure 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Platform
+from repro.clock import VirtualClock
+from repro.relational import ForeignKey
+from repro.schema import leaf, shape
+from repro.sources import WebServiceDescriptor, WebServiceOperation
+from repro.xml import element
+
+
+def build_custdb(clock, customers=2, orders_per_customer=2, vendor="oracle"):
+    db = Database("custdb", vendor=vendor, clock=clock)
+    db.create_table(
+        "CUSTOMER",
+        [("CID", "VARCHAR", False), ("FIRST_NAME", "VARCHAR"),
+         ("LAST_NAME", "VARCHAR"), ("SSN", "VARCHAR"), ("SINCE", "INTEGER")],
+        primary_key=["CID"],
+    )
+    db.create_table(
+        "ORDER",
+        [("OID", "VARCHAR", False), ("CID", "VARCHAR"), ("AMOUNT", "INTEGER")],
+        primary_key=["OID"],
+        foreign_keys=[ForeignKey(("CID",), "CUSTOMER", ("CID",))],
+    )
+    surnames = ["Jones", "Smith", "Nguyen", "Garcia", "Chen"]
+    firsts = ["Al", "Bo", "Cy", "Di", "Ed"]
+    oid = 0
+    for i in range(1, customers + 1):
+        db.table("CUSTOMER").insert({
+            "CID": f"C{i}",
+            "FIRST_NAME": firsts[(i - 1) % len(firsts)],
+            "LAST_NAME": surnames[(i - 1) % len(surnames)],
+            "SSN": f"{100 + i}",
+            "SINCE": 864000 * i,  # exactly 10*i days (inverse-function tests)
+        })
+        for _j in range(orders_per_customer):
+            oid += 1
+            db.table("ORDER").insert({
+                "OID": f"O{oid}", "CID": f"C{i}", "AMOUNT": 10 * oid,
+            })
+    return db
+
+
+def build_ccdb(clock, customers=2, vendor="db2"):
+    db = Database("ccdb", vendor=vendor, clock=clock)
+    db.create_table(
+        "CREDIT_CARD",
+        [("CCID", "VARCHAR", False), ("CID", "VARCHAR"), ("NUMBER", "VARCHAR")],
+        primary_key=["CCID"],
+    )
+    for i in range(1, customers + 1):
+        db.table("CREDIT_CARD").insert(
+            {"CCID": f"CC{i}", "CID": f"C{i}", "NUMBER": f"44{i:02d}"}
+        )
+    return db
+
+
+RATING_IN = shape("getRating", [leaf("lName", "xs:string"), leaf("ssn", "xs:string")])
+RATING_OUT = shape("getRatingResponse", [leaf("getRatingResult", "xs:integer")])
+
+
+def rating_service(latency_ms=30.0, log=None):
+    def handler(doc):
+        if log is not None:
+            log.append(doc.child_elements()[0].string_value())
+        ssn = doc.child_elements()[1].string_value()
+        return element(
+            "getRatingResponse", element("getRatingResult", 600 + int(ssn))
+        )
+
+    return WebServiceDescriptor(
+        "RatingService",
+        [WebServiceOperation("getRating", RATING_IN, RATING_OUT, handler,
+                             latency_ms=latency_ms)],
+    )
+
+
+PROFILE_DS = '''
+xquery version "1.0" encoding "UTF8";
+declare namespace tns="urn:profile";
+
+(::pragma function kind="read" ::)
+declare function tns:getProfile() as element(PROFILE)* {
+  for $CUSTOMER in CUSTOMER()
+  return
+    <PROFILE>
+      <CID>{fn:data($CUSTOMER/CID)}</CID>
+      <LAST_NAME>{fn:data($CUSTOMER/LAST_NAME)}</LAST_NAME>
+      <ORDERS>{ getORDER($CUSTOMER) }</ORDERS>
+      <CREDIT_CARDS>{ CREDIT_CARD()[CID eq $CUSTOMER/CID] }</CREDIT_CARDS>
+      <RATING>{
+        fn:data(getRating(
+          <getRating>
+            <lName>{ data($CUSTOMER/LAST_NAME) }</lName>
+            <ssn>{ data($CUSTOMER/SSN) }</ssn>
+          </getRating>)/getRatingResult)
+      }</RATING>
+    </PROFILE>
+};
+
+(::pragma function kind="read" ::)
+declare function tns:getProfileByID($id as xs:string) as element(PROFILE)* {
+  tns:getProfile()[CID eq $id]
+};
+'''
+
+
+def build_platform(customers=2, orders_per_customer=2, ws_latency_ms=30.0,
+                   ws_log=None, deploy_profile=True):
+    clock = VirtualClock()
+    platform = Platform(clock=clock)
+    platform.register_database(build_custdb(clock, customers, orders_per_customer))
+    platform.register_database(build_ccdb(clock, customers))
+    platform.register_web_service(rating_service(ws_latency_ms, ws_log))
+    if deploy_profile:
+        platform.deploy(PROFILE_DS, name="ProfileService")
+    return platform
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def custdb(clock):
+    return build_custdb(clock)
+
+
+@pytest.fixture
+def platform():
+    return build_platform()
+
+
+@pytest.fixture
+def big_platform():
+    return build_platform(customers=30, orders_per_customer=3)

@@ -1,0 +1,182 @@
+"""Adaptor framework tests (section 5.3): Web service, Java function,
+XML/CSV file sources."""
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.errors import SchemaError, SourceError
+from repro.schema import leaf, shape
+from repro.sources import (
+    Adaptor,
+    CSVFileAdaptor,
+    JavaFunctionAdaptor,
+    WebServiceAdaptor,
+    WebServiceDescriptor,
+    WebServiceOperation,
+    XMLFileAdaptor,
+    from_python,
+    to_python,
+)
+from repro.xml import AtomicValue, element, serialize
+
+
+class TestBaseProtocol:
+    def test_unavailable_source_raises(self):
+        adaptor = Adaptor("x")
+        adaptor.available = False
+        with pytest.raises(SourceError):
+            adaptor.invoke([])
+
+    def test_extra_latency_charged(self):
+        clock = VirtualClock()
+
+        class Echo(Adaptor):
+            def call(self, connection, params):
+                return None
+
+            def translate_result(self, result):
+                return [AtomicValue(1, "xs:integer")]
+
+        adaptor = Echo("x", clock)
+        adaptor.extra_latency_ms = 25.0
+        adaptor.invoke([])
+        assert clock.now_ms() == 25.0
+        assert adaptor.invocations == 1
+
+
+RATING_IN = shape("req", [leaf("name", "xs:string")])
+RATING_OUT = shape("resp", [leaf("score", "xs:integer")])
+
+
+def doc_service(handler, latency=5.0):
+    op = WebServiceOperation("op", RATING_IN, RATING_OUT, handler, latency_ms=latency)
+    return WebServiceAdaptor(WebServiceDescriptor("S", [op]), op, VirtualClock())
+
+
+class TestWebServiceAdaptor:
+    def test_document_style_roundtrip(self):
+        def handler(doc):
+            name = doc.child_elements()[0].string_value()
+            return element("resp", element("score", len(name)))
+
+        adaptor = doc_service(handler)
+        [result] = adaptor.invoke([[element("req", element("name", "Jones"))]])
+        assert serialize(result) == "<resp><score>5</score></resp>"
+        # result came through schema validation -> typed token stream
+        assert result.child_elements()[0].type_annotation == "xs:integer"
+
+    def test_latency_charged(self):
+        adaptor = doc_service(lambda doc: element("resp", element("score", 1)),
+                              latency=30.0)
+        adaptor.invoke([[element("req", element("name", "x"))]])
+        assert adaptor.clock.now_ms() == 30.0
+
+    def test_input_validated(self):
+        adaptor = doc_service(lambda doc: element("resp", element("score", 1)))
+        with pytest.raises(SchemaError):
+            adaptor.invoke([[element("req", element("WRONG", "x"))]])
+
+    def test_output_validated(self):
+        adaptor = doc_service(lambda doc: element("resp", element("bogus", 1)))
+        with pytest.raises(SchemaError):
+            adaptor.invoke([[element("req", element("name", "x"))]])
+
+    def test_rpc_style(self):
+        op = WebServiceOperation("add", None, shape("sum", [leaf("v", "xs:integer")]),
+                                 lambda a, b: element("sum", element("v", a + b)),
+                                 style="rpc")
+        adaptor = WebServiceAdaptor(WebServiceDescriptor("S", [op]), op, VirtualClock())
+        [result] = adaptor.invoke([[AtomicValue(2, "xs:integer")],
+                                   [AtomicValue(3, "xs:integer")]])
+        assert result.string_value() == "5"
+
+    def test_document_style_requires_one_element(self):
+        adaptor = doc_service(lambda doc: element("resp", element("score", 1)))
+        with pytest.raises(SourceError):
+            adaptor.invoke([[AtomicValue("not-an-element", "xs:string")]])
+
+
+class TestJavaFunctionAdaptor:
+    def test_scalar_roundtrip(self):
+        adaptor = JavaFunctionAdaptor("triple", lambda x: x * 3)
+        [result] = adaptor.invoke([[AtomicValue(4, "xs:integer")]])
+        assert result == AtomicValue(12, "xs:integer")
+
+    def test_none_is_empty_sequence(self):
+        adaptor = JavaFunctionAdaptor("nothing", lambda x: None)
+        assert adaptor.invoke([[AtomicValue(1, "xs:integer")]]) == []
+
+    def test_array_support(self):
+        adaptor = JavaFunctionAdaptor("spread", lambda xs: [x + 1 for x in xs])
+        out = adaptor.invoke([[AtomicValue(1, "xs:integer"), AtomicValue(2, "xs:integer")]])
+        assert [a.value for a in out] == [2, 3]
+
+    def test_element_argument_atomized(self):
+        adaptor = JavaFunctionAdaptor("echo", lambda x: x)
+        [result] = adaptor.invoke([[element("X", 9, type_annotation="xs:integer")]])
+        assert result.value == 9
+
+    def test_unmappable_result_rejected(self):
+        adaptor = JavaFunctionAdaptor("bad", lambda x: object())
+        with pytest.raises(SourceError):
+            adaptor.invoke([[AtomicValue(1, "xs:integer")]])
+
+    def test_conversion_helpers(self):
+        assert to_python([AtomicValue(5, "xs:integer")]) == 5
+        assert to_python([]) is None
+        assert [a.value for a in from_python([1, 2])] == [1, 2]
+        assert from_python(True)[0].type_name == "xs:boolean"
+
+
+RECORD = shape("ROW", [leaf("ID", "xs:integer"), leaf("NAME", "xs:string", "?")])
+
+
+class TestFileAdaptors:
+    def test_xml_file(self, tmp_path):
+        path = tmp_path / "data.xml"
+        path.write_text("<ROWS><ROW><ID>1</ID><NAME>a</NAME></ROW>"
+                        "<ROW><ID>2</ID></ROW></ROWS>")
+        adaptor = XMLFileAdaptor("rows", path, RECORD, VirtualClock())
+        out = adaptor.invoke([])
+        assert len(out) == 2
+        assert out[0].child_elements()[0].typed_value()[0].value == 1
+
+    def test_xml_file_validation_failure(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("<ROWS><ROW><WRONG>1</WRONG></ROW></ROWS>")
+        adaptor = XMLFileAdaptor("rows", path, RECORD, VirtualClock())
+        with pytest.raises(SchemaError):
+            adaptor.invoke([])
+
+    def test_missing_file_is_source_error(self, tmp_path):
+        adaptor = XMLFileAdaptor("rows", tmp_path / "nope.xml", RECORD, VirtualClock())
+        with pytest.raises(SourceError):
+            adaptor.invoke([])
+
+    def test_csv_file_with_header(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("ID,NAME\n1,alpha\n2,beta\n")
+        adaptor = CSVFileAdaptor("rows", path, RECORD, clock=VirtualClock())
+        out = adaptor.invoke([])
+        assert serialize(out[1]) == "<ROW><ID>2</ID><NAME>beta</NAME></ROW>"
+
+    def test_csv_missing_value_is_missing_element(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("ID,NAME\n1,\n")
+        adaptor = CSVFileAdaptor("rows", path, RECORD, clock=VirtualClock())
+        [row] = adaptor.invoke([])
+        assert serialize(row) == "<ROW><ID>1</ID></ROW>"
+
+    def test_csv_wrong_field_count_rejected(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("ID,NAME\n1,a,EXTRA\n")
+        adaptor = CSVFileAdaptor("rows", path, RECORD, clock=VirtualClock())
+        with pytest.raises(SourceError):
+            adaptor.invoke([])
+
+    def test_csv_shape_must_be_flat(self, tmp_path):
+        from repro.schema import group
+
+        nested = shape("ROW", [group("INNER", [leaf("X", "xs:string")])])
+        with pytest.raises(SourceError):
+            CSVFileAdaptor("rows", tmp_path / "x.csv", nested)

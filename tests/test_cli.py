@@ -1,0 +1,60 @@
+"""CLI tests (``python -m repro ...``)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, timeout=120,
+    )
+    return result
+
+
+class TestCLI:
+    def test_demo(self):
+        result = run_cli("--customers", "2", "demo")
+        assert result.returncode == 0
+        assert result.stdout.count("<PROFILE>") == 2
+        assert "pushed SQL queries" in result.stdout
+
+    def test_query(self):
+        result = run_cli("--customers", "2", "query",
+                         "for $c in CUSTOMER() return $c/CID")
+        assert result.returncode == 0
+        assert result.stdout.splitlines() == ["<CID>C1</CID>", "<CID>C2</CID>"]
+
+    def test_explain(self):
+        result = run_cli("explain", "for $c in CUSTOMER() return $c/CID")
+        assert result.returncode == 0
+        assert "PUSHED SQL -> custdb" in result.stdout
+
+    def test_sql(self):
+        result = run_cli("--customers", "2", "sql", 'getProfileByID("C1")')
+        assert result.returncode == 0
+        assert "[custdb]" in result.stdout and "[ccdb]" in result.stdout
+
+    def test_lineage(self):
+        result = run_cli("lineage")
+        assert result.returncode == 0
+        assert "PROFILE/LAST_NAME" in result.stdout
+        assert "custdb.CUSTOMER.LAST_NAME" in result.stdout
+
+    def test_query_error_exit_code(self):
+        result = run_cli("query", "for $c in NO_SUCH() return $c")
+        assert result.returncode == 1
+        assert "error:" in result.stderr
+
+    def test_in_process_main(self, capsys):
+        code = main(["--customers", "1", "query", "1 + 1"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,110 @@
+"""Clock semantics (virtual branch accounting, wall clock) and small
+shared utilities."""
+
+import time
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock import VirtualClock, WallClock
+from repro.sdo import DataObject
+from repro.xml import element, parse_element_text
+
+
+class TestVirtualClock:
+    def test_charge_advances(self):
+        clock = VirtualClock()
+        clock.charge_ms(5)
+        clock.charge_ms(2.5)
+        assert clock.now_ms() == 7.5
+
+    def test_branch_isolated_until_joined(self):
+        clock = VirtualClock()
+        clock.charge_ms(10)
+        clock.begin_branch()
+        clock.charge_ms(40)
+        assert clock.now_ms() == 50  # visible while inside the branch
+        elapsed = clock.end_branch()
+        assert elapsed == 40
+        assert clock.now_ms() == 10  # the join decides what to add
+        clock.charge_ms(elapsed)
+        assert clock.now_ms() == 50
+
+    def test_nested_branches(self):
+        clock = VirtualClock()
+        clock.begin_branch()
+        clock.charge_ms(5)
+        clock.begin_branch()
+        clock.charge_ms(3)
+        assert clock.end_branch() == 3
+        assert clock.end_branch() == 5
+
+    def test_set_ms_monotonic(self):
+        clock = VirtualClock()
+        clock.charge_ms(10)
+        clock.set_ms(5)
+        assert clock.now_ms() == 10
+        clock.set_ms(20)
+        assert clock.now_ms() == 20
+
+
+class TestWallClock:
+    def test_charge_sleeps(self):
+        clock = WallClock()
+        start = time.monotonic()
+        clock.charge_ms(20)
+        assert time.monotonic() - start >= 0.015
+
+    def test_zero_charge_fast(self):
+        clock = WallClock()
+        start = time.monotonic()
+        clock.charge_ms(0)
+        assert time.monotonic() - start < 0.01
+
+
+_LEAF_NAMES = st.lists(
+    st.sampled_from(["A", "B", "C", "D", "E"]), min_size=1, max_size=5, unique=True
+)
+
+
+@given(names=_LEAF_NAMES, edits=st.lists(st.tuples(st.integers(0, 4), st.text(
+    alphabet="abcxyz", min_size=1, max_size=5)), max_size=8))
+def test_property_dataobject_change_log_consistent(names, edits):
+    """Random flat objects + random edit sequences: the change log's old
+    values are the originals, its new values are the final state, and
+    unchanged leaves never appear."""
+    root = element("ROOT", *(element(name, f"init-{name}") for name in names))
+    obj = DataObject(root)
+    finals = {name: f"init-{name}" for name in names}
+    for index, value in edits:
+        name = names[index % len(names)]
+        obj.set(name, value)
+        finals[name] = value
+    log = obj.change_log()
+    seen = {}
+    for change in log.changes:
+        leaf_name = change.path[-1]
+        seen.setdefault(leaf_name, []).append(change)
+        assert seen[leaf_name][0].old == f"init-{leaf_name}"
+    for name in names:
+        assert obj.get(name) == finals[name]
+        if finals[name] == f"init-{name}":
+            # a leaf that ended at its original value may appear in the log
+            # (intermediate edits) but its first old value is the original
+            pass
+        if name in seen:
+            assert seen[name][-1].new == finals[name] or \
+                finals[name] == f"init-{name}"
+
+
+@given(st.lists(st.sampled_from(["X", "Y"]), min_size=2, max_size=5))
+def test_property_repeated_siblings_get_stable_indexed_paths(names):
+    root = parse_element_text(
+        "<R>" + "".join(f"<{n}>v</{n}>" for n in names) + "</R>"
+    )
+    obj = DataObject(root)
+    originals = obj.change_log().original_values
+    # every leaf is addressable and the index disambiguates duplicates
+    assert len(originals) == len(names)
+    for path in originals:
+        assert originals[path] == "v"

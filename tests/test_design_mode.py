@@ -1,0 +1,103 @@
+"""Design-time error recovery, end to end (section 4.1).
+
+"The ALDSP graphical XQuery editor ... relies heavily on the query
+compiler ... its policy is to fail on first error when invoked for query
+compilation on the server at runtime, but to recover as gracefully as
+possible when being used by the XQuery editor at data service design
+time."
+"""
+
+import pytest
+
+from repro import Platform
+from repro.clock import VirtualClock
+from repro.errors import ParseError, TypeError_
+
+from tests.conftest import build_custdb
+
+
+MIXED_QUALITY_SERVICE = '''
+declare namespace tns="urn:x";
+
+(::pragma function kind="read" ::)
+declare function tns:goodScan() as element(CUSTOMER)* {
+  for $c in CUSTOMER() return $c
+};
+
+(::pragma function kind="read" ::)
+declare function tns:syntaxError() as element(X)* {
+  for $c in return $c
+};
+
+(::pragma function kind="read" ::)
+declare function tns:typeError() as element(X)* {
+  for $c in CUSTOMER() return $undefined
+};
+
+(::pragma function kind="read" ::)
+declare function tns:caller() as element(CUSTOMER)* {
+  tns:goodScan()[CID eq "C1"]
+};
+'''
+
+
+def design_platform():
+    clock = VirtualClock()
+    platform = Platform(clock=clock, mode="design")
+    platform.register_database(build_custdb(clock))
+    return platform
+
+
+class TestDesignTimeDeployment:
+    def test_all_errors_located_in_one_pass(self):
+        platform = design_platform()
+        service = platform.deploy(MIXED_QUALITY_SERVICE, name="Mixed")
+        module = platform.module
+        # the syntax error was skipped to the ';'; type error collected
+        assert module.errors  # prolog-level syntax error recorded
+        type_errors = module.function("typeError", 0).errors
+        assert any("undefined" in e for e in type_errors)
+
+    def test_error_free_functions_still_work(self):
+        platform = design_platform()
+        platform.deploy(MIXED_QUALITY_SERVICE, name="Mixed")
+        out = platform.call("goodScan")
+        assert len(out) == 2
+
+    def test_caller_of_good_function_compiles(self):
+        platform = design_platform()
+        platform.deploy(MIXED_QUALITY_SERVICE, name="Mixed")
+        out = platform.call("caller")
+        assert len(out) == 1
+
+    def test_erroneous_function_fails_only_at_invocation(self):
+        from repro.errors import DynamicError, ReproError
+
+        platform = design_platform()
+        platform.deploy(MIXED_QUALITY_SERVICE, name="Mixed")
+        with pytest.raises(ReproError):
+            platform.call("typeError")
+
+    def test_runtime_mode_fails_fast_on_same_source(self):
+        clock = VirtualClock()
+        platform = Platform(clock=clock, mode="runtime")
+        platform.register_database(build_custdb(clock))
+        with pytest.raises(ParseError):
+            platform.deploy(MIXED_QUALITY_SERVICE, name="Mixed")
+
+
+class TestAnalysisModesOnAdHocQueries:
+    def test_runtime_query_type_error_raises(self):
+        platform = design_platform()
+        # ad hoc execution still fails eagerly for unknown functions
+        with pytest.raises((TypeError_, Exception)):
+            platform.execute("noSuchFunction()")
+
+    def test_signature_survives_broken_body(self):
+        platform = design_platform()
+        platform.deploy('''
+            declare function broken() as xs:integer { $nope };
+            declare function user() as xs:integer { broken() + 1 };
+        ''', name="S")
+        # 'user' type-checked against broken's declared signature
+        assert not platform.module.function("user", 0).errors

@@ -1,0 +1,73 @@
+"""Examples run green, and the remaining client-API surface works
+(streaming to file, demo module, package exports)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.demo import build_demo_platform
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=120
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+class TestServerSideAPIs:
+    def test_execute_to_file_streams(self, tmp_path):
+        platform = build_demo_platform(customers=3, deploy_profile=False)
+        target = tmp_path / "out.xml"
+        count = platform.execute_to_file(
+            "for $c in CUSTOMER() return <ROW>{ $c/CID }</ROW>", target
+        )
+        assert count == 3
+        text = target.read_text()
+        assert text.count("<ROW>") == 3
+        assert "<CID>C1</CID>" in text
+
+    def test_execute_to_file_pretty(self, tmp_path):
+        platform = build_demo_platform(customers=1, deploy_profile=False)
+        target = tmp_path / "pretty.xml"
+        platform.execute_to_file("CUSTOMER()", target, indent=2)
+        assert "\n  " in target.read_text()
+
+    def test_stream_supports_early_termination(self):
+        platform = build_demo_platform(customers=10, deploy_profile=False)
+        stream = platform.stream("for $c in CUSTOMER() return $c/CID")
+        first_two = [next(stream), next(stream)]
+        assert [i.string_value() for i in first_two] == ["C1", "C2"]
+        stream.close()  # generator cleanup must not raise
+
+
+class TestDemoModule:
+    def test_default_demo_platform_profile_works(self):
+        platform = build_demo_platform()
+        out = platform.call("getProfile")
+        assert len(out) == 4
+
+    def test_ws_call_log(self):
+        log = []
+        platform = build_demo_platform(customers=2, ws_call_log=log)
+        platform.call("getProfile")
+        assert len(log) == 2
+
+
+def test_public_package_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name

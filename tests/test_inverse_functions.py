@@ -1,0 +1,175 @@
+"""Inverse-function tests (section 4.5): the int2date/date2int scenario.
+
+The paper's derivation: registering ``date2int`` as the inverse of
+``int2date`` plus the rule ``(gt, int2date) -> gt-intfromdate`` lets the
+optimizer turn ``int2date($c/SINCE) gt $start`` into a pushable predicate
+``$c/SINCE gt date2int($start)`` — shipped as
+``WHERE t1."SINCE" > ?``.
+"""
+
+import pytest
+
+from repro.compiler import PushedSQL
+from repro.errors import StaticError
+from repro.compiler.inverse import InverseRegistry
+from repro.xml import AtomicValue
+from repro.xquery import ast, parse_expression
+from repro.xquery.normalize import normalize
+
+from tests.conftest import build_platform
+
+_EPOCH_DAY = 86400
+
+# A toy int2date: seconds-since-epoch -> "day-N" strings that order the
+# same way (enough to exercise the machinery without a datetime library).
+
+
+def int2date(seconds):
+    return f"day-{seconds // _EPOCH_DAY:010d}"
+
+
+def date2int(day):
+    return int(day.split("-")[1]) * _EPOCH_DAY
+
+
+GT_RULE_BODY = '''
+declare function gt-intfromdate($x1, $x2) as xs:boolean? {
+  date2int($x1) gt date2int($x2)
+};
+'''
+
+
+def platform_with_inverses():
+    platform = build_platform(customers=3, deploy_profile=False)
+    platform.register_java_function("int2date", int2date, ["xs:integer"], "xs:string")
+    platform.register_java_function("date2int", date2int, ["xs:string"], "xs:integer")
+    platform.register_inverse("int2date", "date2int")
+    platform.register_transform_rule("gt", "int2date", "gt-intfromdate")
+    platform.deploy(GT_RULE_BODY, name="inverse-rules")
+    platform.deploy('''
+        (::pragma function kind="read" ::)
+        declare function getSince() as element(SINCE_VIEW)* {
+          for $c in CUSTOMER()
+          return <SINCE_VIEW>
+            <CID>{data($c/CID)}</CID>
+            <SINCE>{int2date($c/SINCE)}</SINCE>
+          </SINCE_VIEW>
+        };
+    ''', name="SinceService")
+    return platform
+
+
+class TestRegistry:
+    def test_inverse_declaration(self):
+        registry = InverseRegistry()
+        registry.declare_inverse("f", "g")
+        assert registry.inverse_of("f") == "g"
+        assert registry.is_inverse_pair("g", "f")
+        assert registry.is_inverse_pair("f", "g")
+
+    def test_rule_requires_value_comparison(self):
+        registry = InverseRegistry()
+        with pytest.raises(StaticError):
+            registry.register_rule("contains", "f", "g")
+
+    def test_cancellation_rewrite(self):
+        registry = InverseRegistry()
+        registry.declare_inverse("int2date", "date2int")
+        expr = normalize(parse_expression("date2int(int2date($x))"))
+        result = registry.cancel_inverses(expr)
+        assert isinstance(result, ast.VarRef)
+
+    def test_cancellation_through_data_wrapper(self):
+        registry = InverseRegistry()
+        registry.declare_inverse("f", "g")
+        expr = normalize(parse_expression("g(data(f($x)))"))
+        assert isinstance(registry.cancel_inverses(expr), ast.VarRef)
+
+    def test_transform_rule_rewrites_comparison(self):
+        registry = InverseRegistry()
+        registry.register_rule("gt", "int2date", "gt-intfromdate")
+        expr = normalize(parse_expression("int2date($x) gt $start"))
+        rewritten = registry.apply_transforms(expr)
+        assert isinstance(rewritten, ast.FunctionCall)
+        assert rewritten.name == "gt-intfromdate"
+
+    def test_mirrored_rule(self):
+        registry = InverseRegistry()
+        registry.register_rule("lt", "f", "repl")
+        # f($x) on the right of gt == f($x) lt ... mirrored
+        expr = normalize(parse_expression("$start gt f($x)"))
+        rewritten = registry.apply_transforms(expr)
+        assert isinstance(rewritten, ast.FunctionCall)
+        assert rewritten.name == "repl"
+
+    def test_no_rule_no_rewrite(self):
+        registry = InverseRegistry()
+        expr = normalize(parse_expression("f($x) gt $y"))
+        assert isinstance(registry.apply_transforms(expr), ast.Comparison)
+
+
+class TestEndToEnd:
+    def test_predicate_becomes_pushable(self):
+        platform = platform_with_inverses()
+        plan = platform.prepare('''
+            for $v in getSince()
+            where $v/SINCE gt int2date(2500000)
+            return $v/CID
+        ''')
+        assert isinstance(plan.expr, PushedSQL)
+        sql = platform.ctx.renderer("oracle").render(plan.expr.select)
+        assert 't1."SINCE" >' in sql
+        assert "int2date" not in sql
+
+    def test_results_correct_through_rewrite(self):
+        platform = platform_with_inverses()
+        out = platform.execute('''
+            for $v in getSince()
+            where $v/SINCE gt int2date(2500000)
+            return $v/CID
+        ''')
+        # SINCE values are 1e6, 2e6, 3e6; int2date floors to days:
+        # day(2500000)=28; customers with day(SINCE) > 28: C3 (day 34).
+        from repro.xml import serialize
+
+        assert serialize(out) == "<CID>C3</CID>"
+
+    def test_without_rule_predicate_not_pushed(self):
+        platform = build_platform(customers=3, deploy_profile=False)
+        platform.register_java_function("int2date", int2date, ["xs:integer"], "xs:string")
+        platform.register_java_function("date2int", date2int, ["xs:string"], "xs:integer")
+        plan = platform.prepare('''
+            for $c in CUSTOMER()
+            where int2date($c/SINCE) gt int2date(2500000)
+            return $c/CID
+        ''')
+        # the black-box Java function blocks full pushdown (section 4.5)
+        assert not isinstance(plan.expr, PushedSQL)
+
+    def test_update_through_transform_uses_inverse(self):
+        platform = platform_with_inverses()
+        [obj] = platform.read_for_update("SinceService", "getSince")[:1]
+        assert obj.get("SINCE") == int2date(864000)
+        obj.set("SINCE", int2date(40 * _EPOCH_DAY))
+        result = platform.submit(obj)
+        assert result.rows_updated == 1
+        stored = platform.ctx.databases["custdb"].table("CUSTOMER").lookup_pk(("C1",))
+        assert stored["SINCE"] == 40 * _EPOCH_DAY
+
+    def test_update_without_inverse_fails_cleanly(self):
+        from repro.errors import LineageError
+
+        platform = build_platform(customers=1, deploy_profile=False)
+        platform.register_java_function("int2date", int2date, ["xs:integer"], "xs:string")
+        platform.deploy('''
+            (::pragma function kind="read" ::)
+            declare function getSince() as element(SINCE_VIEW)* {
+              for $c in CUSTOMER()
+              return <SINCE_VIEW><CID>{data($c/CID)}</CID>
+                     <SINCE>{int2date($c/SINCE)}</SINCE></SINCE_VIEW>
+            };
+        ''', name="SinceService")
+        [obj] = platform.read_for_update("SinceService", "getSince")
+        obj.set("SINCE", "day-0000000099")
+        with pytest.raises(LineageError):
+            platform.submit(obj)

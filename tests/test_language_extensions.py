@@ -1,0 +1,148 @@
+"""Tests for the remaining language surface: typeswitch, computed
+constructors, regex functions — and their non-pushability (section 4.4
+lists typeswitch among the expressions that never push)."""
+
+import pytest
+
+from repro.compiler import PushedSQL
+from repro.errors import ParseError
+from repro.xml import serialize
+from repro.xquery import ast, parse_expression
+
+from tests.conftest import build_platform
+from tests.test_runtime_evaluate import run, values
+
+
+class TestTypeswitch:
+    def test_parse_shape(self):
+        expr = parse_expression('''
+            typeswitch ($x)
+              case $i as xs:integer return "int"
+              case xs:string return "str"
+              default $d return "other"
+        ''')
+        assert isinstance(expr, ast.TypeswitchExpr)
+        assert len(expr.cases) == 2
+        assert expr.cases[0][0] == "i"
+        assert expr.cases[1][0] is None
+        assert expr.default_var == "d"
+
+    def test_requires_cases(self):
+        with pytest.raises(ParseError):
+            parse_expression("typeswitch ($x) default return 1")
+
+    def test_dispatch_on_dynamic_type(self):
+        query = '''
+            for $x in (1, "two", 3.5)
+            return typeswitch ($x)
+              case $i as xs:integer return <INT>{$i}</INT>
+              case $s as xs:string return <STR>{$s}</STR>
+              default $d return <OTHER>{$d}</OTHER>
+        '''
+        assert serialize(run(query)) == "<INT>1</INT><STR>two</STR><OTHER>3.5</OTHER>"
+
+    def test_case_variable_binding(self):
+        assert values(run(
+            'typeswitch (5) case $i as xs:integer return $i * 2 default return 0'
+        )) == [10]
+
+    def test_default_without_variable(self):
+        assert values(run(
+            'typeswitch ("x") case xs:integer return 1 default return 99'
+        )) == [99]
+
+    def test_element_case(self):
+        out = run('''
+            typeswitch (<A>1</A>)
+              case $e as element(A) return "matched-A"
+              default return "no"
+        ''')
+        assert values(out) == ["matched-A"]
+
+    def test_typeswitch_never_pushes(self):
+        platform = build_platform(deploy_profile=False)
+        plan = platform.prepare('''
+            for $c in CUSTOMER()
+            return typeswitch (data($c/SINCE))
+              case xs:int return "typed"
+              default return "untyped"
+        ''')
+        # the scan pushes; the typeswitch stays mid-tier
+        assert not isinstance(plan.expr, PushedSQL)
+        assert any(isinstance(n, ast.TypeswitchExpr) for n in plan.expr.walk())
+        out = platform.execute('''
+            for $c in CUSTOMER()
+            return typeswitch (data($c/SINCE))
+              case xs:int return "typed"
+              default return "untyped"
+        ''')
+        assert values(out) == ["typed", "typed"]
+
+
+class TestComputedConstructors:
+    def test_computed_element(self):
+        assert serialize(run("element OUT { 1 + 1 }")) == "<OUT>2</OUT>"
+
+    def test_computed_attribute_in_element_content(self):
+        out = run('<P>{ attribute rank { 3 } }</P>')
+        assert serialize(out) == '<P rank="3"/>'
+
+    def test_computed_attribute_standalone(self):
+        [attr] = run("attribute k { 'v' }")
+        assert attr.name.local == "k"
+        assert attr.string_value() == "v"
+
+    def test_mixed_computed_and_direct(self):
+        out = run('<P fixed="1">{ attribute extra { 2 }, <C>3</C> }</P>')
+        assert serialize(out) == '<P fixed="1" extra="2"><C>3</C></P>'
+
+
+class TestRegexFunctions:
+    def test_matches(self):
+        assert values(run('matches("ALDSP-2.1", "^[A-Z]+-\\d")')) == [True]
+        assert values(run('matches("nope", "^[0-9]+$")')) == [False]
+
+    def test_matches_flags(self):
+        assert values(run('matches("HELLO", "hello", "i")')) == [True]
+
+    def test_replace(self):
+        assert values(run('replace("a-b-c", "-", "+")')) == ["a+b+c"]
+
+    def test_replace_group_reference(self):
+        assert values(run('replace("john smith", "(\\w+) (\\w+)", "$2, $1")')) == \
+            ["smith, john"]
+
+    def test_tokenize(self):
+        assert values(run('tokenize("a,b,,c", ",")')) == ["a", "b", "", "c"]
+        assert run('tokenize("", ",")') == []
+
+    def test_invalid_pattern_raises(self):
+        from repro.errors import DynamicError
+
+        with pytest.raises(DynamicError):
+            run('matches("x", "(unclosed")')
+
+    def test_invalid_flag_raises(self):
+        from repro.errors import DynamicError
+
+        with pytest.raises(DynamicError):
+            run('matches("x", "x", "q")')
+
+
+class TestRpcParamTypes:
+    def test_declared_rpc_types_typechecked(self):
+        from repro.schema import leaf, shape
+        from repro.sources import WebServiceDescriptor, WebServiceOperation
+        from repro.xml import element
+
+        platform = build_platform(deploy_profile=False)
+        out_shape = shape("r", [leaf("v", "xs:integer")])
+        platform.register_web_service(WebServiceDescriptor("Calc", [
+            WebServiceOperation(
+                "add", None, out_shape,
+                lambda a, b: element("r", element("v", a + b)),
+                style="rpc", rpc_param_types=["xs:integer", "xs:integer"],
+            ),
+        ]))
+        out = platform.execute("data(add(2, 3)/v)")
+        assert values(out) == [5]

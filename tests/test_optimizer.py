@@ -1,0 +1,188 @@
+"""Optimizer tests: view unfolding, source-access elimination, unnesting,
+let pruning, the view-plan cache (section 4.2)."""
+
+import pytest
+
+from repro.compiler import Compiler, CompilerOptions, Optimizer, PushedSQL, SourceCall, TableMeta
+from repro.compiler.views import ViewPlanCache
+from repro.schema import leaf, shape, shape_sequence
+from repro.services.metadata import MetadataRegistry, SourceFunctionDef
+from repro.sql.generate import PushOptions
+from repro.xquery import ast, parse_expression, parse_module
+from repro.xquery.normalize import normalize, normalize_module
+from repro.xquery.typecheck import FunctionSignature
+
+
+def make_registry():
+    registry = MetadataRegistry()
+    columns = [("CID", "xs:string"), ("LAST_NAME", "xs:string"), ("SINCE", "xs:integer")]
+    meta = TableMeta("db", "CUSTOMER", "CUSTOMER", columns, ("CID",), "oracle")
+    sig = FunctionSignature(
+        "CUSTOMER", [], shape_sequence(shape("CUSTOMER", [leaf(n, t) for n, t in columns]))
+    )
+    registry.register(SourceFunctionDef("CUSTOMER", sig, "table", table_meta=meta))
+    return registry
+
+
+def optimize(text, module_text=None, view_cache=None):
+    registry = make_registry()
+    module = None
+    if module_text is not None:
+        module = parse_module(module_text)
+        normalize_module(module)
+    optimizer = Optimizer(registry, module, view_cache=view_cache)
+    return optimizer.optimize(normalize(parse_expression(text)))
+
+
+class TestSourceResolution:
+    def test_table_call_becomes_source_call(self):
+        expr = optimize("for $c in CUSTOMER() return $c")
+        assert isinstance(expr.clauses[0].expr, SourceCall)
+        assert expr.clauses[0].expr.table_meta.table == "CUSTOMER"
+
+    def test_unknown_functions_untouched(self):
+        expr = optimize("unknownFn()", module_text="declare function other() { 1 };")
+        assert isinstance(expr, ast.FunctionCall)
+
+
+class TestViewUnfolding:
+    MODULE = '''
+        declare function getAll() { for $c in CUSTOMER() return
+            <P><CID>{data($c/CID)}</CID><NAME>{data($c/LAST_NAME)}</NAME></P> };
+        declare function byId($id as xs:string) { getAll()[CID eq $id] };
+    '''
+
+    def test_zero_arg_function_inlined(self):
+        expr = optimize("getAll()", module_text=self.MODULE)
+        assert isinstance(expr, ast.FLWOR)
+        assert isinstance(expr.clauses[0].expr, SourceCall)
+
+    def test_nested_views_unfold_transitively(self):
+        expr = optimize('byId("C1")', module_text=self.MODULE)
+        assert isinstance(expr, ast.FLWOR)
+        # predicate pushed into the unfolded body as a where clause
+        wheres = [c for c in expr.clauses if isinstance(c, ast.WhereClause)]
+        assert wheres
+
+    def test_parameter_binding_avoids_capture(self):
+        module = '''
+            declare function shadow($c as xs:string) {
+                for $c2 in CUSTOMER() where $c2/CID eq $c return $c2/LAST_NAME };
+        '''
+        expr = optimize('for $c in CUSTOMER() return shadow(data($c/CID))',
+                        module_text=module)
+        # every binder in the inlined copy was alpha-renamed
+        binders = [c.var for c in expr.walk() if isinstance(c, ast.ForClause)]
+        assert len(binders) == len(set(binders))
+
+    def test_two_inlinings_do_not_collide(self):
+        module = '''
+            declare function names() { for $x in CUSTOMER() return $x/LAST_NAME };
+        '''
+        expr = optimize("(names(), names())", module_text=module)
+        binders = [c.var for c in expr.walk() if isinstance(c, ast.ForClause)]
+        assert len(binders) == 2 and binders[0] != binders[1]
+
+    def test_erroneous_function_not_inlined(self):
+        module = parse_module(
+            "declare function broken() { $missing };", mode="design")
+        normalize_module(module)
+        module.function("broken", 0).errors.append("undefined variable")
+        optimizer = Optimizer(make_registry(), module)
+        expr = optimizer.optimize(normalize(parse_expression("broken()")))
+        assert isinstance(expr, ast.FunctionCall)
+
+    def test_no_inline_respected(self):
+        registry = make_registry()
+        module = parse_module("declare function pinned() { 1 };")
+        normalize_module(module)
+        optimizer = Optimizer(registry, module, no_inline={("pinned", 0)})
+        expr = optimizer.optimize(normalize(parse_expression("pinned()")))
+        assert isinstance(expr, ast.FunctionCall)
+
+
+class TestSourceAccessElimination:
+    def test_constructor_navigation_selects_content(self):
+        # The paper's example: navigating LAST_NAME must not require ORDERS.
+        expr = optimize('''
+            let $x := <CUSTOMER>
+                <LAST_NAME>{$name}</LAST_NAME>
+                <ORDERS>{ for $c in CUSTOMER() return $c }</ORDERS>
+            </CUSTOMER>
+            return fn:data($x/LAST_NAME)
+        ''')
+        # the whole CUSTOMER() access disappeared
+        assert not any(isinstance(n, SourceCall) for n in expr.walk())
+
+    def test_nonmatching_child_becomes_empty(self):
+        expr = optimize('(<A><B>{1}</B></A>)/NOPE')
+        assert isinstance(expr, ast.EmptySequence)
+
+    def test_data_over_constructor_unwraps(self):
+        expr = optimize('fn:data(<CID>{data($c/CID)}</CID>)')
+        assert isinstance(expr, ast.FunctionCall) and expr.name == "fn:data"
+        assert isinstance(expr.args[0], ast.PathExpr)
+
+
+class TestFLWORRules:
+    def test_unnesting(self):
+        expr = optimize('''
+            for $x in (for $c in CUSTOMER() return $c/CID) return $x
+        ''')
+        fors = [c for c in expr.clauses if isinstance(c, ast.ForClause)]
+        assert len(fors) == 2  # spliced into one clause list
+
+    def test_unused_let_removed(self):
+        expr = optimize('''
+            for $c in CUSTOMER()
+            let $unused := $c/SINCE
+            return $c/CID
+        ''')
+        assert not any(isinstance(c, ast.LetClause) for c in expr.clauses)
+
+    def test_cheap_let_inlined(self):
+        expr = optimize('''
+            for $c in CUSTOMER() let $n := $c/LAST_NAME where $n eq "x" return $n
+        ''')
+        assert not any(isinstance(c, ast.LetClause) for c in expr.clauses)
+
+    def test_for_over_empty_collapses(self):
+        expr = optimize("for $x in () return $x")
+        assert isinstance(expr, ast.EmptySequence)
+
+    def test_constant_if_folded(self):
+        expr = optimize("if (true()) then 1 else 2")
+        assert isinstance(expr, ast.Literal) and expr.value.value == 1
+        expr = optimize("if (false()) then 1 else 2")
+        assert expr.value.value == 2
+
+    def test_sequence_flattening(self):
+        expr = optimize("(1, (2, 3), ())")
+        assert isinstance(expr, ast.SequenceExpr)
+        assert len(expr.items) == 3
+
+
+class TestViewPlanCache:
+    def test_cache_hit_on_second_compile(self):
+        cache = ViewPlanCache()
+        module_text = '''
+            declare function v() { for $c in CUSTOMER() return $c/CID };
+        '''
+        optimize("v()", module_text=module_text, view_cache=cache)
+        misses_after_first = cache.misses
+        optimize("v()", module_text=module_text, view_cache=cache)
+        assert cache.hits >= 1
+        assert cache.misses == misses_after_first + 0 or cache.misses >= misses_after_first
+
+    def test_eviction_bounds_memory(self):
+        cache = ViewPlanCache(capacity=2)
+        for i in range(4):
+            cache.put(f"f{i}", 0, parse_expression("1"))
+        assert len(cache) == 2
+        assert cache.evictions == 2
+
+    def test_invalidate(self):
+        cache = ViewPlanCache()
+        cache.put("f", 0, parse_expression("1"))
+        cache.invalidate("f", 0)
+        assert cache.get("f", 0) is None

@@ -1,0 +1,294 @@
+"""Platform / data-service layer tests: the running example end-to-end
+(sections 2, 3.4), introspection, mediator, plan caching."""
+
+import pytest
+
+from repro.compiler import PushedSQL
+from repro.errors import StaticError
+from repro.schema import leaf, shape
+from repro.services import Mediator, RequestConfig
+from repro.services.introspect import introspect_database, row_shape
+from repro.xml import serialize
+
+from tests.conftest import PROFILE_DS, build_custdb, build_platform
+
+
+class TestIntrospection:
+    def test_one_function_per_table(self, clock):
+        definitions, _nav = introspect_database(build_custdb(clock))
+        assert {d.name for d in definitions} == {"CUSTOMER", "ORDER"}
+        customer = next(d for d in definitions if d.name == "CUSTOMER")
+        assert customer.kind == "table"
+        assert customer.table_meta.primary_key == ("CID",)
+        assert customer.annotations["vendor"] == "oracle"
+
+    def test_row_shape_nullable_columns_optional(self, clock):
+        sh = row_shape(build_custdb(clock), "CUSTOMER")
+        from repro.schema.builder import find_child_particle
+
+        assert find_child_particle(sh, "CID").occurrence.min_count == 1
+        assert find_child_particle(sh, "LAST_NAME").occurrence.min_count == 0
+
+    def test_navigation_functions_generated_from_fks(self, clock):
+        _defs, nav = introspect_database(build_custdb(clock))
+        assert "declare function getORDER($arg as element(CUSTOMER))" in nav
+        assert "declare function getCUSTOMERForORDER" in nav
+
+    def test_navigation_function_usable(self):
+        platform = build_platform(deploy_profile=False)
+        out = platform.execute('''
+            for $c in CUSTOMER() where $c/CID eq "C1"
+            return getORDER($c)
+        ''')
+        assert serialize(out).count("<ORDER>") == 2
+
+    def test_reverse_navigation(self):
+        platform = build_platform(deploy_profile=False)
+        out = platform.execute('''
+            for $o in ORDER() where $o/OID eq "O1"
+            return getCUSTOMERForORDER($o)/CID
+        ''')
+        assert serialize(out) == "<CID>C1</CID>"
+
+
+class TestRunningExample:
+    def test_get_profile_integrates_three_sources(self, platform):
+        out = platform.call("getProfile")
+        assert len(out) == 2
+        text = serialize(out[0])
+        assert "<CID>C1</CID>" in text
+        assert "<ORDERS><ORDER>" in text
+        assert "<CREDIT_CARD>" in text
+        assert "<RATING>701</RATING>" in text
+
+    def test_get_profile_by_id_pushes_predicate(self, platform):
+        out = platform.call_python("getProfileByID", "C2")
+        assert len(out) == 1
+        assert "<CID>C2</CID>" in serialize(out[0])
+        # only the matching customer was fetched from custdb
+        customer_selects = [
+            s for s in platform.ctx.databases["custdb"].stats.statements
+            if "CUSTOMER" in s and "SELECT" in s
+        ]
+        assert any("?" in s or "'C2'" in s for s in customer_selects)
+
+    def test_service_metadata(self, platform):
+        service = platform.services["ProfileService"]
+        assert {m.name for m in service.reads()} == {"getProfile", "getProfileByID"}
+        assert service.lineage_provider == "getProfile"
+
+    def test_ad_hoc_query_over_deployed_service(self, platform):
+        out = platform.execute('''
+            for $p in getProfile()
+            where count($p/ORDERS/ORDER) ge 2
+            return $p/CID
+        ''')
+        assert serialize(out) == "<CID>C1</CID><CID>C2</CID>"
+
+    def test_duplicate_deploy_rejected(self, platform):
+        with pytest.raises(StaticError):
+            platform.deploy(PROFILE_DS, name="Again")
+
+    def test_streaming_api_is_lazy(self, platform):
+        stream = platform.stream("for $c in CUSTOMER() return $c/CID")
+        first = next(stream)
+        assert first.string_value() == "C1"
+
+
+class TestPlanCache:
+    def test_plan_reused_for_repeated_query(self, platform):
+        query = "for $c in CUSTOMER() return $c/CID"
+        platform.execute(query)
+        misses = platform.plan_cache.misses
+        platform.execute(query)
+        assert platform.plan_cache.hits >= 1
+        assert platform.plan_cache.misses == misses
+
+    def test_call_plans_cached(self, platform):
+        platform.call("getProfile")
+        hits_before = platform.plan_cache.hits
+        platform.call("getProfile")
+        assert platform.plan_cache.hits > hits_before
+
+    def test_deploy_invalidates_plans(self, platform):
+        platform.execute("for $c in CUSTOMER() return $c/CID")
+        platform.deploy("declare function extra() { 1 };", name="Extra")
+        assert len(platform.plan_cache) == 0
+
+
+class TestMediator:
+    def test_invoke_returns_tracked_sdos(self, platform):
+        mediator = Mediator(platform)
+        objects = mediator.invoke("ProfileService", "getProfile")
+        assert len(objects) == 2
+        assert objects[0].get("LAST_NAME") == "Jones"
+        assert not objects[0].is_changed()
+
+    def test_filter_criteria(self, platform):
+        mediator = Mediator(platform)
+        config = RequestConfig().where("LAST_NAME", "eq", "Smith")
+        objects = mediator.invoke("ProfileService", "getProfile", config=config)
+        assert [o.get("CID") for o in objects] == ["C2"]
+
+    def test_sort_and_limit(self, platform):
+        mediator = Mediator(platform)
+        config = RequestConfig().sort("RATING", descending=True).take(1)
+        objects = mediator.invoke("ProfileService", "getProfile", config=config)
+        assert [o.get("CID") for o in objects] == ["C2"]
+
+    def test_numeric_filter(self, platform):
+        mediator = Mediator(platform)
+        config = RequestConfig().where("RATING", "gt", 701)
+        objects = mediator.invoke("ProfileService", "getProfile", config=config)
+        assert [o.get("CID") for o in objects] == ["C2"]
+
+    def test_ad_hoc_query(self, platform):
+        mediator = Mediator(platform)
+        out = mediator.query("1 + 1")
+        assert out[0].value == 2
+
+    def test_mediator_submit_roundtrip(self, platform):
+        mediator = Mediator(platform)
+        [obj] = mediator.invoke(
+            "ProfileService", "getProfile",
+            config=RequestConfig().where("CID", "eq", "C1"),
+        )
+        obj.setLAST_NAME("Rebranded")
+        result = mediator.submit(obj)
+        assert result.rows_updated == 1
+        stored = platform.ctx.databases["custdb"].table("CUSTOMER").lookup_pk(("C1",))
+        assert stored["LAST_NAME"] == "Rebranded"
+
+
+class TestFileSourcesOnPlatform:
+    def test_registered_csv_queryable(self, tmp_path):
+        platform = build_platform(deploy_profile=False)
+        path = tmp_path / "regions.csv"
+        path.write_text("CID,REGION\nC1,west\nC2,east\n")
+        record = shape("REGION_ROW", [leaf("CID", "xs:string"), leaf("REGION", "xs:string")])
+        platform.register_csv_file("REGIONS", path, record)
+        out = platform.execute('''
+            for $c in CUSTOMER(), $r in REGIONS()
+            where $r/CID eq $c/CID and $r/REGION eq "west"
+            return $c/LAST_NAME
+        ''')
+        assert serialize(out) == "<LAST_NAME>Jones</LAST_NAME>"
+
+
+class TestModuleVariables:
+    def test_declared_variable_usable_in_queries(self, platform):
+        platform.deploy(
+            'declare variable $vip as xs:string := "C1";\n'
+            "declare function vipProfile() { getProfileByID($vip) };",
+            name="Vip",
+        )
+        out = platform.call("vipProfile")
+        assert len(out) == 1
+        assert "<CID>C1</CID>" in serialize(out[0])
+
+    def test_external_variable_bound_at_execution(self, platform):
+        from repro.xml import AtomicValue
+
+        out = platform.execute(
+            "for $c in CUSTOMER() where $c/CID eq $who return $c/LAST_NAME",
+            variables={"who": [AtomicValue("C2", "xs:string")]},
+        )
+        assert serialize(out) == "<LAST_NAME>Smith</LAST_NAME>"
+
+    def test_same_plan_different_bindings(self, platform):
+        from repro.xml import AtomicValue
+
+        query = "for $c in CUSTOMER() where $c/CID eq $who return $c/CID"
+        first = platform.execute(query, variables={"who": [AtomicValue("C1", "xs:string")]})
+        second = platform.execute(query, variables={"who": [AtomicValue("C2", "xs:string")]})
+        assert serialize(first) == "<CID>C1</CID>"
+        assert serialize(second) == "<CID>C2</CID>"
+        assert platform.plan_cache.hits >= 1  # compiled once, executed twice
+
+
+class TestDataServicePragmas:
+    SERVICE = '''
+        (::pragma function kind="read" lineage="provider" ::)
+        declare function allRows() as element(CUSTOMER)* {
+          for $c in CUSTOMER() return $c
+        };
+
+        (::pragma function kind="read" cache="true" ::)
+        declare function cachedRows() as element(CUSTOMER)* {
+          for $c in CUSTOMER() return $c
+        };
+
+        (::pragma function kind="navigate" ::)
+        declare function hop($c as element(CUSTOMER)) as element(ORDER)* {
+          getORDER($c)
+        };
+
+        declare function helper() { 1 };
+    '''
+
+    def test_method_kinds_from_pragmas(self):
+        platform = build_platform(deploy_profile=False)
+        service = platform.deploy(self.SERVICE, name="Pragmas")
+        kinds = {m.name: m.kind for m in service.methods}
+        assert kinds["allRows"] == "read"
+        assert kinds["hop"] == "navigate"
+        assert kinds["helper"] == "library"
+
+    def test_explicit_lineage_provider_pragma(self):
+        platform = build_platform(deploy_profile=False)
+        service = platform.deploy(self.SERVICE, name="Pragmas")
+        assert service.lineage_provider == "allRows"
+
+    def test_cacheable_functions_recorded(self):
+        platform = build_platform(deploy_profile=False)
+        service = platform.deploy(self.SERVICE, name="Pragmas")
+        assert service.cacheable_functions == {"cachedRows"}
+
+    def test_default_lineage_provider_is_first_read(self):
+        platform = build_platform(deploy_profile=False)
+        service = platform.deploy(
+            '(::pragma function kind="read" ::)\n'
+            "declare function readA() { CUSTOMER() };\n"
+            '(::pragma function kind="read" ::)\n'
+            "declare function readB() { CUSTOMER() };",
+            name="TwoReads",
+        )
+        assert service.lineage_provider == "readA"
+
+
+class TestNavigationMethods:
+    def test_mediator_navigate_customer_to_orders(self, platform):
+        mediator = Mediator(platform)
+        [customer] = mediator.invoke(
+            "custdb", "CUSTOMER",
+            config=RequestConfig().where("CID", "eq", "C1"),
+        )
+        orders = mediator.navigate(customer, "getORDER", target_service="Orders")
+        assert [o.get("OID") for o in orders] == ["O1", "O2"]
+        assert all(o.service_name == "Orders" for o in orders)
+
+    def test_navigated_object_updatable(self, platform):
+        platform.deploy('''
+            (::pragma function kind="read" ::)
+            declare function orderRows() as element(ORDER)* {
+              for $o in ORDER() return $o
+            };
+        ''', name="Orders")
+        mediator = Mediator(platform)
+        [customer] = mediator.invoke(
+            "custdb", "CUSTOMER", config=RequestConfig().where("CID", "eq", "C1"))
+        [first, _second] = mediator.navigate(customer, "getORDER", "Orders")
+        first.set("AMOUNT", 77)
+        result = mediator.submit(first)
+        assert result.rows_updated == 1
+        assert platform.ctx.databases["custdb"].table("ORDER") \
+            .lookup_pk(("O1",))["AMOUNT"] == 77
+
+    def test_parse_error_reports_position(self):
+        from repro.errors import ParseError
+        from repro.xquery import parse_expression
+
+        with pytest.raises(ParseError) as err:
+            parse_expression("for $x in\n  (1, %%) return $x")
+        assert err.value.line == 2
+        assert err.value.column is not None

@@ -1,0 +1,98 @@
+"""Transaction and XA two-phase commit tests (section 6)."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.relational import Database, TwoPhaseCommit, parse_sql
+from repro.relational.txn import Transaction
+
+
+def make_db(name="d"):
+    db = Database(name)
+    db.create_table("T", [("ID", "INTEGER", False), ("V", "VARCHAR")], primary_key=["ID"])
+    db.load("T", [{"ID": 1, "V": "a"}, {"ID": 2, "V": "b"}])
+    return db
+
+
+UPDATE = parse_sql('UPDATE "T" SET "V" = \'x\' WHERE "ID" = 1')
+
+
+class TestTransaction:
+    def test_commit_keeps_changes(self):
+        db = make_db()
+        txn = Transaction(db)
+        txn.execute(UPDATE)
+        txn.commit()
+        assert db.table("T").lookup_pk((1,))["V"] == "x"
+
+    def test_rollback_restores(self):
+        db = make_db()
+        txn = Transaction(db)
+        txn.execute(UPDATE)
+        txn.rollback()
+        assert db.table("T").lookup_pk((1,))["V"] == "a"
+
+    def test_prepare_then_commit(self):
+        db = make_db()
+        txn = Transaction(db)
+        txn.execute(UPDATE)
+        assert txn.prepare() is True
+        txn.commit()
+        assert txn.state == "committed"
+
+    def test_unavailable_db_votes_no(self):
+        db = make_db()
+        txn = Transaction(db)
+        txn.execute(UPDATE)
+        db.available = False
+        assert txn.prepare() is False
+
+    def test_cannot_execute_after_commit(self):
+        db = make_db()
+        txn = Transaction(db)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.execute(UPDATE)
+
+    def test_cannot_rollback_committed(self):
+        db = make_db()
+        txn = Transaction(db)
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.rollback()
+
+
+class TestTwoPhaseCommit:
+    def test_atomic_commit_across_databases(self):
+        db1, db2 = make_db("one"), make_db("two")
+        xa = TwoPhaseCommit()
+        xa.branch(db1).execute(UPDATE)
+        xa.branch(db2).execute(UPDATE)
+        xa.commit()
+        assert db1.table("T").lookup_pk((1,))["V"] == "x"
+        assert db2.table("T").lookup_pk((1,))["V"] == "x"
+
+    def test_one_no_vote_rolls_back_everything(self):
+        db1, db2 = make_db("one"), make_db("two")
+        xa = TwoPhaseCommit()
+        xa.branch(db1).execute(UPDATE)
+        xa.branch(db2).execute(UPDATE)
+        db2.available = False
+        with pytest.raises(TransactionError) as err:
+            xa.commit()
+        assert "two" in str(err.value)
+        # both sides rolled back
+        assert db1.table("T").lookup_pk((1,))["V"] == "a"
+        assert db2.table("T").lookup_pk((1,))["V"] == "a"
+
+    def test_branch_reuse_per_database(self):
+        db = make_db()
+        xa = TwoPhaseCommit()
+        assert xa.branch(db) is xa.branch(db)
+
+    def test_explicit_rollback(self):
+        db = make_db()
+        xa = TwoPhaseCommit()
+        xa.branch(db).execute(UPDATE)
+        xa.rollback()
+        assert db.table("T").lookup_pk((1,))["V"] == "a"

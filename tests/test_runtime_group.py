@@ -1,0 +1,96 @@
+"""Grouping operator tests (sections 4.2, 5.2): the clustered streaming
+implementation and the sort fallback."""
+
+from hypothesis import given, strategies as st
+
+from repro.runtime.operators.group import GroupStats, clustered_groups, sorted_groups
+
+
+class TestClusteredGroups:
+    def test_forms_groups_on_key_change(self):
+        data = [("a", 1), ("a", 2), ("b", 3), ("a", 4)]
+        groups = list(clustered_groups(data, lambda t: (t[0],)))
+        assert [(k, len(g)) for k, g in groups] == [(("a",), 2), (("b",), 1), (("a",), 1)]
+
+    def test_empty_input(self):
+        assert list(clustered_groups([], lambda t: (t,))) == []
+
+    def test_single_group(self):
+        groups = list(clustered_groups([1, 1, 1], lambda t: ("k",)))
+        assert len(groups) == 1
+        assert groups[0][1] == [1, 1, 1]
+
+    def test_streaming_is_lazy(self):
+        consumed = []
+
+        def source():
+            for i in range(100):
+                consumed.append(i)
+                yield i
+
+        stream = clustered_groups(source(), lambda i: (i // 10,))
+        next(stream)
+        # only the first group plus one lookahead item were pulled
+        assert len(consumed) <= 11
+
+    def test_peak_resident_is_group_size(self):
+        stats = GroupStats()
+        data = [(i // 3, i) for i in range(30)]  # groups of 3
+        list(clustered_groups(data, lambda t: (t[0],), stats))
+        assert stats.peak_resident == 3
+        assert stats.groups_emitted == 10
+
+
+class TestSortedGroups:
+    def test_clusters_unordered_input(self):
+        data = ["b", "a", "b", "a", "c"]
+        groups = list(sorted_groups(data, lambda s: (s,)))
+        assert [k for k, _g in groups] == [("a",), ("b",), ("c",)]
+        assert [len(g) for _k, g in groups] == [2, 2, 1]
+
+    def test_sort_materializes_full_input(self):
+        stats = GroupStats()
+        data = [(i % 5, i) for i in range(50)]
+        list(sorted_groups(data, lambda t: (t[0],), stats))
+        assert stats.peak_resident == 50  # the memory cost of the fallback
+
+    def test_handles_none_and_mixed_keys(self):
+        data = [(None, 1), (2, 2), ("x", 3), (None, 4)]
+        groups = list(sorted_groups(data, lambda t: (t[0],)))
+        assert groups[0][0] == (None,)
+        assert len(groups) == 3
+
+
+class TestMemoryContrast:
+    def test_clustered_constant_memory_vs_sort_linear(self):
+        # The paper's claim: pre-clustered grouping runs in memory bounded
+        # by one group; the sort fallback is linear in the input.
+        for n in (100, 1000):
+            clustered_stats = GroupStats()
+            list(clustered_groups(
+                ((i // 2, i) for i in range(n)), lambda t: (t[0],), clustered_stats))
+            sorted_stats = GroupStats()
+            list(sorted_groups(
+                ((i % (n // 2), i) for i in range(n)), lambda t: (t[0],), sorted_stats))
+            assert clustered_stats.peak_resident == 2
+            assert sorted_stats.peak_resident == n
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers()), max_size=60))
+def test_property_sorted_groups_partition_input(data):
+    groups = list(sorted_groups(data, lambda t: (t[0],)))
+    regathered = sorted(item for _k, members in groups for item in members)
+    assert regathered == sorted(data)
+    keys = [k for k, _m in groups]
+    assert keys == sorted(keys)
+    assert len(set(keys)) == len(keys)  # each key appears exactly once
+
+
+@given(st.lists(st.integers(0, 4), max_size=60))
+def test_property_clustered_groups_concatenate_to_input(data):
+    groups = list(clustered_groups(data, lambda i: (i,)))
+    flattened = [item for _k, members in groups for item in members]
+    assert flattened == data
+    # adjacent groups never share a key
+    keys = [k for k, _m in groups]
+    assert all(a != b for a, b in zip(keys, keys[1:]))

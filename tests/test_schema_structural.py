@@ -1,0 +1,190 @@
+"""Structural subtyping / intersection tests (sections 3.1, 4.1)."""
+
+from hypothesis import given, strategies as st
+
+from repro.schema import (
+    EMPTY,
+    ITEM_STAR,
+    AnyItemType,
+    AnyNodeType,
+    AtomicItemType,
+    ComplexContent,
+    ElementItemType,
+    MixedContent,
+    Occurrence,
+    SequenceType,
+    SimpleContent,
+    atomic,
+    intersects,
+    is_subtype,
+    item_matches,
+    leaf,
+    needs_typematch,
+    shape,
+    shape_sequence,
+    value_matches,
+)
+from repro.xml import AtomicValue, element
+
+
+CUSTOMER = shape(
+    "CUSTOMER",
+    [leaf("CID", "xs:string"), leaf("LAST_NAME", "xs:string"), leaf("SINCE", "xs:integer", "?")],
+)
+
+
+class TestSubtyping:
+    def test_atomic_subtype(self):
+        assert is_subtype(atomic("xs:integer"), atomic("xs:decimal"))
+        assert not is_subtype(atomic("xs:decimal"), atomic("xs:integer"))
+
+    def test_occurrence_widening(self):
+        assert is_subtype(atomic("xs:integer"), atomic("xs:integer", Occurrence.STAR))
+        assert not is_subtype(atomic("xs:integer", Occurrence.STAR), atomic("xs:integer"))
+
+    def test_empty_under_optional(self):
+        assert is_subtype(EMPTY, atomic("xs:integer", Occurrence.OPTIONAL))
+        assert not is_subtype(EMPTY, atomic("xs:integer"))
+
+    def test_everything_under_item_star(self):
+        assert is_subtype(shape_sequence(CUSTOMER), ITEM_STAR)
+        assert is_subtype(atomic("xs:string"), ITEM_STAR)
+
+    def test_structural_element_subtype(self):
+        narrower = shape("CUSTOMER", [leaf("CID", "xs:string"), leaf("LAST_NAME", "xs:string")])
+        # narrower lacks the optional SINCE -> still a subtype of CUSTOMER
+        assert is_subtype(
+            SequenceType((narrower,), Occurrence.ONE),
+            SequenceType((CUSTOMER,), Occurrence.ONE),
+        )
+
+    def test_missing_required_child_not_subtype(self):
+        missing = shape("CUSTOMER", [leaf("CID", "xs:string")])
+        assert not is_subtype(
+            SequenceType((missing,), Occurrence.ONE),
+            SequenceType((CUSTOMER,), Occurrence.ONE),
+        )
+
+    def test_name_mismatch(self):
+        other = shape("ORDER", [leaf("CID", "xs:string"), leaf("LAST_NAME", "xs:string")])
+        assert not is_subtype(
+            SequenceType((other,), Occurrence.ONE),
+            SequenceType((CUSTOMER,), Occurrence.ONE),
+        )
+
+    def test_wildcard_element_accepts_named(self):
+        wildcard = SequenceType((ElementItemType(None),), Occurrence.ONE)
+        assert is_subtype(SequenceType((CUSTOMER,), Occurrence.ONE), wildcard)
+
+    def test_anytype_content_is_top(self):
+        anytype = SequenceType((ElementItemType("CUSTOMER"),), Occurrence.ONE)
+        assert is_subtype(SequenceType((CUSTOMER,), Occurrence.ONE), anytype)
+        assert not is_subtype(anytype, SequenceType((CUSTOMER,), Occurrence.ONE))
+
+    def test_simple_content_subtype(self):
+        narrow = ElementItemType("X", SimpleContent("xs:integer"))
+        wide = ElementItemType("X", SimpleContent("xs:decimal"))
+        assert is_subtype(SequenceType((narrow,)), SequenceType((wide,)))
+
+
+class TestIntersection:
+    def test_disjoint_atomics(self):
+        assert not intersects(atomic("xs:integer"), atomic("xs:string"))
+
+    def test_related_atomics(self):
+        assert intersects(atomic("xs:decimal"), atomic("xs:integer"))
+
+    def test_node_vs_atomic_disjoint(self):
+        assert not intersects(SequenceType((AnyNodeType(),)), atomic("xs:string"))
+
+    def test_occurrence_disjoint(self):
+        assert not intersects(EMPTY, atomic("xs:integer", Occurrence.PLUS))
+
+    def test_both_optional_always_intersect(self):
+        # The empty sequence inhabits both.
+        assert intersects(
+            atomic("xs:integer", Occurrence.OPTIONAL),
+            atomic("xs:string", Occurrence.STAR),
+        )
+
+    def test_optimistic_rule_accepts_overlap(self):
+        # element(CUSTOMER) with unknown content vs the detailed shape:
+        # ALDSP's rule accepts the call with a typematch (section 4.1).
+        loose = SequenceType((ElementItemType("CUSTOMER"),), Occurrence.ONE)
+        tight = SequenceType((CUSTOMER,), Occurrence.ONE)
+        assert intersects(loose, tight)
+        assert needs_typematch(loose, tight)
+        assert not needs_typematch(tight, loose)
+
+
+class TestDynamicMatching:
+    def sample(self):
+        return element(
+            "CUSTOMER",
+            element("CID", "C1", type_annotation="xs:string"),
+            element("LAST_NAME", "Jones", type_annotation="xs:string"),
+        )
+
+    def test_value_matches_shape(self):
+        assert value_matches([self.sample()], SequenceType((CUSTOMER,), Occurrence.ONE))
+
+    def test_missing_optional_ok(self):
+        assert value_matches([self.sample()], shape_sequence(CUSTOMER))
+
+    def test_wrong_name_rejected(self):
+        bad = element("ORDER", element("CID", "C1"))
+        assert not value_matches([bad], SequenceType((CUSTOMER,), Occurrence.ONE))
+
+    def test_cardinality_enforced(self):
+        two = [self.sample(), self.sample()]
+        assert not value_matches(two, SequenceType((CUSTOMER,), Occurrence.ONE))
+        assert value_matches(two, shape_sequence(CUSTOMER))
+
+    def test_atomic_match(self):
+        assert item_matches(AtomicValue(1, "xs:integer"), AtomicItemType("xs:decimal"))
+        assert not item_matches(AtomicValue("x", "xs:string"), AtomicItemType("xs:decimal"))
+
+    def test_unexpected_child_rejected(self):
+        bad = self.sample()
+        bad.add_child(element("EXTRA", "1"))
+        assert not value_matches([bad], SequenceType((CUSTOMER,), Occurrence.ONE))
+
+
+# -- property: subtyping implies intersection --------------------------------
+
+_ATOMICS = st.sampled_from(
+    ["xs:integer", "xs:decimal", "xs:double", "xs:string", "xs:boolean", "xs:long"]
+)
+_OCCURRENCES = st.sampled_from(list(Occurrence))
+
+
+@st.composite
+def sequence_types(draw):
+    name = draw(_ATOMICS)
+    occ = draw(_OCCURRENCES)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return atomic(name, occ)
+    if kind == 1:
+        return SequenceType((ElementItemType(draw(st.sampled_from(["A", "B"])),
+                                             SimpleContent(name)),), occ)
+    if kind == 2:
+        return SequenceType((AnyItemType(),), occ)
+    return EMPTY
+
+
+@given(sequence_types(), sequence_types())
+def test_property_subtype_implies_intersects(a, b):
+    if is_subtype(a, b):
+        assert intersects(a, b)
+
+
+@given(sequence_types())
+def test_property_subtype_reflexive(a):
+    assert is_subtype(a, a)
+    assert intersects(a, a) or a.is_empty
+
+
+@given(sequence_types(), sequence_types())
+def test_property_intersects_symmetric(a, b):
+    assert intersects(a, b) == intersects(b, a)

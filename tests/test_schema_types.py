@@ -1,0 +1,107 @@
+"""Tests for the schema type system: atomic hierarchy, occurrences,
+sequence-type algebra."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import (
+    EMPTY,
+    AtomicItemType,
+    ElementItemType,
+    Occurrence,
+    SequenceType,
+    atomic,
+    atomic_ancestors,
+    element_type,
+    is_atomic_subtype,
+    is_numeric,
+    numeric_promote,
+    sequence_concat,
+    union,
+)
+
+
+class TestAtomicHierarchy:
+    def test_integer_under_decimal(self):
+        assert is_atomic_subtype("xs:integer", "xs:decimal")
+        assert is_atomic_subtype("xs:int", "xs:integer")
+        assert not is_atomic_subtype("xs:decimal", "xs:integer")
+
+    def test_everything_under_any_atomic(self):
+        for name in ("xs:string", "xs:boolean", "xs:dateTime", "xs:byte"):
+            assert is_atomic_subtype(name, "xs:anyAtomicType")
+
+    def test_ancestors_chain(self):
+        chain = atomic_ancestors("xs:short")
+        assert chain[:3] == ["xs:short", "xs:int", "xs:long"]
+        assert chain[-1] == "xs:anyType"
+
+    def test_is_numeric(self):
+        assert is_numeric("xs:unsignedByte")
+        assert is_numeric("xs:double")
+        assert not is_numeric("xs:string")
+
+    def test_numeric_promotion(self):
+        assert numeric_promote("xs:integer", "xs:integer") == "xs:integer"
+        assert numeric_promote("xs:integer", "xs:double") == "xs:double"
+        assert numeric_promote("xs:decimal", "xs:float") == "xs:float"
+
+    def test_promotion_of_non_numeric_raises(self):
+        with pytest.raises(SchemaError):
+            numeric_promote("xs:string", "xs:integer")
+
+    def test_unknown_atomic_type_rejected(self):
+        with pytest.raises(SchemaError):
+            AtomicItemType("xs:nonsense")
+
+
+class TestOccurrence:
+    def test_counts(self):
+        assert Occurrence.ONE.min_count == 1 and Occurrence.ONE.max_count == 1
+        assert Occurrence.OPTIONAL.min_count == 0 and Occurrence.OPTIONAL.max_count == 1
+        assert Occurrence.STAR.max_count is None
+        assert Occurrence.PLUS.min_count == 1 and Occurrence.PLUS.max_count is None
+
+    def test_union(self):
+        assert Occurrence.ONE.union(Occurrence.OPTIONAL) is Occurrence.OPTIONAL
+        assert Occurrence.ONE.union(Occurrence.PLUS) is Occurrence.PLUS
+        assert Occurrence.OPTIONAL.union(Occurrence.PLUS) is Occurrence.STAR
+
+    def test_intersect(self):
+        assert Occurrence.STAR.intersect(Occurrence.ONE) is Occurrence.ONE
+        assert Occurrence.PLUS.intersect(Occurrence.OPTIONAL) is Occurrence.ONE
+        assert Occurrence.OPTIONAL.intersect(Occurrence.STAR) is Occurrence.OPTIONAL
+
+
+class TestSequenceTypeAlgebra:
+    def test_show(self):
+        assert atomic("xs:integer").show() == "xs:integer"
+        assert atomic("xs:integer", Occurrence.STAR).show() == "xs:integer*"
+        assert EMPTY.show() == "empty-sequence()"
+
+    def test_union_merges_alternatives(self):
+        merged = union(atomic("xs:integer"), atomic("xs:string"))
+        assert len(merged.alternatives) == 2
+
+    def test_union_with_empty_optionalizes(self):
+        merged = union(atomic("xs:integer"), EMPTY)
+        assert merged.allows_empty()
+
+    def test_concat_occurrence(self):
+        two = sequence_concat(atomic("xs:integer"), atomic("xs:integer"))
+        assert two.occurrence is Occurrence.PLUS
+        maybe = sequence_concat(
+            atomic("xs:integer", Occurrence.OPTIONAL),
+            atomic("xs:integer", Occurrence.OPTIONAL),
+        )
+        assert maybe.occurrence.min_count == 0
+
+    def test_concat_with_empty_is_identity(self):
+        t = atomic("xs:string")
+        assert sequence_concat(t, EMPTY) is t
+        assert sequence_concat(EMPTY, t) is t
+
+    def test_element_type_constructor(self):
+        t = element_type("CUSTOMER", occurrence=Occurrence.STAR)
+        assert isinstance(t.alternatives[0], ElementItemType)
+        assert t.show() == "element(CUSTOMER)*"

@@ -1,0 +1,100 @@
+"""Adaptor-side schema validation tests (section 5.3)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import group, leaf, occurs, shape, validate
+from repro.schema.builder import find_child_particle
+from repro.xml import element, parse_element_text
+
+
+PROFILE = shape(
+    "PROFILE",
+    [
+        leaf("CID", "xs:string"),
+        leaf("LAST_NAME", "xs:string"),
+        group("ORDERS", [group("ORDER", [leaf("OID", "xs:string"),
+                                         leaf("AMOUNT", "xs:integer")], "*")]),
+        leaf("RATING", "xs:integer", "?"),
+    ],
+)
+
+
+def good_profile():
+    return parse_element_text(
+        "<PROFILE><CID>C1</CID><LAST_NAME>Jones</LAST_NAME>"
+        "<ORDERS><ORDER><OID>O1</OID><AMOUNT>10</AMOUNT></ORDER></ORDERS>"
+        "<RATING>700</RATING></PROFILE>"
+    )
+
+
+class TestValidation:
+    def test_valid_document_annotated(self):
+        validated = validate(good_profile(), PROFILE)
+        cid = validated.child_elements()[0]
+        assert cid.type_annotation == "xs:string"
+        rating = validated.child_elements()[3]
+        assert rating.type_annotation == "xs:integer"
+        assert rating.typed_value()[0].value == 700
+
+    def test_optional_leaf_may_be_absent(self):
+        doc = parse_element_text(
+            "<PROFILE><CID>C1</CID><LAST_NAME>J</LAST_NAME><ORDERS/></PROFILE>"
+        )
+        validate(doc, PROFILE)  # no exception
+
+    def test_missing_required_child_rejected(self):
+        doc = parse_element_text("<PROFILE><CID>C1</CID></PROFILE>")
+        with pytest.raises(SchemaError):
+            validate(doc, PROFILE)
+
+    def test_unexpected_child_rejected(self):
+        doc = good_profile()
+        doc.add_child(element("EXTRA", "x"))
+        with pytest.raises(SchemaError):
+            validate(doc, PROFILE)
+
+    def test_bad_lexical_value_rejected(self):
+        doc = parse_element_text(
+            "<PROFILE><CID>C1</CID><LAST_NAME>J</LAST_NAME><ORDERS/>"
+            "<RATING>seven</RATING></PROFILE>"
+        )
+        with pytest.raises(SchemaError):
+            validate(doc, PROFILE)
+
+    def test_wrong_root_name_rejected(self):
+        with pytest.raises(SchemaError):
+            validate(element("WRONG"), PROFILE)
+
+    def test_repeated_group_star(self):
+        doc = parse_element_text(
+            "<PROFILE><CID>C1</CID><LAST_NAME>J</LAST_NAME>"
+            "<ORDERS>"
+            "<ORDER><OID>O1</OID><AMOUNT>1</AMOUNT></ORDER>"
+            "<ORDER><OID>O2</OID><AMOUNT>2</AMOUNT></ORDER>"
+            "</ORDERS></PROFILE>"
+        )
+        validate(doc, PROFILE)
+
+    def test_simple_content_with_children_rejected(self):
+        doc = parse_element_text(
+            "<PROFILE><CID><NESTED/></CID><LAST_NAME>J</LAST_NAME><ORDERS/></PROFILE>"
+        )
+        with pytest.raises(SchemaError):
+            validate(doc, PROFILE)
+
+
+class TestBuilders:
+    def test_bad_occurrence_rejected(self):
+        with pytest.raises(SchemaError):
+            occurs("!")
+
+    def test_unknown_leaf_type_rejected(self):
+        with pytest.raises(SchemaError):
+            leaf("X", "xs:nope")
+
+    def test_find_child_particle(self):
+        particle = find_child_particle(PROFILE, "LAST_NAME")
+        assert particle is not None
+        assert particle.occurrence.min_count == 1
+        assert find_child_particle(PROFILE, "NOPE") is None

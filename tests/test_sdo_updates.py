@@ -1,0 +1,206 @@
+"""SDO / lineage / update-decomposition / submit tests (section 6)."""
+
+import pytest
+
+from repro.errors import ConcurrencyError, LineageError, UpdateError
+from repro.sdo import ConcurrencyPolicy, DataGraph, DataObject
+from repro.xml import parse_element_text, serialize
+
+from tests.conftest import build_platform
+
+
+def profile_element():
+    return parse_element_text(
+        "<PROFILE><CID>C1</CID><LAST_NAME>Jones</LAST_NAME>"
+        "<ORDERS>"
+        "<ORDER><OID>O1</OID><CID>C1</CID><AMOUNT>10</AMOUNT></ORDER>"
+        "<ORDER><OID>O2</OID><CID>C1</CID><AMOUNT>20</AMOUNT></ORDER>"
+        "</ORDERS></PROFILE>"
+    )
+
+
+class TestDataObject:
+    def test_get_set_and_change_log(self):
+        obj = DataObject(profile_element())
+        assert obj.get("LAST_NAME") == "Jones"
+        obj.set("LAST_NAME", "Smith")
+        assert obj.get("LAST_NAME") == "Smith"
+        log = obj.change_log()
+        assert len(log.changes) == 1
+        change = log.changes[0]
+        assert change.path == ("PROFILE", "LAST_NAME")
+        assert (change.old, change.new) == ("Jones", "Smith")
+
+    def test_typed_accessors(self):
+        obj = DataObject(profile_element())
+        assert obj.getLAST_NAME() == "Jones"
+        obj.setLAST_NAME("Smith")
+        assert obj.is_changed()
+
+    def test_indexed_paths(self):
+        obj = DataObject(profile_element())
+        assert obj.get("ORDERS/ORDER[2]/AMOUNT") == "20"
+        obj.set("ORDERS/ORDER[2]/AMOUNT", "25")
+        [change] = obj.change_log().changes
+        assert change.path == ("PROFILE", "ORDERS", "ORDER[2]", "AMOUNT")
+
+    def test_noop_set_not_recorded(self):
+        obj = DataObject(profile_element())
+        obj.set("LAST_NAME", "Jones")
+        assert not obj.is_changed()
+
+    def test_original_values_snapshot(self):
+        obj = DataObject(profile_element())
+        log = obj.change_log()
+        assert log.original_values[("PROFILE", "LAST_NAME")] == "Jones"
+        assert log.original_values[("PROFILE", "ORDERS", "ORDER[1]", "AMOUNT")] == "10"
+
+    def test_bad_path_rejected(self):
+        obj = DataObject(profile_element())
+        with pytest.raises(UpdateError):
+            obj.get("NOPE")
+        with pytest.raises(UpdateError):
+            obj.set("ORDERS", "x")  # not a leaf
+
+    def test_changelog_serialization_roundtrip(self):
+        from repro.sdo import ChangeLog
+
+        obj = DataObject(profile_element())
+        obj.set("LAST_NAME", "Smith")
+        wire = obj.change_log().serialize()
+        rebuilt = ChangeLog.deserialize("PROFILE", wire)
+        assert rebuilt.changes[0].new == "Smith"
+
+
+class TestLineage:
+    def test_lineage_of_profile_service(self, platform):
+        lineage = platform.lineage("ProfileService")
+        assert lineage.root_name == "PROFILE"
+        entry = lineage.entry_for(("PROFILE", "LAST_NAME"))
+        assert (entry.database, entry.table, entry.column) == (
+            "custdb", "CUSTOMER", "LAST_NAME")
+        assert entry.key_paths["CID"] == ("PROFILE", "CID")
+
+    def test_nested_order_lineage(self, platform):
+        lineage = platform.lineage("ProfileService")
+        entry = lineage.entry_for(("PROFILE", "ORDERS", "ORDER", "AMOUNT"))
+        assert (entry.table, entry.column) == ("ORDER", "AMOUNT")
+        assert entry.key_paths["OID"] == ("PROFILE", "ORDERS", "ORDER", "OID")
+
+    def test_cross_database_lineage(self, platform):
+        lineage = platform.lineage("ProfileService")
+        entry = lineage.entry_for(("PROFILE", "CREDIT_CARDS", "CREDIT_CARD", "NUMBER"))
+        assert entry.database == "ccdb"
+
+    def test_service_sourced_path_has_no_lineage(self, platform):
+        lineage = platform.lineage("ProfileService")
+        with pytest.raises(LineageError):
+            lineage.entry_for(("PROFILE", "RATING"))
+
+
+class TestSubmit:
+    def test_update_touches_only_affected_source(self, platform):
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        obj.setLAST_NAME("Smith")
+        ccdb_before = platform.ctx.databases["ccdb"].stats.roundtrips
+        result = platform.submit(obj)
+        assert result.affected_databases == ["custdb"]
+        assert platform.ctx.databases["ccdb"].stats.roundtrips == ccdb_before
+        assert platform.ctx.databases["custdb"].table("CUSTOMER") \
+            .lookup_pk(("C1",))["LAST_NAME"] == "Smith"
+
+    def test_nested_row_update_targets_right_row(self, platform):
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        obj.set("ORDERS/ORDER[2]/AMOUNT", 99)
+        result = platform.submit(obj)
+        orders = platform.ctx.databases["custdb"].table("ORDER")
+        assert orders.lookup_pk(("O2",))["AMOUNT"] == 99
+        assert orders.lookup_pk(("O1",))["AMOUNT"] == 10
+        assert result.rows_updated == 1
+
+    def test_multi_source_update_is_atomic(self, platform):
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        obj.setLAST_NAME("Smith")
+        obj.set("CREDIT_CARDS/CREDIT_CARD/NUMBER", "9999")
+        result = platform.submit(obj)
+        assert result.affected_databases == ["ccdb", "custdb"]
+        assert platform.ctx.databases["ccdb"].table("CREDIT_CARD") \
+            .lookup_pk(("CC1",))["NUMBER"] == "9999"
+
+    def test_failed_branch_rolls_back_everything(self, platform):
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        obj.setLAST_NAME("Smith")
+        obj.set("CREDIT_CARDS/CREDIT_CARD/NUMBER", "9999")
+        platform.ctx.databases["ccdb"].available = False
+        from repro.errors import TransactionError
+
+        with pytest.raises(TransactionError):
+            platform.submit(obj)
+        # custdb change rolled back
+        assert platform.ctx.databases["custdb"].table("CUSTOMER") \
+            .lookup_pk(("C1",))["LAST_NAME"] == "Jones"
+
+    def test_optimistic_values_updated_detects_conflict(self, platform):
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        # concurrent writer changes the same column
+        platform.ctx.databases["custdb"].table("CUSTOMER").update_at(0, {"LAST_NAME": "Hacked"})
+        obj.setLAST_NAME("Smith")
+        with pytest.raises(ConcurrencyError):
+            platform.submit(obj, policy=ConcurrencyPolicy.values_updated())
+
+    def test_values_read_policy_detects_sibling_conflict(self, platform):
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        # concurrent writer changes a *different* column the client read
+        platform.ctx.databases["custdb"].table("CUSTOMER").update_at(0, {"LAST_NAME": "Other"})
+        obj.set("CID", "C1")  # no-op; change something else instead
+        obj.setLAST_NAME("Smith")  # this *would* conflict under both policies
+        with pytest.raises(ConcurrencyError):
+            platform.submit(obj, policy=ConcurrencyPolicy.values_read())
+
+    def test_none_policy_last_writer_wins(self, platform):
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        platform.ctx.databases["custdb"].table("CUSTOMER").update_at(0, {"LAST_NAME": "Other"})
+        obj.setLAST_NAME("Smith")
+        result = platform.submit(obj, policy=ConcurrencyPolicy.none())
+        assert result.rows_updated == 1
+
+    def test_changes_discarded_after_successful_submit(self, platform):
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        obj.setLAST_NAME("Smith")
+        platform.submit(obj)
+        assert not obj.is_changed()
+
+    def test_empty_submit_is_noop(self, platform):
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        result = platform.submit(obj)
+        assert result.rows_updated == 0
+        assert result.affected_databases == []
+
+    def test_datagraph_submits_multiple_objects(self, platform):
+        objects = platform.read_for_update("ProfileService", "getProfile")
+        for i, obj in enumerate(objects):
+            obj.setLAST_NAME(f"Renamed{i}")
+        result = platform.submit(DataGraph(objects))
+        assert result.rows_updated == 2
+
+    def test_update_override_replaces_default(self, platform):
+        handled = []
+
+        def override(obj, updates):
+            handled.append((obj.root_name, len(updates)))
+            return True
+
+        platform.register_update_override("ProfileService", override)
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        obj.setLAST_NAME("Smith")
+        result = platform.submit(obj)
+        assert handled == [("PROFILE", 1)]
+        assert result.rows_updated == 0  # default handling skipped
+        assert platform.ctx.databases["custdb"].table("CUSTOMER") \
+            .lookup_pk(("C1",))["LAST_NAME"] == "Jones"
+
+    def test_update_of_service_backed_value_rejected(self, platform):
+        [obj] = platform.read_for_update("ProfileService", "getProfileByID", "C1")
+        obj.set("RATING", 999)
+        with pytest.raises(LineageError):
+            platform.submit(obj)

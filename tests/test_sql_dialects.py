@@ -1,0 +1,159 @@
+"""Vendor dialect rendering tests (section 4.4)."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.sql import (
+    AggCall,
+    BinOp,
+    CaseExpr,
+    ColumnRef,
+    Delete,
+    ExistsExpr,
+    FuncCall,
+    Insert,
+    Join,
+    OrderItem,
+    Param,
+    Select,
+    SelectItem,
+    SqlLiteral,
+    SqlRenderer,
+    SubqueryRef,
+    TableRef,
+    Update,
+    capabilities_for,
+    param_order,
+    render_sql,
+)
+
+
+def simple_select(**kwargs):
+    return Select(
+        items=[SelectItem(ColumnRef("t1", "CID"), "c1")],
+        from_items=[TableRef("CUSTOMER", "t1")],
+        **kwargs,
+    )
+
+
+class TestCapabilities:
+    def test_known_vendors(self):
+        assert capabilities_for("oracle").pagination == "rownum"
+        assert capabilities_for("db2").pagination == "rownumber"
+        assert capabilities_for("sqlserver").pagination == "rownumber"
+        assert capabilities_for("sybase").pagination is None
+
+    def test_unknown_vendor_gets_sql92(self):
+        assert capabilities_for("martian-db").name == "sql92"
+
+    def test_case_insensitive(self):
+        assert capabilities_for("Oracle").name == "oracle"
+
+
+class TestRendering:
+    def test_basic_select(self):
+        sql = render_sql(simple_select())
+        assert sql == 'SELECT t1."CID" AS c1 FROM "CUSTOMER" t1'
+
+    def test_where_and_order(self):
+        stmt = simple_select(
+            where=BinOp("=", ColumnRef("t1", "CID"), SqlLiteral("C1")),
+            order_by=[OrderItem(ColumnRef("t1", "CID"), descending=True)],
+        )
+        sql = render_sql(stmt)
+        assert "WHERE t1.\"CID\" = 'C1'" in sql
+        assert sql.endswith('ORDER BY t1."CID" DESC')
+
+    def test_joins(self):
+        stmt = Select(
+            items=[SelectItem(ColumnRef("t1", "CID"), "c1")],
+            from_items=[Join("left", TableRef("CUSTOMER", "t1"), TableRef("ORDER", "t2"),
+                             BinOp("=", ColumnRef("t1", "CID"), ColumnRef("t2", "CID")))],
+        )
+        assert 'LEFT OUTER JOIN "ORDER" t2 ON' in render_sql(stmt)
+
+    def test_case(self):
+        expr = CaseExpr([(BinOp("=", ColumnRef("t1", "X"), SqlLiteral(1)), SqlLiteral("a"))],
+                        SqlLiteral("b"))
+        text = SqlRenderer(capabilities_for("oracle")).expr(expr)
+        assert text == "CASE WHEN t1.\"X\" = 1 THEN 'a' ELSE 'b' END"
+
+    def test_exists(self):
+        expr = ExistsExpr(simple_select())
+        text = SqlRenderer(capabilities_for("oracle")).expr(expr)
+        assert text.startswith("EXISTS(SELECT")
+
+    def test_string_escape(self):
+        assert SqlRenderer(capabilities_for("oracle")).expr(SqlLiteral("O'Brien")) == "'O''Brien'"
+
+    def test_params_render_as_question_marks(self):
+        stmt = simple_select(where=BinOp("=", ColumnRef("t1", "CID"), Param(0)))
+        assert render_sql(stmt).count("?") == 1
+
+    def test_insert_update_delete(self):
+        assert render_sql(Insert("T", ["A"], [SqlLiteral(1)])) == \
+            'INSERT INTO "T" ("A") VALUES (1)'
+        assert render_sql(Update("T", [("A", SqlLiteral(2))],
+                                 BinOp("=", ColumnRef(None, "ID"), SqlLiteral(1)))) == \
+            'UPDATE "T" SET "A" = 2 WHERE "ID" = 1'
+        assert render_sql(Delete("T")) == 'DELETE FROM "T"'
+
+
+class TestVendorDifferences:
+    def test_function_name_mapping(self):
+        expr = FuncCall("SUBSTR", [ColumnRef("t1", "X"), SqlLiteral(1)])
+        assert "SUBSTR(" in SqlRenderer(capabilities_for("oracle")).expr(expr)
+        assert "SUBSTRING(" in SqlRenderer(capabilities_for("sqlserver")).expr(expr)
+
+    def test_concat_operator(self):
+        expr = BinOp("||", ColumnRef("t1", "A"), ColumnRef("t1", "B"))
+        assert "||" in SqlRenderer(capabilities_for("oracle")).expr(expr)
+        assert " + " in SqlRenderer(capabilities_for("sybase")).expr(expr)
+
+    def test_sql92_refuses_vendor_functions(self):
+        expr = FuncCall("CEIL", [SqlLiteral(1.5)])
+        with pytest.raises(SQLError):
+            SqlRenderer(capabilities_for("sql92")).expr(expr)
+
+    def test_oracle_pagination_is_double_rownum_wrapper(self):
+        stmt = simple_select(order_by=[OrderItem(ColumnRef("t1", "CID"))])
+        stmt.fetch = (10, 20)
+        sql = render_sql(stmt, "oracle")
+        assert sql.count("SELECT") == 3
+        assert "ROWNUM AS c2" in sql
+        assert "(t4.c2 >= 10 AND t4.c2 < 30)" in sql
+
+    def test_db2_pagination_uses_row_number(self):
+        stmt = simple_select(order_by=[OrderItem(ColumnRef("t1", "CID"))])
+        stmt.fetch = (1, 5)
+        sql = render_sql(stmt, "db2")
+        assert "ROW_NUMBER() OVER (ORDER BY" in sql
+
+    def test_sybase_pagination_not_pushable(self):
+        stmt = simple_select()
+        stmt.fetch = (1, 5)
+        with pytest.raises(SQLError):
+            render_sql(stmt, "sybase")
+
+
+class TestParamOrder:
+    def test_select_item_params_precede_where_params(self):
+        stmt = Select(
+            items=[SelectItem(Param(3), "c1")],
+            from_items=[TableRef("T", "t1")],
+            where=BinOp("=", ColumnRef("t1", "X"), Param(1)),
+        )
+        assert param_order(stmt) == [3, 1]
+
+    def test_subquery_params_in_from_position(self):
+        inner = Select(items=[SelectItem(Param(0), "c1")], from_items=[TableRef("T", "t2")])
+        stmt = Select(
+            items=[SelectItem(ColumnRef("s", "c1"), "c1")],
+            from_items=[SubqueryRef(inner, "s")],
+            where=BinOp("=", ColumnRef("s", "c1"), Param(2)),
+        )
+        assert param_order(stmt) == [0, 2]
+
+    def test_dml_order(self):
+        stmt = Update("T", [("A", Param(1))], BinOp("=", ColumnRef(None, "ID"), Param(0)))
+        assert param_order(stmt) == [1, 0]

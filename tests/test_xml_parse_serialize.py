@@ -1,0 +1,109 @@
+"""XML text parser and serializer tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import XMLError
+from repro.xml import (
+    AtomicValue,
+    element,
+    parse_document,
+    parse_element_text,
+    serialize,
+)
+
+
+class TestParser:
+    def test_simple_element(self):
+        e = parse_element_text("<a>hello</a>")
+        assert e.name.local == "a"
+        assert e.string_value() == "hello"
+
+    def test_attributes(self):
+        e = parse_element_text('<a x="1" y="two"/>')
+        assert e.attribute(element("x").name).string_value() == "1"
+
+    def test_nested_elements_skip_interelement_whitespace(self):
+        e = parse_element_text("<a>\n  <b>1</b>\n  <c>2</c>\n</a>")
+        assert [c.name.local for c in e.child_elements()] == ["b", "c"]
+        assert e.child_elements()[0].string_value() == "1"
+
+    def test_entities(self):
+        e = parse_element_text("<a>x &amp; y &lt; z &#65;</a>")
+        assert e.string_value() == "x & y < z A"
+
+    def test_cdata(self):
+        e = parse_element_text("<a><![CDATA[<not-xml>]]></a>")
+        assert e.string_value() == "<not-xml>"
+
+    def test_comments_skipped(self):
+        e = parse_element_text("<a><!-- hi --><b>1</b></a>")
+        assert len(e.child_elements()) == 1
+
+    def test_prolog_and_pi_skipped(self):
+        doc = parse_document('<?xml version="1.0"?><a/>')
+        assert doc.root_element().name.local == "a"
+
+    def test_namespace_declarations_not_attributes(self):
+        e = parse_element_text('<a xmlns="urn:x" xmlns:p="urn:y" q="1"/>')
+        assert len(e.attributes) == 1
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XMLError):
+            parse_element_text("<a><b></a></b>")
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(XMLError):
+            parse_document("<a/><b/>")
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(XMLError):
+            parse_element_text("<a><b>")
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLError):
+            parse_element_text("<a>&nope;</a>")
+
+
+class TestSerializer:
+    def test_escapes_text(self):
+        assert serialize(element("a", "x < & > y")) == "<a>x &lt; &amp; &gt; y</a>"
+
+    def test_escapes_attribute_quotes(self):
+        text = serialize(element("a", attrs={"t": 'say "hi"'}))
+        assert "&quot;" in text
+
+    def test_empty_element_self_closes(self):
+        assert serialize(element("a")) == "<a/>"
+
+    def test_atomic_sequence_space_separated(self):
+        out = serialize([AtomicValue(1, "xs:integer"), AtomicValue(2, "xs:integer")])
+        assert out == "1 2"
+
+    def test_pretty_print(self):
+        text = serialize(element("a", element("b", "1")), indent=2)
+        assert "\n" in text
+        assert "<b>1</b>" in text
+
+
+_NAME = st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True)
+_TEXT = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126, blacklist_characters='<>&"\''),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip() == s and s.strip() != "")
+
+
+@st.composite
+def xml_trees(draw, depth=2):
+    name = draw(_NAME)
+    if depth == 0 or draw(st.booleans()):
+        return element(name, draw(_TEXT))
+    children = draw(st.lists(xml_trees(depth=depth - 1), min_size=1, max_size=3))
+    return element(name, *children)
+
+
+@given(xml_trees())
+def test_property_parse_serialize_roundtrip(tree):
+    text = serialize(tree)
+    assert serialize(parse_element_text(text)) == text

@@ -1,0 +1,203 @@
+"""Tests for the typed token stream and Figure 4's tuple representations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import XMLError
+from repro.xml import (
+    AtomicValue,
+    TokenStream,
+    TokenType,
+    element,
+    serialize,
+    tokens_to_items,
+)
+from repro.xml.tokens import Token, item_to_tokens, items_to_tokens
+from repro.xml.tuples import (
+    ArrayTuple,
+    SingleTokenTuple,
+    StreamTuple,
+    choose_representation,
+    decode_framed_stream,
+    make_tuple,
+)
+
+
+def sample_element():
+    return element(
+        "CUSTOMER",
+        element("CID", 1, type_annotation="xs:integer"),
+        element("LAST_NAME", "Jones"),
+        attrs={"region": "west"},
+    )
+
+
+class TestTokenStreamRoundtrip:
+    def test_element_roundtrip(self):
+        original = sample_element()
+        rebuilt = tokens_to_items(list(item_to_tokens(original)))
+        assert serialize(rebuilt) == serialize(original)
+
+    def test_typed_annotation_survives(self):
+        tokens = list(item_to_tokens(element("CID", 1, type_annotation="xs:integer")))
+        [rebuilt] = tokens_to_items(tokens)
+        assert rebuilt.typed_value()[0].type_name == "xs:integer"
+
+    def test_atomic_token(self):
+        [token] = list(items_to_tokens([AtomicValue(3, "xs:integer")]))
+        assert token.type is TokenType.ATOMIC
+        assert tokens_to_items([token]) == [AtomicValue(3, "xs:integer")]
+
+    def test_mismatched_end_tag_rejected(self):
+        tokens = list(item_to_tokens(sample_element()))
+        bad = tokens[:-1] + [Token(TokenType.END_ELEMENT, name=element("X").name)]
+        with pytest.raises(XMLError):
+            tokens_to_items(bad)
+
+    def test_unterminated_stream_rejected(self):
+        tokens = list(item_to_tokens(sample_element()))[:-1]
+        with pytest.raises(XMLError):
+            tokens_to_items(tokens)
+
+
+class TestTokenStreamCursor:
+    def test_peek_then_next(self):
+        stream = TokenStream(items_to_tokens([AtomicValue(1), AtomicValue(2)]))
+        first = stream.peek()
+        assert stream.next() is first
+        assert not stream.at_end()
+        stream.next()
+        assert stream.at_end()
+
+    def test_next_past_end_raises(self):
+        stream = TokenStream([])
+        with pytest.raises(XMLError):
+            stream.next()
+
+    def test_expect_type(self):
+        stream = TokenStream(items_to_tokens([AtomicValue(1)]))
+        with pytest.raises(XMLError):
+            stream.expect(TokenType.START_ELEMENT)
+
+
+def two_field_tuple(representation):
+    fields = [[AtomicValue(100, "xs:integer")], [AtomicValue("al", "xs:string")]]
+    return make_tuple(representation, fields)
+
+
+class TestTupleRepresentations:
+    @pytest.mark.parametrize("representation", ["stream", "single-token", "array"])
+    def test_field_access(self, representation):
+        t = two_field_tuple(representation)
+        assert t.field(0) == [AtomicValue(100, "xs:integer")]
+        assert t.field(1) == [AtomicValue("al", "xs:string")]
+
+    @pytest.mark.parametrize("representation", ["stream", "single-token", "array"])
+    def test_arity(self, representation):
+        assert two_field_tuple(representation).arity() == 2
+
+    def test_stream_access_cost_grows_with_field_index(self):
+        t = two_field_tuple("stream")
+        t.field(0)
+        cost0 = t.tokens_touched
+        t2 = two_field_tuple("stream")
+        t2.field(1)
+        assert t2.tokens_touched > cost0
+
+    def test_array_access_is_single_touch(self):
+        t = two_field_tuple("array")
+        t.field(1)
+        assert t.tokens_touched == 1
+
+    def test_single_token_skip_is_one_touch(self):
+        t = two_field_tuple("single-token")
+        assert t.skip() == 1
+        assert t.tokens_touched == 1
+
+    def test_stream_skip_walks_everything(self):
+        t = two_field_tuple("stream")
+        assert t.skip() == t.memory_tokens()
+
+    def test_memory_accounting(self):
+        # stream: framing + one token per field; single-token adds the
+        # wrapper on top of the retained stream; array charges a slot plus
+        # a token per field (its structure overhead).
+        stream = two_field_tuple("stream").memory_tokens()
+        single = two_field_tuple("single-token").memory_tokens()
+        array = two_field_tuple("array").memory_tokens()
+        assert stream == 5  # Begin + f1 + Sep + f2 + End
+        assert single == stream + 1
+        assert array == 2 * 2  # slot + token per field
+
+    def test_array_memory_exceeds_stream_for_wide_fields(self):
+        # When a field spans several tokens the array must wrap it, and its
+        # per-slot overhead makes it the most expensive resident form —
+        # the paper's "higher memory requirements".
+        fields = [[sample_element()], [AtomicValue(1, "xs:integer")]]
+        array = ArrayTuple.from_fields(fields).memory_tokens()
+        stream = StreamTuple.from_fields(fields).memory_tokens()
+        assert array >= stream
+
+    def test_element_valued_field_wraps_in_array(self):
+        fields = [[sample_element()], [AtomicValue(1, "xs:integer")]]
+        t = ArrayTuple.from_fields(fields)
+        assert t.arity() == 2
+        assert serialize(t.field(0)) == serialize([sample_element()])
+
+    def test_tokens_roundtrip_between_representations(self):
+        stream = two_field_tuple("stream")
+        rebuilt = StreamTuple(two_field_tuple("array").to_tokens())
+        assert rebuilt.field(0) == stream.field(0)
+        assert rebuilt.field(1) == stream.field(1)
+
+    def test_unknown_representation_rejected(self):
+        with pytest.raises(XMLError):
+            make_tuple("columnar", [[AtomicValue(1)]])
+
+    def test_decode_framed_stream(self):
+        tokens = two_field_tuple("stream").to_tokens() + two_field_tuple("stream").to_tokens()
+        tuples = list(decode_framed_stream(tokens))
+        assert len(tuples) == 2
+        assert tuples[1].field(0) == [AtomicValue(100, "xs:integer")]
+
+
+class TestRepresentationChoice:
+    def test_relational_hot_tuples_pick_array(self):
+        assert choose_representation([1, 1, 1], access_ratio=1.0) == "array"
+
+    def test_cold_tuples_pick_single_token(self):
+        assert choose_representation([1, 5], access_ratio=0.1) == "single-token"
+
+    def test_wide_fields_pick_stream(self):
+        assert choose_representation([4, 9], access_ratio=0.8) == "stream"
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=-1000, max_value=1000), min_size=0, max_size=3),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_representations_agree_on_fields(field_values):
+    fields = [[AtomicValue(v, "xs:integer") for v in values] for values in field_values]
+    reference = StreamTuple.from_fields(fields)
+    for cls in (SingleTokenTuple, ArrayTuple):
+        candidate = cls.from_fields(fields)
+        for index in range(len(fields)):
+            assert candidate.field(index) == reference.field(index)
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=2),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_property_framed_tokens_roundtrip(field_values):
+    fields = [[AtomicValue(v, "xs:integer") for v in values] for values in field_values]
+    tokens = StreamTuple.from_fields(fields).to_tokens()
+    [rebuilt] = list(decode_framed_stream(tokens))
+    for index in range(len(fields)):
+        assert rebuilt.field(index) == fields[index]

@@ -1,0 +1,167 @@
+"""Built-in function library tests."""
+
+import math
+
+import pytest
+
+from repro.errors import DynamicError
+from repro.xml import AtomicValue, element
+from repro.xquery.functions import (
+    all_builtins,
+    atomize,
+    builtin,
+    compare_atomics,
+    effective_boolean_value,
+    is_builtin,
+    numeric_value,
+)
+
+
+def call(name, *args):
+    return builtin(name).evaluator(*args)
+
+
+def atoms(*values):
+    result = []
+    for v in values:
+        if isinstance(v, bool):
+            result.append(AtomicValue(v, "xs:boolean"))
+        elif isinstance(v, int):
+            result.append(AtomicValue(v, "xs:integer"))
+        elif isinstance(v, float):
+            result.append(AtomicValue(v, "xs:double"))
+        else:
+            result.append(AtomicValue(v, "xs:string"))
+    return result
+
+
+class TestSequenceFunctions:
+    def test_count(self):
+        assert call("fn:count", atoms(1, 2, 3))[0].value == 3
+        assert call("fn:count", [])[0].value == 0
+
+    def test_exists_empty_not(self):
+        assert call("fn:exists", atoms(1))[0].value is True
+        assert call("fn:empty", [])[0].value is True
+        assert call("fn:not", atoms(True))[0].value is False
+
+    def test_sum_avg_min_max(self):
+        seq = atoms(1, 2, 3)
+        assert call("fn:sum", seq)[0].value == 6
+        assert call("fn:avg", seq)[0].value == 2.0
+        assert call("fn:min", seq)[0].value == 1
+        assert call("fn:max", seq)[0].value == 3
+
+    def test_sum_empty_is_zero(self):
+        assert call("fn:sum", [])[0].value == 0
+
+    def test_avg_min_max_empty_is_empty(self):
+        assert call("fn:avg", []) == []
+        assert call("fn:min", []) == []
+
+    def test_distinct_values(self):
+        result = call("fn:distinct-values", atoms(1, 2, 1, 3, 2))
+        assert [a.value for a in result] == [1, 2, 3]
+
+    def test_subsequence(self):
+        seq = atoms(1, 2, 3, 4, 5)
+        assert [a.value for a in call("fn:subsequence", seq, atoms(2), atoms(2))] == [2, 3]
+        assert [a.value for a in call("fn:subsequence", seq, atoms(4))] == [4, 5]
+
+    def test_reverse_insert_remove(self):
+        seq = atoms(1, 2, 3)
+        assert [a.value for a in call("fn:reverse", seq)] == [3, 2, 1]
+        assert [a.value for a in call("fn:insert-before", seq, atoms(2), atoms(9))] == [1, 9, 2, 3]
+        assert [a.value for a in call("fn:remove", seq, atoms(2))] == [1, 3]
+
+    def test_cardinality_checks(self):
+        assert call("fn:exactly-one", atoms(1))[0].value == 1
+        with pytest.raises(DynamicError):
+            call("fn:exactly-one", atoms(1, 2))
+        with pytest.raises(DynamicError):
+            call("fn:zero-or-one", atoms(1, 2))
+
+
+class TestStringFunctions:
+    def test_concat_and_join(self):
+        assert call("fn:concat", atoms("a"), atoms("b"), atoms("c"))[0].value == "abc"
+        assert call("fn:string-join", atoms("a", "b"), atoms("-"))[0].value == "a-b"
+
+    def test_substring(self):
+        assert call("fn:substring", atoms("hello"), atoms(2))[0].value == "ello"
+        assert call("fn:substring", atoms("hello"), atoms(2), atoms(3))[0].value == "ell"
+
+    def test_contains_family(self):
+        assert call("fn:contains", atoms("hello"), atoms("ell"))[0].value is True
+        assert call("fn:starts-with", atoms("hello"), atoms("he"))[0].value is True
+        assert call("fn:ends-with", atoms("hello"), atoms("lo"))[0].value is True
+
+    def test_case_and_length(self):
+        assert call("fn:upper-case", atoms("abc"))[0].value == "ABC"
+        assert call("fn:lower-case", atoms("ABC"))[0].value == "abc"
+        assert call("fn:string-length", atoms("abcd"))[0].value == 4
+
+    def test_substring_before_after(self):
+        assert call("fn:substring-before", atoms("a=b"), atoms("="))[0].value == "a"
+        assert call("fn:substring-after", atoms("a=b"), atoms("="))[0].value == "b"
+
+    def test_normalize_space(self):
+        assert call("fn:normalize-space", atoms("  a   b "))[0].value == "a b"
+
+
+class TestNumericFunctions:
+    def test_rounding(self):
+        assert call("fn:floor", atoms(2.7))[0].value == 2
+        assert call("fn:ceiling", atoms(2.1))[0].value == 3
+        assert call("fn:round", atoms(2.5))[0].value == 3
+        assert call("fn:abs", atoms(-4))[0].value == 4
+
+    def test_number_of_bad_input_is_nan(self):
+        assert math.isnan(call("fn:number", atoms("abc"))[0].value)
+
+
+class TestValueHelpers:
+    def test_effective_boolean_value(self):
+        assert effective_boolean_value(atoms(True)) is True
+        assert effective_boolean_value([]) is False
+        assert effective_boolean_value(atoms("")) is False
+        assert effective_boolean_value(atoms("x")) is True
+        assert effective_boolean_value(atoms(0)) is False
+        assert effective_boolean_value([element("a")]) is True
+
+    def test_ebv_of_multi_atom_errors(self):
+        with pytest.raises(DynamicError):
+            effective_boolean_value(atoms(1, 2))
+
+    def test_atomize_elements(self):
+        e = element("A", 5, type_annotation="xs:integer")
+        assert atomize([e]) == [AtomicValue(5, "xs:integer")]
+
+    def test_compare_atomics_untyped_numeric_coercion(self):
+        untyped = AtomicValue("10", "xs:untypedAtomic")
+        assert compare_atomics("eq", untyped, AtomicValue(10, "xs:integer"))
+
+    def test_compare_incompatible_raises(self):
+        with pytest.raises(DynamicError):
+            compare_atomics("eq", AtomicValue("x", "xs:string"), AtomicValue(1, "xs:integer"))
+
+    def test_numeric_value_coercions(self):
+        assert numeric_value(AtomicValue("7", "xs:untypedAtomic")) == 7
+        with pytest.raises(DynamicError):
+            numeric_value(AtomicValue("abc", "xs:string"))
+
+
+class TestRegistry:
+    def test_lazy_service_functions_registered(self):
+        for name in ("fn-bea:async", "fn-bea:fail-over", "fn-bea:timeout"):
+            assert is_builtin(name)
+            assert all_builtins()[name].lazy
+
+    def test_sql_pushdown_annotations(self):
+        assert all_builtins()["fn:count"].sql == ("agg", "COUNT")
+        assert all_builtins()["fn:upper-case"].sql == ("func", "UPPER")
+        assert all_builtins()["fn:string-join"].sql is None
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(DynamicError):
+            builtin("fn:does-not-exist")

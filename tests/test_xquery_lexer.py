@@ -1,0 +1,99 @@
+"""Lexer tests: tokens, comments, pragma capture."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.xquery.lexer import DECIMAL, DOUBLE, EOF, INTEGER, NAME, STRING, SYMBOL, Lexer
+
+
+def tokens_of(text):
+    lexer = Lexer(text)
+    result = []
+    while True:
+        token = lexer.next_token()
+        if token.kind == EOF:
+            return result, lexer
+        result.append(token)
+
+
+class TestBasics:
+    def test_names_and_symbols(self):
+        toks, _ = tokens_of("for $c in CUSTOMER()")
+        kinds = [(t.kind, t.value) for t in toks]
+        assert kinds == [
+            (NAME, "for"), (SYMBOL, "$"), (NAME, "c"), (NAME, "in"),
+            (NAME, "CUSTOMER"), (SYMBOL, "("), (SYMBOL, ")"),
+        ]
+
+    def test_qname_single_token(self):
+        toks, _ = tokens_of("tns:getProfile fn-bea:fail-over")
+        assert [t.value for t in toks] == ["tns:getProfile", "fn-bea:fail-over"]
+
+    def test_numbers(self):
+        toks, _ = tokens_of("42 3.14 1e10 .5")
+        assert [t.kind for t in toks] == [INTEGER, DECIMAL, DOUBLE, DECIMAL]
+
+    def test_strings_with_doubled_quotes(self):
+        toks, _ = tokens_of('"say ""hi""" \'it\'\'s\'')
+        assert [t.value for t in toks] == ['say "hi"', "it's"]
+
+    def test_multichar_symbols_maximal_munch(self):
+        toks, _ = tokens_of(":= != <= >= // ..")
+        assert [t.value for t in toks] == [":=", "!=", "<=", ">=", "//", ".."]
+
+    def test_line_and_column_tracking(self):
+        toks, _ = tokens_of("a\n  b")
+        assert toks[0].line == 1 and toks[1].line == 2
+        assert toks[1].column == 3
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokens_of('"oops')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokens_of("a # b")
+
+
+class TestComments:
+    def test_comments_skipped(self):
+        toks, _ = tokens_of("a (: comment :) b")
+        assert [t.value for t in toks] == ["a", "b"]
+
+    def test_nested_comments(self):
+        toks, _ = tokens_of("a (: outer (: inner :) still :) b")
+        assert [t.value for t in toks] == ["a", "b"]
+
+    def test_unterminated_comment_raises(self):
+        with pytest.raises(ParseError):
+            tokens_of("a (: oops")
+
+
+class TestPragmas:
+    def test_pragma_captured_not_tokenized(self):
+        toks, lexer = tokens_of('(::pragma function kind="read" ::) declare')
+        assert [t.value for t in toks] == ["declare"]
+        [pragma] = lexer.drain_pragmas()
+        assert pragma.kind == "function"
+        assert pragma.attributes == {"kind": "read"}
+
+    def test_multiple_attributes(self):
+        _, lexer = tokens_of('(::pragma function kind="navigate" source="db1" ::) x')
+        [pragma] = lexer.drain_pragmas()
+        assert pragma.attributes == {"kind": "navigate", "source": "db1"}
+
+    def test_drain_clears(self):
+        _, lexer = tokens_of('(::pragma xds a="1" ::) x')
+        assert len(lexer.drain_pragmas()) == 1
+        assert lexer.drain_pragmas() == []
+
+    def test_plain_comment_not_pragma(self):
+        _, lexer = tokens_of("(: pragma-like but not :) x")
+        assert lexer.drain_pragmas() == []
+
+    def test_seek_supports_reparsing(self):
+        lexer = Lexer("a b c")
+        first = lexer.next_token()
+        lexer.next_token()
+        lexer.seek(first.pos)
+        assert lexer.next_token().value == "a"

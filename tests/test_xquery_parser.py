@@ -1,0 +1,275 @@
+"""Parser tests: FLWGOR, constructors, paths, prolog, ALDSP extensions."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.xquery import ast, parse_expression, parse_module
+
+
+class TestExpressions:
+    def test_literals(self):
+        assert parse_expression("42").value.value == 42
+        assert parse_expression('"hi"').value.value == "hi"
+        assert parse_expression("3.5").value.type_name == "xs:decimal"
+
+    def test_sequence_expression(self):
+        e = parse_expression("1, 2, 3")
+        assert isinstance(e, ast.SequenceExpr)
+        assert len(e.items) == 3
+
+    def test_empty_sequence(self):
+        assert isinstance(parse_expression("()"), ast.EmptySequence)
+
+    def test_arithmetic_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, ast.Arithmetic) and e.op == "+"
+        assert isinstance(e.right, ast.Arithmetic) and e.right.op == "*"
+
+    def test_value_vs_general_comparison(self):
+        value = parse_expression("$a eq $b")
+        general = parse_expression("$a = $b")
+        assert not value.general
+        assert general.general
+        assert value.op == general.op == "eq"
+
+    def test_logical_operators(self):
+        e = parse_expression("$a and $b or $c")
+        assert isinstance(e, ast.OrExpr)
+        assert isinstance(e.left, ast.AndExpr)
+
+    def test_if_then_else(self):
+        e = parse_expression('if ($x) then 1 else 2')
+        assert isinstance(e, ast.IfExpr)
+
+    def test_quantified(self):
+        e = parse_expression("some $o in ORDERS() satisfies $o/CID eq $c/CID")
+        assert isinstance(e, ast.Quantified)
+        assert e.kind == "some"
+        assert e.bindings[0][0] == "o"
+
+    def test_instance_of(self):
+        e = parse_expression("$x instance of xs:integer")
+        assert isinstance(e, ast.CastExpr) and e.kind == "instance"
+
+    def test_cast_as(self):
+        e = parse_expression('"5" cast as xs:integer')
+        assert e.kind == "cast"
+        assert e.target.show() == "xs:integer"
+
+    def test_range(self):
+        assert isinstance(parse_expression("1 to 5"), ast.RangeTo)
+
+    def test_unary_minus(self):
+        assert isinstance(parse_expression("-$x"), ast.UnaryMinus)
+
+
+class TestPaths:
+    def test_relative_path_on_variable(self):
+        e = parse_expression("$c/CID")
+        assert isinstance(e, ast.PathExpr)
+        assert e.steps[0].test.name == "CID"
+
+    def test_bare_name_is_context_path(self):
+        e = parse_expression("CID")
+        assert isinstance(e, ast.PathExpr)
+        assert isinstance(e.base, ast.ContextItem)
+
+    def test_attribute_step(self):
+        e = parse_expression("$c/@id")
+        assert e.steps[0].axis == "attribute"
+
+    def test_descendant_step(self):
+        e = parse_expression("$c//OID")
+        assert e.steps[0].axis == "descendant"
+
+    def test_predicates_on_step(self):
+        e = parse_expression("$c/ORDER[AMOUNT gt 5][1]")
+        assert len(e.steps[0].predicates) == 2
+
+    def test_filter_on_function_call(self):
+        e = parse_expression('getProfile()[CID eq $id]')
+        assert isinstance(e, ast.FilterExpr)
+        assert isinstance(e.base, ast.FunctionCall)
+
+    def test_text_kind_test(self):
+        e = parse_expression("$c/text()")
+        assert isinstance(e.steps[0].test, ast.KindTest)
+
+    def test_wildcard(self):
+        e = parse_expression("$c/*")
+        assert e.steps[0].test.name == "*"
+
+
+class TestFLWGOR:
+    def test_clause_order(self):
+        e = parse_expression(
+            "for $c in CUSTOMER() let $n := $c/LAST_NAME where $n eq 'J' "
+            "order by $n descending return $n"
+        )
+        kinds = [type(c).__name__ for c in e.clauses]
+        assert kinds == ["ForClause", "LetClause", "WhereClause", "OrderByClause"]
+        assert e.clauses[3].specs[0].descending
+
+    def test_multiple_for_bindings(self):
+        e = parse_expression("for $a in X(), $b in Y() return 1")
+        assert [c.var for c in e.clauses] == ["a", "b"]
+
+    def test_positional_variable(self):
+        e = parse_expression("for $x at $i in X() return $i")
+        assert e.clauses[0].pos_var == "i"
+
+    def test_group_clause_full_form(self):
+        e = parse_expression(
+            "for $c in CUSTOMER() let $cid := $c/CID "
+            "group $cid as $ids by $c/LAST_NAME as $name "
+            "return $ids"
+        )
+        group = e.clauses[2]
+        assert isinstance(group, ast.GroupByClause)
+        assert group.grouped == [("cid", "ids")]
+        assert group.keys[0][1] == "name"
+
+    def test_group_clause_keys_only(self):
+        e = parse_expression("for $c in C() group by $c/L as $l return $l")
+        group = e.clauses[1]
+        assert group.grouped == []
+
+    def test_group_key_without_as_gets_fresh_var(self):
+        e = parse_expression("for $c in C() group $c as $g by $c/L return count($g)")
+        assert e.clauses[1].keys[0][1].startswith("#")
+
+    def test_order_by_empty_greatest(self):
+        e = parse_expression("for $x in X() order by $x empty greatest return $x")
+        assert e.clauses[1].specs[0].empty_greatest
+
+    def test_declared_type_on_for(self):
+        e = parse_expression("for $c as element(CUSTOMER) in CUSTOMER() return $c")
+        assert e.clauses[0].declared_type.show() == "element(CUSTOMER)"
+
+
+class TestConstructors:
+    def test_direct_element(self):
+        e = parse_expression("<OUT><A>1</A></OUT>")
+        assert isinstance(e, ast.ElementCtor)
+        assert e.name == "OUT"
+        inner = e.content[0]
+        assert isinstance(inner, ast.ElementCtor) and inner.name == "A"
+
+    def test_enclosed_expressions(self):
+        e = parse_expression("<OUT>{$x}</OUT>")
+        assert isinstance(e.content[0], ast.VarRef)
+
+    def test_mixed_text_and_expr(self):
+        e = parse_expression("<OUT>id: {$x}!</OUT>")
+        assert [type(c).__name__ for c in e.content] == ["Literal", "VarRef", "Literal"]
+
+    def test_attribute_with_enclosed_expr(self):
+        e = parse_expression('<OUT name="{$n}" fixed="x"/>')
+        assert isinstance(e.attributes[0].value, ast.VarRef)
+        assert e.attributes[1].value.value.value == "x"
+
+    def test_optional_element_marker(self):
+        e = parse_expression("<FIRST_NAME?>{$f}</FIRST_NAME>")
+        assert e.optional
+
+    def test_optional_attribute_marker(self):
+        e = parse_expression('<OUT rating?="{$r}"/>')
+        assert e.attributes[0].optional
+
+    def test_brace_escapes(self):
+        e = parse_expression("<OUT>{{literal}}</OUT>")
+        assert e.content[0].value.value == "{literal}"
+
+    def test_entities_in_content(self):
+        e = parse_expression("<OUT>&amp;</OUT>")
+        assert e.content[0].value.value == "&"
+
+    def test_namespace_prefix_stripped(self):
+        e = parse_expression("<tns:PROFILE/>")
+        assert e.name == "PROFILE"
+
+    def test_boundary_whitespace_stripped(self):
+        e = parse_expression("<OUT>\n  <A>1</A>\n</OUT>")
+        assert all(isinstance(c, ast.ElementCtor) for c in e.content)
+
+    def test_computed_element(self):
+        e = parse_expression("element OUT { $x }")
+        assert isinstance(e, ast.ElementCtor)
+        assert e.name == "OUT"
+
+    def test_nested_constructor_in_function_arg(self):
+        e = parse_expression("getRating(<getRating><ssn>{$s}</ssn></getRating>)")
+        assert isinstance(e, ast.FunctionCall)
+        assert isinstance(e.args[0], ast.ElementCtor)
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("<A></B>")
+
+
+class TestProlog:
+    def test_module_with_functions(self):
+        module = parse_module(
+            'xquery version "1.0";\n'
+            'declare namespace tns="urn:x";\n'
+            "declare function tns:one() as xs:integer { 1 };\n"
+            "declare function tns:two($a as xs:string) as xs:string { $a };\n"
+        )
+        assert set(module.functions) == {("one", 0), ("two", 1)}
+        assert module.namespaces["tns"] == "urn:x"
+
+    def test_pragma_attached_to_function(self):
+        module = parse_module(
+            '(::pragma function kind="read" ::)\n'
+            "declare function f() as xs:integer { 1 };"
+        )
+        assert module.function("f", 0).kind == "read"
+
+    def test_external_function(self):
+        module = parse_module("declare function ext($x as xs:string) as xs:string external;")
+        assert module.function("ext", 1).external
+
+    def test_variable_declaration(self):
+        module = parse_module('declare variable $limit as xs:integer := 10;')
+        assert module.variables["limit"].value.value.value == 10
+
+    def test_schema_import(self):
+        module = parse_module('import schema namespace ns0="urn:shapes";')
+        assert module.schema_imports == ["urn:shapes"]
+
+    def test_query_body_after_prolog(self):
+        module = parse_module('declare namespace a="urn:a";\n1 + 1')
+        assert isinstance(module.query_body, ast.Arithmetic)
+
+    def test_runtime_mode_fails_fast(self):
+        with pytest.raises(ParseError):
+            parse_module("declare function broken( { 1 };", mode="runtime")
+
+
+class TestDesignModeRecovery:
+    def test_bad_declaration_skipped_good_ones_kept(self):
+        module = parse_module(
+            "declare function broken(%%% ;\n"
+            "declare function good() as xs:integer { 1 };",
+            mode="design",
+        )
+        assert module.errors
+        assert module.function("good", 0) is not None
+
+    def test_multiple_errors_collected(self):
+        module = parse_module(
+            "declare function bad1( ;\n"
+            "declare function bad2) ;\n"
+            "declare function ok() { 3 };",
+            mode="design",
+        )
+        assert len(module.errors) >= 2
+        assert module.function("ok", 0) is not None
+
+
+def test_ast_walk_and_transform():
+    e = parse_expression("for $c in X() return <O>{$c/A}</O>")
+    names = [type(n).__name__ for n in e.walk()]
+    assert "ElementCtor" in names and "ForClause" in names
+    count = sum(1 for n in e.walk() if isinstance(n, ast.VarRef))
+    assert count == 1
