@@ -1,0 +1,30 @@
+# Developer entry points.  `make ci` is the one-shot gate: lint,
+# type-check, and the tier-1 test suite from ROADMAP.md.
+#
+# ruff and mypy are optional in minimal environments: their steps are
+# skipped (with a notice) when the tool is not on PATH, so `make ci`
+# always runs to the tests.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: ci lint typecheck test
+
+ci: lint typecheck test
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "lint: ruff not installed, skipping"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "typecheck: mypy not installed, skipping"; \
+	fi
+
+test:
+	$(PYTHON) -m pytest -x -q

@@ -12,11 +12,13 @@ Start with :class:`repro.Platform` — see ``examples/quickstart.py``.
 """
 
 from .clock import Clock, VirtualClock, WallClock
+from .diagnostics import Diagnostic, DiagnosticReport, Severity
 from .errors import (
     ConcurrencyError,
     DynamicError,
     LineageError,
     ParseError,
+    PlanVerificationError,
     ReproError,
     SchemaError,
     SecurityError,
@@ -42,10 +44,14 @@ __all__ = [
     "Clock",
     "VirtualClock",
     "WallClock",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
     "ConcurrencyError",
     "DynamicError",
     "LineageError",
     "ParseError",
+    "PlanVerificationError",
     "ReproError",
     "SchemaError",
     "SecurityError",

@@ -3,6 +3,7 @@
     python -m repro demo                 # run the running example
     python -m repro query  "<xquery>"    # execute against the demo platform
     python -m repro explain "<xquery>"   # show the distributed plan
+    python -m repro lint "<xquery>"      # static analysis: all diagnostics
     python -m repro sql "<xquery>"       # show the SQL shipped to sources
     python -m repro lineage              # lineage map of the profile service
 
@@ -61,6 +62,24 @@ def _cmd_explain(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run every plan-verifier pass and print the diagnostics.
+
+    Exit status is 1 iff any error-severity diagnostic was found
+    (warnings and notes are informational).
+    """
+    platform = _build(args)
+    report = platform.lint(args.xquery)
+    if args.json:
+        print(report.render_json())
+    elif len(report):
+        print(report.render_text())
+        print(report.summary())
+    else:
+        print("clean: no diagnostics")
+    return 1 if report.has_errors else 0
+
+
 def _cmd_sql(args) -> int:
     platform = _build(args)
     try:
@@ -105,6 +124,12 @@ def build_parser() -> argparse.ArgumentParser:
     explain = commands.add_parser("explain", help="show the distributed plan")
     explain.add_argument("xquery")
     explain.set_defaults(fn=_cmd_explain)
+    lint = commands.add_parser(
+        "lint", help="run the plan verifier and print all diagnostics")
+    lint.add_argument("xquery")
+    lint.add_argument("--json", action="store_true",
+                      help="render the diagnostic report as JSON")
+    lint.set_defaults(fn=_cmd_lint)
     sql = commands.add_parser("sql", help="show the SQL shipped to the sources")
     sql.add_argument("xquery")
     sql.set_defaults(fn=_cmd_sql)

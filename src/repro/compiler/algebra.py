@@ -8,7 +8,7 @@ joins, and runtime typematch/error operators.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..sql.ast_nodes import Select

@@ -35,11 +35,22 @@ def _sql_of(pushed: PushedSQL) -> str:
     return SqlRenderer(capabilities_for(pushed.vendor)).render(pushed.select)
 
 
+def _dialect_label(pushed: PushedSQL) -> str:
+    """The dialect that renders this region's SQL, e.g. ``oracle`` — or
+    ``acme->sql92`` when an unknown vendor fell back to base SQL92 — so
+    pushdown diagnostics (``ALDSP-1xx``) can be cross-referenced with the
+    explain plan."""
+    dialect = capabilities_for(pushed.vendor).name
+    if dialect == pushed.vendor.lower():
+        return dialect
+    return f"{pushed.vendor}->{dialect}"
+
+
 def _lines(node: ast.AstNode, depth: int) -> list[str]:
     pad = _pad(depth)
     if isinstance(node, PushedSQL):
         lines = [f"{pad}PUSHED SQL -> {node.database} ({node.vendor})"]
-        lines.append(f"{pad}  sql: {_sql_of(node)}")
+        lines.append(f"{pad}  sql[{_dialect_label(node)}]: {_sql_of(node)}")
         if node.param_exprs:
             lines.append(f"{pad}  parameters: {len(node.param_exprs)} middleware expression(s)")
         if node.correlation is not None:
@@ -89,7 +100,8 @@ def _clause_lines(clause: ast.Clause, depth: int) -> list[str]:
         pushed = clause.pushed
         method = "index nested loops" if clause.k > 1 else "index nested loop (k=1)"
         lines = [f"{pad}PP-{clause.k} JOIN (let ${clause.var}) using {method}"]
-        lines.append(f"{pad}  -> {pushed.database} ({pushed.vendor}): {_sql_of(pushed)}")
+        lines.append(f"{pad}  -> {pushed.database} "
+                     f"sql[{_dialect_label(pushed)}]: {_sql_of(pushed)}")
         lines.append(f"{pad}  + disjunctive block predicate on "
                      f"{pushed.correlation.column_alias if pushed.correlation else '?'}")
         return lines
@@ -97,7 +109,7 @@ def _clause_lines(clause: ast.Clause, depth: int) -> list[str]:
         pushed = clause.pushed
         lines = [f"{pad}PUSHED JOIN for ${', $'.join(clause.vars)} "
                  f"-> {pushed.database} ({pushed.vendor})"]
-        lines.append(f"{pad}  sql: {_sql_of(pushed)}")
+        lines.append(f"{pad}  sql[{_dialect_label(pushed)}]: {_sql_of(pushed)}")
         return lines
     if isinstance(clause, IndexJoinForClause):
         return [f"{pad}INDEX NESTED-LOOP JOIN for ${clause.var} "

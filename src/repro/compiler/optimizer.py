@@ -24,7 +24,6 @@ SQL pushdown itself runs after these passes (:mod:`repro.sql.generate`).
 from __future__ import annotations
 
 import copy
-import itertools
 
 from typing import TYPE_CHECKING
 

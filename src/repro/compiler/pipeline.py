@@ -37,6 +37,11 @@ class CompilerOptions:
     push: object = field(default_factory=_default_push_options)
     #: functions kept as calls (result caching granularity)
     no_inline: set[tuple[str, int]] = field(default_factory=set)
+    #: run the plan verifier (:mod:`repro.compiler.verify`) on every
+    #: compiled plan.  In runtime mode error-severity diagnostics raise
+    #: :class:`~repro.errors.PlanVerificationError`; in design mode they
+    #: are collected on the plan like analysis errors.
+    verify: bool = True
 
 
 @dataclass
@@ -48,6 +53,8 @@ class CompiledPlan:
     module: ast.Module | None
     errors: list[str] = field(default_factory=list)
     source: str = ""
+    #: plan-verifier findings (None when verification was disabled)
+    diagnostics: object | None = None
 
 
 class Compiler:
@@ -118,7 +125,17 @@ class Compiler:
         from ..sql.rewriter import push_sql
 
         expr = push_sql(expr, self.options.push, bound=frozenset(env))
-        return CompiledPlan(expr, self.module, list(checker.errors), source)
+        plan = CompiledPlan(expr, self.module, list(checker.errors), source)
+        if self.options.verify and not plan.errors:
+            from .verify import verify_plan
+
+            push_enabled = bool(getattr(self.options.push, "enabled", True))
+            report = verify_plan(expr, externals=frozenset(env),
+                                 push_enabled=push_enabled)
+            plan.diagnostics = report
+            if self.options.mode == "runtime":
+                report.raise_if_errors(source or type(expr).__name__)
+        return plan
 
     def compile_call(self, function_name: str, arity: int) -> CompiledPlan:
         """Compile a data-service method invocation ``f($p1, ...)`` with the

@@ -51,6 +51,17 @@ class TypeError_(StaticError):
     intersections between argument and parameter types)."""
 
 
+class PlanVerificationError(StaticError):
+    """The plan verifier (:mod:`repro.compiler.verify`) found error-severity
+    diagnostics in a compiled plan.  ``report`` holds the full
+    :class:`~repro.diagnostics.DiagnosticReport` for programmatic access."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None, report=None):
+        super().__init__(message, line, column)
+        self.report = report
+
+
 class DynamicError(ReproError):
     """An error raised while executing a compiled query plan."""
 

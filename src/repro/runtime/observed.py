@@ -16,7 +16,7 @@ roundtrip overhead stops dominating the row-shipping cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -15,7 +15,7 @@ The compiler needs (section 3.1 / 4.1):
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import SchemaError

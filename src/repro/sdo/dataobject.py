@@ -9,7 +9,6 @@ mirroring the Java snippet in Figure 5).
 from __future__ import annotations
 
 import re
-from typing import Optional
 
 from ..errors import UpdateError
 from ..xml.items import AtomicValue, ElementNode, TextNode

@@ -16,7 +16,7 @@ decisions when enabled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..errors import SecurityError

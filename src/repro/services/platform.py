@@ -9,7 +9,7 @@ streaming, submit) all go through it.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from ..clock import Clock, VirtualClock
 from ..compiler.inverse import InverseRegistry
@@ -38,7 +38,10 @@ from .introspect import (
     introspect_web_service,
     java_function_def,
 )
-from .metadata import MetadataRegistry, SourceFunctionDef
+from .metadata import MetadataRegistry
+
+if TYPE_CHECKING:
+    from ..diagnostics import DiagnosticReport
 
 
 class Platform:
@@ -267,11 +270,43 @@ class Platform:
 
     def explain(self, query: str,
                 variables: dict[str, list[Item]] | None = None) -> str:
-        """A readable rendering of the distributed plan for a query."""
+        """A readable rendering of the distributed plan for a query,
+        followed by any plan-verifier diagnostics."""
         from ..compiler.explain import explain as explain_plan
 
         plan = self.prepare(query, variables)
-        return explain_plan(plan.expr)
+        text = explain_plan(plan.expr)
+        if plan.diagnostics is not None and len(plan.diagnostics):
+            text += ("\nDIAGNOSTICS (" + plan.diagnostics.summary() + ")\n"
+                     + plan.diagnostics.render_text(prefix="  "))
+        return text
+
+    def lint(self, query: str,
+             variables: dict[str, list[Item]] | None = None) -> "DiagnosticReport":
+        """Run the full static analysis over a query and collect *all*
+        diagnostics (design-mode behaviour, section 4.1): analysis errors
+        are reported as ``ALDSP-E000`` and every plan-verifier pass runs
+        regardless of severity.  Used by ``repro lint``."""
+        import dataclasses
+
+        from ..diagnostics import DiagnosticReport, make
+        from ..schema.types import ITEM_STAR
+
+        report = DiagnosticReport()
+        options = dataclasses.replace(self.options, mode="design", verify=True)
+        compiler = Compiler(self.registry, self.module, self.inverses,
+                            self.view_cache, options)
+        externals = {name: ITEM_STAR for name in variables} if variables else None
+        try:
+            plan = compiler.compile_expression(query, externals=externals)
+        except StaticError as exc:
+            report.add(make("ALDSP-E000", str(exc), line=exc.line))
+            return report
+        for error in plan.errors:
+            report.add(make("ALDSP-E000", error))
+        if plan.diagnostics is not None:
+            report.extend(plan.diagnostics)
+        return report
 
     def execute_to_file(self, query: str, path, variables=None, user: User = ADMIN,
                         indent: int | None = None) -> int:

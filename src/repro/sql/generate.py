@@ -26,7 +26,7 @@ Two cooperating pieces:
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..compiler.algebra import (
     DEFAULT_PPK_BLOCK_SIZE,
@@ -34,15 +34,12 @@ from ..compiler.algebra import (
     ColumnSlot,
     GroupSlot,
     NestedSlot,
-    PPkLetClause,
     PushedSQL,
-    PushedTupleForClause,
     SourceCall,
     TableMeta,
 )
 from ..errors import SQLError
 from ..xquery import ast_nodes as ast
-from ..xquery.parser import fresh_var
 from .ast_nodes import (
     AggCall,
     BinOp,
@@ -68,7 +65,6 @@ from .pushdown import (
     free_vars,
     is_cast_constructor,
     is_table_call,
-    join_conjuncts,
     split_conjuncts,
     sql_function_for,
     unwrap_data,

@@ -9,7 +9,13 @@ the XQuery runtime engine and then pushed as SQL parameters").
 
 from __future__ import annotations
 
-from ..compiler.algebra import SourceCall
+from ..compiler.algebra import (
+    IndexJoinForClause,
+    PPkLetClause,
+    PushedSQL,
+    PushedTupleForClause,
+    SourceCall,
+)
 from ..xquery import ast_nodes as ast
 from ..xquery.functions import all_builtins, is_builtin
 
@@ -31,7 +37,15 @@ _CAST_PREFIX = "xs:"
 
 
 def free_vars(node: ast.AstNode) -> set[str]:
-    """Variables referenced by ``node`` but not bound within it."""
+    """Variables referenced by ``node`` but not bound within it.
+
+    Exact on both the surface AST and the post-optimization algebra: the
+    compiler-introduced clauses (:class:`PushedTupleForClause`,
+    :class:`PPkLetClause`, :class:`IndexJoinForClause`) bind variables, and
+    a :class:`PushedSQL` region's correlation key — which generic child
+    traversal does not reach — references outer variables.  The plan
+    verifier relies on this to prove the optimized root is closed.
+    """
     free: set[str] = set()
     _free_vars(node, set(), free)
     return free
@@ -45,7 +59,20 @@ def _free_vars(node: ast.AstNode, bound: set[str], free: set[str]) -> None:
     if isinstance(node, ast.FLWOR):
         inner = set(bound)
         for clause in node.clauses:
-            if isinstance(clause, ast.ForClause):
+            if isinstance(clause, IndexJoinForClause):
+                _free_vars(clause.expr, inner, free)
+                _free_vars(clause.outer_key, inner, free)
+                probe = set(inner)
+                probe.add(clause.var)
+                _free_vars(clause.inner_key, probe, free)
+                inner.add(clause.var)
+            elif isinstance(clause, PPkLetClause):
+                _free_vars(clause.pushed, inner, free)
+                inner.add(clause.var)
+            elif isinstance(clause, PushedTupleForClause):
+                _free_vars(clause.pushed, inner, free)
+                inner.update(clause.vars)
+            elif isinstance(clause, ast.ForClause):
                 _free_vars(clause.expr, inner, free)
                 inner.add(clause.var)
                 if clause.pos_var:
@@ -72,18 +99,49 @@ def _free_vars(node: ast.AstNode, bound: set[str], free: set[str]) -> None:
             inner.add(var)
         _free_vars(node.satisfies, inner, free)
         return
+    if isinstance(node, ast.TypeswitchExpr):
+        _free_vars(node.operand, bound, free)
+        for var, _case_type, case_expr in node.cases:
+            inner = set(bound)
+            if var is not None:
+                inner.add(var)
+            _free_vars(case_expr, inner, free)
+        inner = set(bound)
+        if node.default_var is not None:
+            inner.add(node.default_var)
+        _free_vars(node.default_expr, inner, free)
+        return
+    if isinstance(node, PushedSQL):
+        for param in node.param_exprs:
+            _free_vars(param, bound, free)
+        if node.correlation is not None:
+            _free_vars(node.correlation.outer_key, bound, free)
+        # the reconstruction template is closed by construction: its
+        # leaves are column slots, not variable references
+        return
     for child in node.children():
         _free_vars(child, bound, free)
 
 
-def split_conjuncts(condition: ast.AstNode) -> list[ast.AstNode]:
-    """Flatten a where condition into its AND-ed conjuncts."""
+def split_conjuncts(condition: ast.AstNode | None) -> list[ast.AstNode]:
+    """Flatten a where condition into its AND-ed conjuncts.
+
+    Left-to-right order is preserved and ``None`` (no condition) yields the
+    empty list, so ``split_conjuncts`` and :func:`join_conjuncts` form a
+    round-trip: ``split(join(cs)) == cs`` for any conjunct list whose
+    members are not themselves ``AndExpr`` nodes, and ``join(split(c))``
+    rebuilds a condition equivalent to ``c`` (AND is left-associated).
+    """
+    if condition is None:
+        return []
     if isinstance(condition, ast.AndExpr):
         return split_conjuncts(condition.left) + split_conjuncts(condition.right)
     return [condition]
 
 
 def join_conjuncts(conjuncts: list[ast.AstNode]) -> ast.AstNode | None:
+    """Rebuild a left-associated AND chain; inverse of :func:`split_conjuncts`
+    (the empty list maps back to ``None``)."""
     if not conjuncts:
         return None
     result = conjuncts[0]

@@ -219,7 +219,7 @@ class PushdownRewriter:
         intervening order-by destroys it.
         """
         from ..compiler.algebra import ColumnSlot
-        from .ast_nodes import ColumnRef, OrderItem
+        from .ast_nodes import OrderItem
 
         scan_for: ast.ForClause | None = None
         scan_pushed: PushedSQL | None = None

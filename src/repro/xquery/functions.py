@@ -30,7 +30,6 @@ from ..schema.types import (
     SequenceType,
     atomic,
     is_numeric,
-    numeric_promote,
 )
 from ..xml.items import AtomicValue, Item, Node
 

@@ -16,7 +16,6 @@ Makes implicit operations explicit so later stages see a uniform tree:
 
 from __future__ import annotations
 
-from ..xml.items import AtomicValue
 from . import ast_nodes as ast
 from .parser import fresh_var
 

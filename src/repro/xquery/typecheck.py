@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import TypeError_
-from ..schema.structural import intersects, is_subtype, needs_typematch
+from ..schema.structural import intersects, needs_typematch
 from ..schema.types import (
     EMPTY,
     ITEM_STAR,

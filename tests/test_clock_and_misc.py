@@ -3,7 +3,6 @@ shared utilities."""
 
 import time
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.clock import VirtualClock, WallClock

@@ -4,11 +4,9 @@ CSV file, and a Web service) with layered data services — the "composite
 application development" the paper's introduction motivates.
 """
 
-import pytest
 
 from repro import Database, Platform, serialize
 from repro.clock import VirtualClock
-from repro.errors import SourceError
 from repro.relational import ForeignKey
 from repro.schema import leaf, shape
 from repro.sources import WebServiceDescriptor, WebServiceOperation

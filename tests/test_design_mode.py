@@ -71,7 +71,7 @@ class TestDesignTimeDeployment:
         assert len(out) == 1
 
     def test_erroneous_function_fails_only_at_invocation(self):
-        from repro.errors import DynamicError, ReproError
+        from repro.errors import ReproError
 
         platform = design_platform()
         platform.deploy(MIXED_QUALITY_SERVICE, name="Mixed")

@@ -3,7 +3,6 @@ cost-based optimizer (sections 5.2, 5.3 and the section-9 roadmap)."""
 
 import pytest
 
-from repro.clock import VirtualClock
 from repro.errors import SourceError
 from repro.relational import LatencyModel
 from repro.runtime.observed import ObservedCostModel

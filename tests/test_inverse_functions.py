@@ -12,7 +12,6 @@ import pytest
 from repro.compiler import PushedSQL
 from repro.errors import StaticError
 from repro.compiler.inverse import InverseRegistry
-from repro.xml import AtomicValue
 from repro.xquery import ast, parse_expression
 from repro.xquery.normalize import normalize
 

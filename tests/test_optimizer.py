@@ -1,13 +1,11 @@
 """Optimizer tests: view unfolding, source-access elimination, unnesting,
 let pruning, the view-plan cache (section 4.2)."""
 
-import pytest
 
-from repro.compiler import Compiler, CompilerOptions, Optimizer, PushedSQL, SourceCall, TableMeta
+from repro.compiler import Optimizer, SourceCall, TableMeta
 from repro.compiler.views import ViewPlanCache
 from repro.schema import leaf, shape, shape_sequence
 from repro.services.metadata import MetadataRegistry, SourceFunctionDef
-from repro.sql.generate import PushOptions
 from repro.xquery import ast, parse_expression, parse_module
 from repro.xquery.normalize import normalize, normalize_module
 from repro.xquery.typecheck import FunctionSignature

@@ -3,7 +3,6 @@
 
 import pytest
 
-from repro.compiler import PushedSQL
 from repro.errors import StaticError
 from repro.schema import leaf, shape
 from repro.services import Mediator, RequestConfig

@@ -6,13 +6,11 @@ k controls the roundtrip count (ceil(N/k) requests), and the request is a
 single disjunctive parameterized query per block.
 """
 
-import math
 
 import pytest
 
 from repro.compiler import PPkLetClause, PushedSQL
 from repro.xml import serialize
-from repro.xquery import ast
 
 from tests.conftest import build_platform
 

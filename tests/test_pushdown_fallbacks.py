@@ -3,7 +3,6 @@ pushable parts still ship and the rest evaluates mid-tier, with results
 always identical to naive evaluation (section 4.3's local reordering by
 "acceptability for pushdown")."""
 
-import pytest
 
 from repro.compiler import PushedSQL
 from repro.xml import serialize

@@ -8,9 +8,7 @@ from repro.schema import (
     AnyItemType,
     AnyNodeType,
     AtomicItemType,
-    ComplexContent,
     ElementItemType,
-    MixedContent,
     Occurrence,
     SequenceType,
     SimpleContent,

@@ -9,7 +9,6 @@ from repro.schema import (
     AtomicItemType,
     ElementItemType,
     Occurrence,
-    SequenceType,
     atomic,
     atomic_ancestors,
     element_type,

@@ -4,9 +4,8 @@ import pytest
 
 from repro.errors import ConcurrencyError, LineageError, UpdateError
 from repro.sdo import ConcurrencyPolicy, DataGraph, DataObject
-from repro.xml import parse_element_text, serialize
+from repro.xml import parse_element_text
 
-from tests.conftest import build_platform
 
 
 def profile_element():

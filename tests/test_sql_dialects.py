@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import SQLError
 from repro.sql import (
-    AggCall,
     BinOp,
     CaseExpr,
     ColumnRef,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ParseError
-from repro.xquery.lexer import DECIMAL, DOUBLE, EOF, INTEGER, NAME, STRING, SYMBOL, Lexer
+from repro.xquery.lexer import DECIMAL, DOUBLE, EOF, INTEGER, NAME, SYMBOL, Lexer
 
 
 def tokens_of(text):
