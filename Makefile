@@ -8,9 +8,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: ci lint typecheck test
+.PHONY: ci lint typecheck test bench-smoke
 
-ci: lint typecheck test
+ci: lint typecheck test bench-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -28,3 +28,9 @@ typecheck:
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The benchmark corpus in smoke mode: every paper-artifact bench runs once
+# and its assertions (statement-cache parse counts, PP-k pipelining wins,
+# pushdown economics) gate the build alongside the unit tests.
+bench-smoke:
+	$(PYTHON) -m pytest -x -q benchmarks

@@ -9,6 +9,7 @@ distributed-query economics are realistic.
 from .connection import Connection
 from .database import Database, LatencyModel, SourceStats
 from .executor import Executor
+from .prepared import PreparedStatement, StatementCache
 from .sqlparser import parse_sql
 from .table import Column, ForeignKey, Table
 from .txn import Transaction, TwoPhaseCommit
@@ -19,6 +20,8 @@ __all__ = [
     "LatencyModel",
     "SourceStats",
     "Executor",
+    "PreparedStatement",
+    "StatementCache",
     "parse_sql",
     "Column",
     "ForeignKey",

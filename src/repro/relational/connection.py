@@ -2,9 +2,10 @@
 
 The runtime relational adaptor talks to backends exclusively through this
 class: statements arrive as *SQL text* (rendered by the dialect layer), are
-parsed by the engine's own parser and executed — validating the dialect
-round trip — while the database's latency model charges the clock and the
-source statistics record roundtrips and rows shipped.
+prepared against the per-database statement cache — parsed by the engine's
+own parser on a cache miss, validating the dialect round trip — and
+executed, while the database's latency model charges the clock and the
+source statistics record roundtrips, rows shipped and hard parses.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from typing import Sequence
 from ..errors import SourceError
 from .database import Database
 from .executor import Executor
-from .sqlparser import parse_sql
+from .prepared import PreparedStatement
 from .txn import Transaction
 
 
@@ -28,30 +29,40 @@ class Connection:
         #: — feeds the observed-cost optimizer (section 9)
         self.observer = None
 
-    def execute_query(self, sql: str, params: Sequence | None = None) -> list[dict]:
+    def prepare(self, sql: str | PreparedStatement) -> PreparedStatement:
+        """Prepare a statement (or pass one through), consulting the
+        database's LRU statement cache: the parse and the table resolution
+        are paid once per distinct SQL text, not once per roundtrip."""
+        if isinstance(sql, PreparedStatement):
+            return sql
+        return self.db.statements.prepare(sql)
+
+    def execute_query(self, sql: str | PreparedStatement,
+                      params: Sequence | None = None) -> list[dict]:
         """Run a SELECT; returns rows as alias->value dicts."""
         self._check_available()
         start = self.db.clock.now_ms()
-        stmt = parse_sql(sql)
-        rows = Executor(self.db, params).execute(stmt)
+        prepared = self.prepare(sql)
+        rows = Executor(self.db, params, tables=prepared.tables).execute(prepared.stmt)
         if not isinstance(rows, list):
-            raise SourceError(f"expected a query, got DML: {sql}")
-        self.db.charge_roundtrip(len(rows), sql)
+            raise SourceError(f"expected a query, got DML: {prepared.sql}")
+        self.db.charge_roundtrip(len(rows), prepared.sql)
         if self.observer is not None:
             self.observer(self.db.name, len(rows), self.db.clock.now_ms() - start)
         return rows
 
-    def execute_update(self, sql: str, params: Sequence | None = None) -> int:
+    def execute_update(self, sql: str | PreparedStatement,
+                       params: Sequence | None = None) -> int:
         """Run DML, either autocommit or inside the active transaction."""
         self._check_available()
-        stmt = parse_sql(sql)
+        prepared = self.prepare(sql)
         if self._txn is not None:
-            count = self._txn.execute(stmt, params)
+            count = self._txn.execute(prepared.stmt, params, tables=prepared.tables)
         else:
-            count = Executor(self.db, params).execute(stmt)
+            count = Executor(self.db, params, tables=prepared.tables).execute(prepared.stmt)
         if not isinstance(count, int):
-            raise SourceError(f"expected DML, got a query: {sql}")
-        self.db.charge_roundtrip(count, sql)
+            raise SourceError(f"expected DML, got a query: {prepared.sql}")
+        self.db.charge_roundtrip(count, prepared.sql)
         return count
 
     def begin(self) -> Transaction:

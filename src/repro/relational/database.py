@@ -20,12 +20,17 @@ from .table import Column, ForeignKey, Table
 class LatencyModel:
     """Cost of talking to this database.
 
-    ``roundtrip_ms`` is charged once per statement (network + parse);
-    ``per_row_ms`` once per result row shipped back to the middleware.
+    ``roundtrip_ms`` is charged once per statement (network + execution);
+    ``per_row_ms`` once per result row shipped back to the middleware;
+    ``parse_ms`` once per *hard parse* — a statement-cache hit skips it,
+    which is the economics prepared statements exist to buy.  It defaults
+    to 0 so latency totals are governed by the roundtrip model unless a
+    benchmark opts into parse accounting.
     """
 
     roundtrip_ms: float = 5.0
     per_row_ms: float = 0.05
+    parse_ms: float = 0.0
 
 
 @dataclass
@@ -35,11 +40,20 @@ class SourceStats:
     roundtrips: int = 0
     rows_shipped: int = 0
     statements: list[str] = field(default_factory=list)
+    #: hard parses actually performed (statement-cache misses + uncached)
+    parses: int = 0
+    stmt_cache_hits: int = 0
+    stmt_cache_misses: int = 0
+    stmt_cache_evictions: int = 0
 
     def reset(self) -> None:
         self.roundtrips = 0
         self.rows_shipped = 0
         self.statements.clear()
+        self.parses = 0
+        self.stmt_cache_hits = 0
+        self.stmt_cache_misses = 0
+        self.stmt_cache_evictions = 0
 
 
 class Database:
@@ -52,13 +66,22 @@ class Database:
         vendor: str = "oracle",
         latency: LatencyModel | None = None,
         clock: Clock | None = None,
+        statement_cache_capacity: int | None = None,
     ):
+        from .prepared import DEFAULT_STATEMENT_CACHE_CAPACITY, StatementCache
+
         self.name = name
         self.vendor = vendor
         self.latency = latency or LatencyModel()
         self.clock = clock or VirtualClock()
         self.tables: dict[str, Table] = {}
         self.stats = SourceStats()
+        self.statements = StatementCache(
+            self,
+            statement_cache_capacity
+            if statement_cache_capacity is not None
+            else DEFAULT_STATEMENT_CACHE_CAPACITY,
+        )
         #: set by the failure-injection helpers to simulate outages
         self.available = True
 
@@ -76,7 +99,14 @@ class Database:
         ]
         table = Table(name, normalized, primary_key, foreign_keys)
         self.tables[name] = table
+        self.statements.invalidate()
         return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise SQLError(f"no table {name} in database {self.name}")
+        del self.tables[name]
+        self.statements.invalidate()
 
     def table(self, name: str) -> Table:
         try:

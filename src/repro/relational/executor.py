@@ -78,9 +78,17 @@ class _Env:
 
 
 class Executor:
-    def __init__(self, database: Database, params: Sequence | None = None):
+    def __init__(self, database: Database, params: Sequence | None = None,
+                 tables: dict | None = None):
         self.db = database
         self.params = list(params or [])
+        #: tables pre-resolved at prepare time (see relational.prepared);
+        #: names outside the prepared set fall back to the live catalog
+        self._tables = tables or {}
+
+    def _table(self, name: str):
+        table = self._tables.get(name)
+        return table if table is not None else self.db.table(name)
 
     # -- entry points ---------------------------------------------------------
 
@@ -236,7 +244,7 @@ class Executor:
 
     def _from_item(self, item: FromItem, env: _Env) -> Iterable[dict[str, dict]]:
         if isinstance(item, TableRef):
-            table = self.db.table(item.name)
+            table = self._table(item.name)
             return ({item.alias: row} for row in table.rows)
         if isinstance(item, SubqueryRef):
             rows = self.select(item.subquery, outer=env)
@@ -269,7 +277,7 @@ class Executor:
 
     def _null_bindings(self, item: FromItem) -> dict[str, dict]:
         if isinstance(item, TableRef):
-            table = self.db.table(item.name)
+            table = self._table(item.name)
             return {item.alias: {c: None for c in table.column_names()}}
         if isinstance(item, SubqueryRef):
             aliases = _output_aliases(item.subquery.items)
@@ -283,7 +291,7 @@ class Executor:
     # -- DML -------------------------------------------------------------------------
 
     def _insert(self, stmt: Insert) -> int:
-        table = self.db.table(stmt.table)
+        table = self._table(stmt.table)
         if len(stmt.columns) != len(stmt.values):
             raise SQLError("INSERT: column/value count mismatch")
         values = {}
@@ -294,7 +302,7 @@ class Executor:
         return 1
 
     def _update(self, stmt: Update) -> int:
-        table = self.db.table(stmt.table)
+        table = self._table(stmt.table)
         count = 0
         for index, row in enumerate(table.rows):
             env = _Env({stmt.table: row})
@@ -307,7 +315,7 @@ class Executor:
         return count
 
     def _delete(self, stmt: Delete) -> int:
-        table = self.db.table(stmt.table)
+        table = self._table(stmt.table)
         keep = []
         removed = 0
         for row in table.rows:

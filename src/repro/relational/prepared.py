@@ -1,0 +1,163 @@
+"""Prepared statements and the per-database LRU statement cache.
+
+Every statement the middleware ships arrives as SQL text and — absent
+caching — pays a full parse on each roundtrip.  Real engines amortize that
+cost with prepared statements: parse (and name-resolve) once, execute many
+times with fresh parameter bindings.  :class:`StatementCache` reproduces
+that economics for the simulated backends: an LRU keyed by SQL text whose
+entries hold the parsed AST plus executor-side pre-resolution (the table
+objects the statement references, validated at prepare time).
+
+The cache is *per database* — statements are parsed in the context of one
+source's schema, so DDL on that source (``create_table`` / ``drop_table``)
+invalidates it.  Hit/miss/eviction counters are surfaced through the
+database's :class:`~repro.relational.database.SourceStats` and through
+``Platform.statement_cache_stats()``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from ..sql.ast_nodes import (
+    Delete,
+    FromItem,
+    Insert,
+    Join,
+    Select,
+    SubqueryRef,
+    TableRef,
+    Update,
+)
+from .sqlparser import parse_sql
+
+if TYPE_CHECKING:
+    from .database import Database
+    from .table import Table
+
+#: default number of prepared statements retained per database
+DEFAULT_STATEMENT_CACHE_CAPACITY = 128
+
+
+class PreparedStatement:
+    """A parsed, pre-resolved statement bound to one database.
+
+    ``stmt`` is the parsed AST (shared across executions — executors never
+    mutate it); ``tables`` maps each table name the statement's FROM/DML
+    clauses reference to its resolved :class:`Table`, so execution skips
+    the per-statement name lookup and a missing table fails at prepare
+    time, the way a real prepare call would.
+    """
+
+    __slots__ = ("sql", "stmt", "is_query", "tables")
+
+    def __init__(self, sql: str, stmt, tables: "dict[str, Table]"):
+        self.sql = sql
+        self.stmt = stmt
+        self.is_query = isinstance(stmt, Select)
+        self.tables = tables
+
+    def __repr__(self) -> str:
+        kind = "query" if self.is_query else "dml"
+        return f"PreparedStatement({kind}, {self.sql[:40]!r}...)"
+
+
+class StatementCache:
+    """Per-database LRU of :class:`PreparedStatement`, keyed by SQL text."""
+
+    def __init__(self, database: "Database",
+                 capacity: int = DEFAULT_STATEMENT_CACHE_CAPACITY):
+        self.db = database
+        self.capacity = capacity
+        self.enabled = True
+        #: cleared-by-DDL count (not a per-roundtrip counter, so it lives
+        #: here rather than on SourceStats and survives ``reset_stats``)
+        self.invalidations = 0
+        self._entries: OrderedDict[str, PreparedStatement] = OrderedDict()
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        stats = self.db.stats
+        if not self.enabled:
+            return self._build(sql)
+        entry = self._entries.get(sql)
+        if entry is not None:
+            self._entries.move_to_end(sql)
+            stats.stmt_cache_hits += 1
+            return entry
+        stats.stmt_cache_misses += 1
+        entry = self._build(sql)
+        self._entries[sql] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            stats.stmt_cache_evictions += 1
+        return entry
+
+    def _build(self, sql: str) -> PreparedStatement:
+        stmt = parse_sql(sql)
+        self.db.stats.parses += 1
+        if self.db.latency.parse_ms:
+            self.db.clock.charge_ms(self.db.latency.parse_ms)
+        tables = {
+            name: self.db.table(name) for name in _referenced_tables(stmt)
+        }
+        return PreparedStatement(sql, stmt, tables)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """DDL happened: every cached resolution may be stale."""
+        if self._entries:
+            self.invalidations += 1
+        self._entries.clear()
+
+    def clear(self) -> None:
+        """Drop entries without recording an invalidation (admin toggle)."""
+        self._entries.clear()
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cached_sql(self) -> list[str]:
+        """Cached statement texts in LRU order (oldest first)."""
+        return list(self._entries)
+
+    def snapshot(self) -> dict:
+        stats = self.db.stats
+        return {
+            "enabled": self.enabled,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": stats.stmt_cache_hits,
+            "misses": stats.stmt_cache_misses,
+            "evictions": stats.stmt_cache_evictions,
+            "invalidations": self.invalidations,
+            "parses": stats.parses,
+        }
+
+
+def _referenced_tables(stmt) -> set[str]:
+    """Table names a statement's FROM / DML target clauses reference.
+
+    Subqueries inside WHERE (EXISTS, scalar) are resolved lazily by the
+    executor; pre-resolution covers the common scan/join shape."""
+    if isinstance(stmt, (Insert, Update, Delete)):
+        return {stmt.table}
+    names: set[str] = set()
+    if isinstance(stmt, Select):
+        for item in stmt.from_items:
+            _collect_from_item(item, names)
+    return names
+
+
+def _collect_from_item(item: FromItem, names: set[str]) -> None:
+    if isinstance(item, TableRef):
+        names.add(item.name)
+    elif isinstance(item, Join):
+        _collect_from_item(item.left, names)
+        _collect_from_item(item.right, names)
+    elif isinstance(item, SubqueryRef):
+        for inner in item.subquery.from_items:
+            _collect_from_item(inner, names)

@@ -99,7 +99,9 @@ class AsyncExecutor:
             failed = True
         return result, self.clock.now_ms() - start, failed
 
-    def shutdown(self) -> None:
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool.  Waits for workers by default — a
+        fire-and-forget shutdown leaks threads across Platform resets."""
         if self._pool is not None:
-            self._pool.shutdown(wait=False)
+            self._pool.shutdown(wait=wait)
             self._pool = None

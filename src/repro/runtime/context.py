@@ -42,6 +42,20 @@ class RuntimeStats:
         self.tuples_flowed = 0
 
 
+@dataclass
+class MiddlewareCostModel:
+    """CPU cost of mid-tier operator work, charged to the clock.
+
+    Source latencies dominate, but the middleware's share is what overlap
+    optimizations (pipelined PP-k, async branches) hide latency *behind* —
+    charging it keeps the virtual clock honest about the win while staying
+    small relative to a source roundtrip.
+    """
+
+    #: hash-join + template-reconstruction cost per PP-k block tuple
+    ppk_join_ms_per_tuple: float = 0.01
+
+
 class DynamicContext:
     """Shared services for one ALDSP server instance's runtime."""
 
@@ -61,6 +75,11 @@ class DynamicContext:
         self.cache = cache
         self.async_exec = AsyncExecutor(self.clock)
         self.stats = RuntimeStats()
+        self.middleware = MiddlewareCostModel()
+        #: prefetch block N+1 while block N joins (section 5.4 overlap)
+        self.ppk_pipeline = True
+        #: default for the per-database prepared-statement caches
+        self.statement_cache_enabled = True
         #: observed per-source cost samples (section 9's future-work
         #: optimizer — populated by the connections' instrumentation hook)
         self.observed = ObservedCostModel()
@@ -73,6 +92,7 @@ class DynamicContext:
 
     def attach_database(self, database: Database) -> None:
         database.clock = self.clock
+        database.statements.enabled = self.statement_cache_enabled
         self.databases[database.name] = database
         connection = Connection(database)
         connection.observer = self.observed.record
@@ -83,6 +103,11 @@ class DynamicContext:
             return self._connections[database_name]
         except KeyError:
             raise SourceError(f"no connection registered for database {database_name}") from None
+
+    def close(self) -> None:
+        """Release runtime resources: joins the async executor's worker
+        threads so a discarded context cannot leak them."""
+        self.async_exec.shutdown()
 
     def renderer(self, vendor: str) -> SqlRenderer:
         if vendor not in self._renderers:

@@ -13,6 +13,21 @@ binding-tuple stream in blocks of ``k``, issues one disjunctive query per
 block, hash-partitions the fetched rows by the correlation column, and
 extends each tuple with its (possibly empty — left-outer semantics)
 sequence of reconstructed items.
+
+Two roundtrip-path optimizations ride on top of the paper's operator:
+
+* **Bucketed statement reuse** — the disjunctive select is built and
+  rendered once per *bucket* (key counts padded up to the next power of
+  two, capped at ``k``) and memoized on the pushed region, so the
+  per-database statement cache sees one SQL text per (region, bucket)
+  instead of one per block.  Padding parameters are bound to NULL, which
+  can never satisfy ``col = ?`` under three-valued logic, so padded
+  queries return exactly the unpadded rows.
+* **Block pipelining** — block N+1's source query is prefetched through
+  the :class:`~repro.runtime.asyncexec.AsyncExecutor` while the
+  middleware joins block N: physically overlapped under a wall clock, and
+  accounted as overlap (the join advances by the *maximum* branch charge)
+  under the virtual clock, so benchmarks show the win deterministically.
 """
 
 from __future__ import annotations
@@ -21,7 +36,8 @@ import copy
 from typing import TYPE_CHECKING, Iterator
 
 from ...compiler.algebra import PPkLetClause, PushedSQL
-from ...sql.ast_nodes import BinOp, Param, Select
+from ...errors import DynamicError
+from ...sql.ast_nodes import BinOp, Param, Select, param_order
 from ...xml.items import Item
 from ...xquery.functions import atomize
 from .pushedsql import apply_template, bind_parameters
@@ -36,20 +52,47 @@ def ppk_extend(
     evaluator: "Evaluator",
 ) -> Iterator[dict]:
     """Extend each incoming tuple with ``clause.var`` bound via PP-k."""
-    pushed = clause.pushed
-    assert pushed.correlation is not None
+    assert clause.pushed.correlation is not None
+    ctx = evaluator.ctx
+    blocks = _blocks(tuples, clause.k)
+    if not ctx.ppk_pipeline:
+        for block in blocks:
+            fetched = _fetch_block(clause, block, evaluator)
+            yield from _join_block(clause, block, fetched, evaluator)
+        return
+
+    # Pipelined: while block N's rows are hash-joined in the middleware,
+    # block N+1's disjunctive query is already in flight.
+    try:
+        current = next(blocks)
+    except StopIteration:
+        return
+    fetched = _fetch_block(clause, current, evaluator)
+    for upcoming in blocks:
+        joined, next_fetched = ctx.async_exec.run_parallel([
+            lambda b=current, f=fetched: list(_join_block(clause, b, f, evaluator)),
+            lambda b=upcoming: _fetch_block(clause, b, evaluator),
+        ])
+        yield from joined
+        current, fetched = upcoming, next_fetched
+    yield from _join_block(clause, current, fetched, evaluator)
+
+
+def _blocks(tuples: Iterator[dict], k: int) -> Iterator[list[dict]]:
     block: list[dict] = []
     for env in tuples:
         block.append(env)
-        if len(block) >= clause.k:
-            yield from _process_block(clause, block, evaluator)
+        if len(block) >= k:
+            yield block
             block = []
     if block:
-        yield from _process_block(clause, block, evaluator)
+        yield block
 
 
-def _process_block(clause: PPkLetClause, block: list[dict],
-                   evaluator: "Evaluator") -> Iterator[dict]:
+def _fetch_block(clause: PPkLetClause, block: list[dict],
+                 evaluator: "Evaluator") -> tuple[list, dict]:
+    """Issue the block's disjunctive query; returns the per-tuple join keys
+    and the fetched rows hash-partitioned by the correlation column."""
     pushed = clause.pushed
     correlation = pushed.correlation
     assert correlation is not None
@@ -66,31 +109,72 @@ def _process_block(clause: PPkLetClause, block: list[dict],
     distinct_keys = [key for key in dict.fromkeys(keys) if key is not None]
     rows_by_key: dict[object, list[dict]] = {}
     if distinct_keys:
-        from ...sql.ast_nodes import param_order
-
-        select, base_param_count = _disjunctive_select(pushed, correlation, len(distinct_keys))
-        sql = ctx.renderer(pushed.vendor).render(select)
+        bucket = _bucket_size(len(distinct_keys), clause.k)
+        sql, order = _bucketed_sql(pushed, correlation, bucket, evaluator)
         # Non-correlation parameters are constant across the block
-        # (otherwise the rewriter forced k=1).
-        values = bind_parameters(pushed, block[0], evaluator) + distinct_keys
-        params = [values[i] for i in param_order(select)]
+        # (otherwise the rewriter forced k=1); pad the key list with NULLs
+        # up to the bucket size — NULL never equals anything, so padding
+        # cannot match rows.
+        values = (bind_parameters(pushed, block[0], evaluator)
+                  + distinct_keys + [None] * (bucket - len(distinct_keys)))
+        params = [values[i] for i in order]
         rows = ctx.connection(pushed.database).execute_query(sql, params)
         ctx.stats.pushed_queries += 1
         # Hash join: partition the fetched rows by the correlation column.
         for row in rows:
+            if correlation.column_alias not in row:
+                raise DynamicError(
+                    f"PP-k correlation alias {correlation.column_alias!r} missing "
+                    f"from fetched row (columns: {sorted(row)})"
+                )
             rows_by_key.setdefault(row[correlation.column_alias], []).append(row)
+    return keys, rows_by_key
 
+
+def _join_block(clause: PPkLetClause, block: list[dict],
+                fetched: tuple[list, dict],
+                evaluator: "Evaluator") -> Iterator[dict]:
+    keys, rows_by_key = fetched
+    ctx = evaluator.ctx
+    ctx.clock.charge_ms(ctx.middleware.ppk_join_ms_per_tuple * len(block))
     for env, key in zip(block, keys):
         matches = rows_by_key.get(key, [])
         items: list[Item] = []
         for row in matches:
-            items.extend(apply_template(pushed.template, row, [row], evaluator))
+            items.extend(apply_template(clause.pushed.template, row, [row], evaluator))
         extended = dict(env)
         extended[clause.var] = items
         yield extended
 
 
-def _disjunctive_select(pushed: PushedSQL, correlation, key_count: int) -> tuple[Select, int]:
+def _bucket_size(key_count: int, k: int) -> int:
+    """Pad ``key_count`` up to the next power of two, capped at the block
+    size ``k`` (a full block is its own bucket)."""
+    size = 1
+    while size < key_count:
+        size <<= 1
+    return max(min(size, k), key_count)
+
+
+def _bucketed_sql(pushed: PushedSQL, correlation, bucket: int,
+                  evaluator: "Evaluator") -> tuple[str, list[int]]:
+    """The rendered disjunctive SQL and its parameter permutation for one
+    bucket size, memoized on the pushed region so repeated blocks reuse
+    both the rendering work and the source's statement cache."""
+    cache = getattr(pushed, "_ppk_sql_cache", None)
+    if cache is None:
+        cache = {}
+        pushed._ppk_sql_cache = cache
+    entry = cache.get(bucket)
+    if entry is None:
+        select = _disjunctive_select(pushed, correlation, bucket)
+        sql = evaluator.ctx.renderer(pushed.vendor).render(select)
+        entry = (sql, param_order(select))
+        cache[bucket] = entry
+    return entry
+
+
+def _disjunctive_select(pushed: PushedSQL, correlation, key_count: int) -> Select:
     """Clone the base select and add ``(col = ?) OR (col = ?) ...`` with
     ``key_count`` parameters after the base parameters."""
     select = copy.deepcopy(pushed.select)
@@ -105,4 +189,4 @@ def _disjunctive_select(pushed: PushedSQL, correlation, key_count: int) -> tuple
         select.where = disjunction
     else:
         select.where = BinOp("AND", select.where, disjunction)
-    return select, base_param_count
+    return select

@@ -79,9 +79,12 @@ class SubmitEngine:
                 for update in updates:
                     database = self._database(update.database)
                     txn = xa.branch(database)
-                    stmt = update.to_sql()
-                    count = txn.execute(stmt)
-                    sql_text = self._render(database, stmt)
+                    sql_text = self._render(database, update.to_sql())
+                    # Route through the statement cache: the rendered DML is
+                    # re-parsed (validating the dialect round trip, as the
+                    # query path does) at most once per distinct text.
+                    prepared = database.statements.prepare(sql_text)
+                    count = txn.execute(prepared.stmt, tables=prepared.tables)
                     result.statements.append(sql_text)
                     database.charge_roundtrip(count, sql_text)
                     if count == 0:

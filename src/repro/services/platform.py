@@ -175,6 +175,29 @@ class Platform:
         self.options.push.ppk_block_size = k
         self._invalidate_plans()
 
+    def set_ppk_pipelining(self, enabled: bool) -> None:
+        """Toggle PP-k block prefetch (overlap the next block's source
+        query with the current block's middleware join).  A runtime knob:
+        compiled plans are unaffected."""
+        self.ctx.ppk_pipeline = enabled
+
+    def set_statement_cache_enabled(self, enabled: bool) -> None:
+        """Toggle the per-database prepared-statement caches (every
+        registered source, and the default for sources registered later)."""
+        self.ctx.statement_cache_enabled = enabled
+        for database in self.ctx.databases.values():
+            database.statements.enabled = enabled
+            if not enabled:
+                database.statements.clear()
+
+    def statement_cache_stats(self) -> dict[str, dict]:
+        """Per-database statement-cache introspection: size, capacity and
+        the hit/miss/eviction/parse counters."""
+        return {
+            name: database.statements.snapshot()
+            for name, database in self.ctx.databases.items()
+        }
+
     # -- observed cost-based tuning (section 9 future work) --------------------
 
     @property
@@ -217,6 +240,17 @@ class Platform:
         self.cache.stats.reset()
         for database in self.ctx.databases.values():
             database.stats.reset()
+
+    def close(self) -> None:
+        """Release runtime resources (async worker threads).  Safe to call
+        more than once; also invoked by ``with Platform(...) as p: ...``."""
+        self.ctx.close()
+
+    def __enter__(self) -> "Platform":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _invalidate_plans(self) -> None:
         self.plan_cache.clear()
