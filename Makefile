@@ -8,7 +8,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: ci lint typecheck test bench-smoke
+.PHONY: ci lint typecheck test bench-smoke chaos
 
 ci: lint typecheck test bench-smoke
 
@@ -31,6 +31,12 @@ test:
 
 # The benchmark corpus in smoke mode: every paper-artifact bench runs once
 # and its assertions (statement-cache parse counts, PP-k pipelining wins,
-# pushdown economics) gate the build alongside the unit tests.
+# pushdown economics, failover economics) gate the build alongside the
+# unit tests.
 bench-smoke:
 	$(PYTHON) -m pytest -x -q benchmarks
+
+# Scripted fault-injection runs only: the resilience layer's chaos suite
+# (deterministic under the virtual clock — same seed, same run).
+chaos:
+	$(PYTHON) -m pytest -x -q -m chaos tests benchmarks

@@ -31,7 +31,15 @@ from .errors import (
     UpdateError,
     XMLError,
 )
+from .errors import CircuitOpenError
 from .relational import Column, Database, ForeignKey, LatencyModel
+from .resilience import (
+    CircuitBreakerConfig,
+    DegradationRecord,
+    FaultInjector,
+    RetryPolicy,
+    SourcePolicy,
+)
 from .sdo import ConcurrencyPolicy, DataGraph, DataObject
 from .security import SecurityService, User
 from .services import Mediator, Platform, RequestConfig
@@ -63,10 +71,16 @@ __all__ = [
     "TypeMatchError",
     "UpdateError",
     "XMLError",
+    "CircuitOpenError",
     "Column",
     "Database",
     "ForeignKey",
     "LatencyModel",
+    "CircuitBreakerConfig",
+    "DegradationRecord",
+    "FaultInjector",
+    "RetryPolicy",
+    "SourcePolicy",
     "ConcurrencyPolicy",
     "DataGraph",
     "DataObject",

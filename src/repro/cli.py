@@ -93,6 +93,78 @@ def _cmd_sql(args) -> int:
     return 0
 
 
+def _find_adaptor(platform, name: str):
+    for definition in platform.registry.functions():
+        adaptor = definition.adaptor
+        if adaptor is not None and adaptor.name == name:
+            return adaptor
+    return None
+
+
+def _cmd_health(args) -> int:
+    """Run the running example in partial-results mode under scripted
+    faults and report per-source health (R-RESIL observability)."""
+    import json
+
+    from .resilience import FaultInjector
+
+    platform = _build(args)
+    platform.set_partial_results(True)
+    if args.retry or args.breaker or args.timeout:
+        platform.set_source_policy(
+            "*", retry=args.retry or None, breaker=args.breaker or None,
+            timeout_ms=args.timeout or None,
+        )
+    for name in args.kill:
+        if name in platform.ctx.databases:
+            platform.ctx.databases[name].available = False
+        else:
+            adaptor = _find_adaptor(platform, name)
+            if adaptor is None:
+                print(f"error: no source named {name}", file=sys.stderr)
+                return 1
+            adaptor.available = False
+    for name in args.flaky:
+        injector = FaultInjector(seed=args.seed).fail_with_probability(0.5)
+        if name in platform.ctx.databases:
+            injector.attach(platform.ctx.databases[name])
+        else:
+            adaptor = _find_adaptor(platform, name)
+            if adaptor is None:
+                print(f"error: no source named {name}", file=sys.stderr)
+                return 1
+            injector.attach(adaptor)
+    results = platform.call("getProfile")
+    health = platform.source_health()
+    degradations = [record.to_dict() for record in platform.last_degradations]
+    if args.json:
+        print(json.dumps({
+            "results": len(results),
+            "elapsed_ms": round(platform.clock.now_ms(), 3),
+            "sources": health,
+            "degradations": degradations,
+        }, indent=2))
+        return 0
+    print(f"profiles returned: {len(results)}   "
+          f"simulated time: {platform.clock.now_ms():.1f} ms")
+    print()
+    for name, entry in sorted(health.items()):
+        state = "up" if entry["available"] else "DOWN"
+        breaker = entry["breaker"] or "-"
+        print(f"{name:30s} {entry['kind']:11s} {state:5s} "
+              f"breaker={breaker:9s} attempts={entry['attempts']:<4d} "
+              f"retries={entry['retries']:<3d} failures={entry['failures']:<3d} "
+              f"degraded={entry['degraded']}")
+    if degradations:
+        print()
+        print("degradations (partial results):")
+        for record in degradations:
+            print(f"  {record['source']}: {record['error']} "
+                  f"(attempts={record['attempts']}, "
+                  f"elapsed={record['elapsed_ms']}ms)")
+    return 0
+
+
 def _cmd_lineage(args) -> int:
     platform = _build(args)
     lineage = platform.lineage("ProfileService")
@@ -135,6 +207,23 @@ def build_parser() -> argparse.ArgumentParser:
     sql.set_defaults(fn=_cmd_sql)
     commands.add_parser("lineage", help="lineage map of the profile service") \
         .set_defaults(fn=_cmd_lineage)
+    health = commands.add_parser(
+        "health", help="run the demo under faults and report source health")
+    health.add_argument("--kill", action="append", default=[], metavar="SOURCE",
+                        help="mark a source unavailable (repeatable)")
+    health.add_argument("--flaky", action="append", default=[], metavar="SOURCE",
+                        help="attach a 50%%-failure fault plan (repeatable)")
+    health.add_argument("--seed", type=int, default=0,
+                        help="fault-injection RNG seed")
+    health.add_argument("--retry", type=int, default=0,
+                        help="retry budget (attempts) for every source")
+    health.add_argument("--breaker", type=int, default=0,
+                        help="circuit-breaker failure threshold")
+    health.add_argument("--timeout", type=float, default=0.0,
+                        help="per-attempt time budget in simulated ms")
+    health.add_argument("--json", action="store_true",
+                        help="render the health report as JSON")
+    health.set_defaults(fn=_cmd_health)
     return parser
 
 

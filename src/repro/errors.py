@@ -81,6 +81,13 @@ class SourceTimeoutError(SourceError):
     """A data-source access exceeded its allotted time budget."""
 
 
+class CircuitOpenError(SourceError):
+    """A source invocation was rejected because its circuit breaker is open
+    (section 5.6 / R-RESIL).  Subclassing :class:`SourceError` keeps
+    ``fn-bea:fail-over`` and partial-results degradation composable with
+    breaker fast-fails; retry policies never retry it."""
+
+
 class SQLError(ReproError):
     """Raised by the simulated relational engine for bad SQL or constraint
     violations."""

@@ -28,6 +28,9 @@ class Connection:
         #: optional instrumentation hook: fn(database_name, rows, elapsed_ms)
         #: — feeds the observed-cost optimizer (section 9)
         self.observer = None
+        #: optional ResilienceManager applying the database's source policy
+        #: (retry / breaker / timeout) to every statement (R-RESIL)
+        self.resilience = None
 
     def prepare(self, sql: str | PreparedStatement) -> PreparedStatement:
         """Prepare a statement (or pass one through), consulting the
@@ -40,22 +43,39 @@ class Connection:
     def execute_query(self, sql: str | PreparedStatement,
                       params: Sequence | None = None) -> list[dict]:
         """Run a SELECT; returns rows as alias->value dicts."""
-        self._check_available()
         start = self.db.clock.now_ms()
         prepared = self.prepare(sql)
+        rows = self._guarded(lambda: self._run_query(prepared, params))
+        if self.observer is not None:
+            self.observer(self.db.name, len(rows), self.db.clock.now_ms() - start)
+        return rows
+
+    def _run_query(self, prepared: PreparedStatement,
+                   params: Sequence | None) -> list[dict]:
+        """One attempt of a SELECT: availability/fault gate, execution,
+        mid-result drop simulation, and roundtrip accounting."""
+        self.db.check_call()
         rows = Executor(self.db, params, tables=prepared.tables).execute(prepared.stmt)
         if not isinstance(rows, list):
             raise SourceError(f"expected a query, got DML: {prepared.sql}")
+        if self.db.faults is not None:
+            rows, dropped = self.db.faults.on_result(self.db.name, rows)
+            if dropped is not None:
+                # The shipped prefix is charged, then the connection dies.
+                self.db.charge_roundtrip(len(rows), prepared.sql)
+                raise dropped
         self.db.charge_roundtrip(len(rows), prepared.sql)
-        if self.observer is not None:
-            self.observer(self.db.name, len(rows), self.db.clock.now_ms() - start)
         return rows
 
     def execute_update(self, sql: str | PreparedStatement,
                        params: Sequence | None = None) -> int:
         """Run DML, either autocommit or inside the active transaction."""
-        self._check_available()
         prepared = self.prepare(sql)
+        return self._guarded(lambda: self._run_update(prepared, params))
+
+    def _run_update(self, prepared: PreparedStatement,
+                    params: Sequence | None) -> int:
+        self.db.check_call()
         if self._txn is not None:
             count = self._txn.execute(prepared.stmt, params, tables=prepared.tables)
         else:
@@ -64,6 +84,11 @@ class Connection:
             raise SourceError(f"expected DML, got a query: {prepared.sql}")
         self.db.charge_roundtrip(count, prepared.sql)
         return count
+
+    def _guarded(self, attempt):
+        if self.resilience is None:
+            return attempt()
+        return self.resilience.call(self.db.name, attempt, stats=self.db.stats)
 
     def begin(self) -> Transaction:
         if self._txn is not None:
@@ -77,7 +102,3 @@ class Connection:
 
     def end(self) -> None:
         self._txn = None
-
-    def _check_available(self) -> None:
-        if not self.db.available:
-            raise SourceError(f"database {self.db.name} is unavailable")

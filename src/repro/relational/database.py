@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..clock import Clock, VirtualClock
-from ..errors import SQLError
+from ..errors import SQLError, SourceError
 from .table import Column, ForeignKey, Table
 
 
@@ -25,12 +25,16 @@ class LatencyModel:
     ``parse_ms`` once per *hard parse* — a statement-cache hit skips it,
     which is the economics prepared statements exist to buy.  It defaults
     to 0 so latency totals are governed by the roundtrip model unless a
-    benchmark opts into parse accounting.
+    benchmark opts into parse accounting.  ``connect_timeout_ms`` is what a
+    call against an *unavailable* database costs before ``SourceError`` is
+    raised — a failed connect is never free, so failover economics stay
+    realistic (R-RESIL).
     """
 
     roundtrip_ms: float = 5.0
     per_row_ms: float = 0.05
     parse_ms: float = 0.0
+    connect_timeout_ms: float = 10.0
 
 
 @dataclass
@@ -45,6 +49,17 @@ class SourceStats:
     stmt_cache_hits: int = 0
     stmt_cache_misses: int = 0
     stmt_cache_evictions: int = 0
+    # -- resilience counters (R-RESIL; maintained by the ResilienceManager) --
+    #: invocation attempts, including retries
+    attempts: int = 0
+    #: attempts that were policy-driven retries of a failed attempt
+    retries: int = 0
+    #: attempts that ended in a SourceError (injected, unavailable, timeout)
+    failures: int = 0
+    #: circuit-breaker transitions into the open state
+    breaker_trips: int = 0
+    #: failures absorbed as empty results in partial-results mode
+    degraded: int = 0
 
     def reset(self) -> None:
         self.roundtrips = 0
@@ -54,6 +69,21 @@ class SourceStats:
         self.stmt_cache_hits = 0
         self.stmt_cache_misses = 0
         self.stmt_cache_evictions = 0
+        self.attempts = 0
+        self.retries = 0
+        self.failures = 0
+        self.breaker_trips = 0
+        self.degraded = 0
+
+    def resilience_snapshot(self) -> dict:
+        """The R-RESIL counters as a dict (``Platform.source_health()``)."""
+        return {
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "failures": self.failures,
+            "breaker_trips": self.breaker_trips,
+            "degraded": self.degraded,
+        }
 
 
 class Database:
@@ -84,6 +114,8 @@ class Database:
         )
         #: set by the failure-injection helpers to simulate outages
         self.available = True
+        #: optional scripted fault plan (repro.resilience.FaultInjector)
+        self.faults = None
 
     def create_table(
         self,
@@ -118,6 +150,20 @@ class Database:
         table = self.table(table_name)
         for row in rows:
             table.insert(row)
+
+    # -- availability / fault gate --------------------------------------------
+
+    def check_call(self) -> None:
+        """Availability and scripted-fault gate shared by every statement
+        path (queries, DML, SDO submit).  A call against an unavailable
+        database charges ``connect_timeout_ms`` before raising — a failed
+        connect costs real time (R-RESIL)."""
+        if not self.available:
+            if self.latency.connect_timeout_ms:
+                self.clock.charge_ms(self.latency.connect_timeout_ms)
+            raise SourceError(f"database {self.name} is unavailable")
+        if self.faults is not None:
+            self.faults.on_call(self.name, self.clock)
 
     # -- latency accounting ---------------------------------------------------
 

@@ -1,0 +1,20 @@
+"""Source resilience layer (section 5.6 / DESIGN.md R-RESIL).
+
+Scripted fault injection, retry/backoff, circuit breakers, per-source
+timeouts, and partial-results degradation for the federated runtime.
+"""
+
+from .faults import FaultInjector
+from .manager import DegradationRecord, ResilienceManager, SourceGuard
+from .policy import CircuitBreaker, CircuitBreakerConfig, RetryPolicy, SourcePolicy
+
+__all__ = [
+    "FaultInjector",
+    "DegradationRecord",
+    "ResilienceManager",
+    "SourceGuard",
+    "CircuitBreaker",
+    "CircuitBreakerConfig",
+    "RetryPolicy",
+    "SourcePolicy",
+]

@@ -1,0 +1,173 @@
+"""Scripted, deterministic fault injection (section 5.6 / R-RESIL).
+
+A :class:`FaultInjector` attaches to any :class:`~repro.relational.database.Database`
+or :class:`~repro.sources.adaptor.Adaptor` and executes a *fault plan*: an
+ordered script of rules consulted once per source call.  Rules can fail the
+first N calls, fail with a seeded probability, add latency spikes, or drop
+the connection mid-result (the rows already shipped are charged to the
+clock and then discarded).
+
+Determinism is the whole point: every probabilistic rule draws exactly one
+random number per call from the injector's seeded RNG — in rule order,
+whether or not the rule fires — so the same seed under the virtual clock
+replays the identical fault sequence, byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from ..clock import Clock
+from ..errors import SourceError
+
+
+@dataclass
+class _Rule:
+    """One scripted behaviour; ``kind`` selects the interpretation."""
+
+    kind: str  # "fail_first" | "fail_probability" | "latency_spike" | "drop"
+    #: fail_first: fail calls 1..n / drop: keep the first n rows
+    n: int = 0
+    #: fail_probability / latency_spike / drop: per-call firing probability
+    probability: float | None = None
+    #: latency charged when the rule fires (spike size, or failure cost)
+    latency_ms: float = 0.0
+    #: latency_spike: fire on every Nth call instead of probabilistically
+    every: int | None = None
+
+
+class FaultInjector:
+    """A scripted fault plan for one source.
+
+    Attach with ``injector.attach(database_or_adaptor)`` (or assign to the
+    target's ``faults`` attribute).  The source's invocation path calls
+    :meth:`on_call` once per call — which may charge latency and/or raise
+    :class:`SourceError` — and :meth:`on_result` on the fetched rows/items,
+    which may truncate them and report a mid-result connection drop.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._rules: list[_Rule] = []
+        self._lock = threading.Lock()
+        #: calls seen so far (the fault script's notion of time)
+        self.calls = 0
+        self.injected_failures = 0
+        self.injected_spikes = 0
+        self.injected_drops = 0
+        #: drop rule armed by the current call, applied by on_result
+        self._pending_drop: _Rule | None = None
+
+    # -- scripting (each returns self, so plans chain) -----------------------
+
+    def fail_first(self, n: int, latency_ms: float = 0.0) -> "FaultInjector":
+        """Fail the first ``n`` calls, charging ``latency_ms`` per failure."""
+        self._rules.append(_Rule("fail_first", n=n, latency_ms=latency_ms))
+        return self
+
+    def fail_with_probability(self, p: float,
+                              latency_ms: float = 0.0) -> "FaultInjector":
+        """Fail each call with seeded probability ``p``."""
+        self._rules.append(_Rule("fail_probability", probability=p,
+                                 latency_ms=latency_ms))
+        return self
+
+    def latency_spike(self, ms: float, every: int | None = None,
+                      probability: float | None = None) -> "FaultInjector":
+        """Charge an extra ``ms`` on every ``every``-th call, or with seeded
+        ``probability`` (exactly one of the two must be given)."""
+        if (every is None) == (probability is None):
+            raise ValueError("latency_spike takes either every= or probability=")
+        self._rules.append(_Rule("latency_spike", latency_ms=ms, every=every,
+                                 probability=probability))
+        return self
+
+    def drop_mid_result(self, keep_rows: int,
+                        probability: float | None = None) -> "FaultInjector":
+        """Drop the connection after shipping ``keep_rows`` rows: the call
+        charges for the shipped prefix, then fails.  Fires always, or with
+        seeded ``probability``."""
+        self._rules.append(_Rule("drop", n=keep_rows, probability=probability))
+        return self
+
+    def attach(self, target) -> "FaultInjector":
+        """Install this plan on a Database or Adaptor (its ``faults`` slot)."""
+        target.faults = self
+        return self
+
+    # -- runtime hooks -------------------------------------------------------
+
+    def on_call(self, source: str, clock: Clock) -> None:
+        """Consult the plan for one call: charge spikes, arm drops, and
+        raise :class:`SourceError` if a failure rule fires."""
+        with self._lock:
+            self.calls += 1
+            call_number = self.calls
+            failure: _Rule | None = None
+            spike_ms = 0.0
+            self._pending_drop = None
+            for rule in self._rules:
+                # Draw first, decide second: RNG consumption must not depend
+                # on whether earlier rules fired (determinism).
+                draw = self.rng.random() if rule.probability is not None else None
+                if rule.kind == "fail_first":
+                    fired = call_number <= rule.n
+                elif rule.kind == "fail_probability":
+                    fired = draw is not None and draw < rule.probability
+                elif rule.kind == "latency_spike":
+                    if rule.every is not None:
+                        fired = call_number % rule.every == 0
+                    else:
+                        fired = draw is not None and draw < rule.probability
+                    if fired:
+                        spike_ms += rule.latency_ms
+                        self.injected_spikes += 1
+                    continue
+                else:  # drop
+                    fired = draw is None or draw < rule.probability
+                    if fired and self._pending_drop is None:
+                        self._pending_drop = rule
+                    continue
+                if fired and failure is None:
+                    failure = rule
+        if spike_ms:
+            clock.charge_ms(spike_ms)
+        if failure is not None:
+            if failure.latency_ms:
+                clock.charge_ms(failure.latency_ms)
+            with self._lock:
+                self.injected_failures += 1
+                self._pending_drop = None
+            raise SourceError(
+                f"{source}: injected fault (call #{call_number})"
+            )
+
+    def on_result(self, source: str, rows: list) -> tuple[list, SourceError | None]:
+        """Apply an armed mid-result drop: returns the (possibly truncated)
+        rows and the error to raise *after* charging for the shipped prefix,
+        or ``None`` when the call completes normally."""
+        with self._lock:
+            drop = self._pending_drop
+            self._pending_drop = None
+            if drop is None or len(rows) <= drop.n:
+                return rows, None
+            self.injected_drops += 1
+            calls = self.calls
+        return rows[:drop.n], SourceError(
+            f"{source}: connection dropped mid-result after "
+            f"{drop.n} of {len(rows)} rows (call #{calls})"
+        )
+
+    # -- observability -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {
+            "seed": self.seed,
+            "calls": self.calls,
+            "failures": self.injected_failures,
+            "spikes": self.injected_spikes,
+            "drops": self.injected_drops,
+        }

@@ -1,0 +1,263 @@
+"""The resilience manager: retry/breaker wiring and partial-result mode.
+
+One :class:`ResilienceManager` lives on each
+:class:`~repro.runtime.context.DynamicContext` and fronts **every** source
+invocation path — pushed-SQL regions, PP-k block fetches, middleware table
+scans, functional adaptors (web service / stored procedure / file / Java),
+and SDO submit.  With no policy configured it is a pass-through (plus an
+attempt counter), so behaviour is bit-for-bit what it was before the
+resilience layer existed.
+
+With :meth:`set_policy` / a default policy, each source gets a
+:class:`SourceGuard` that applies the circuit breaker, per-attempt timeout
+and retry/backoff — all waiting charged to the platform clock, all jitter
+seeded, so chaos runs replay deterministically under the virtual clock.
+
+*Partial-results mode* (:attr:`partial_results`) turns a source failure
+that survives the guard into graceful degradation: the caller gets an
+empty sequence and a :class:`DegradationRecord` is collected on the query
+(``Platform.last_degradations``) instead of the whole federated plan
+aborting (section 5.6's middleware-keeps-answering story).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Callable
+
+from ..clock import Clock, VirtualClock
+from ..errors import CircuitOpenError, SourceError, SourceTimeoutError
+from .policy import CircuitBreaker, SourcePolicy
+
+
+@dataclass
+class DegradationRecord:
+    """One absorbed source failure in a partial-results query."""
+
+    source: str
+    error: str
+    attempts: int
+    elapsed_ms: float
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "error": self.error,
+            "attempts": self.attempts,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+        }
+
+
+class SourceGuard:
+    """Per-source runtime state: breaker, retry RNG, counters."""
+
+    def __init__(self, name: str, policy: SourcePolicy, clock: Clock, stats):
+        self.name = name
+        self.policy = policy
+        self.clock = clock
+        self.stats = stats
+        self.rng = random.Random(policy.retry.seed if policy.retry else 0)
+        self.breaker = (CircuitBreaker(policy.breaker, clock)
+                        if policy.breaker else None)
+        self._lock = threading.RLock()
+
+    def call(self, thunk: Callable[[], object]):
+        retry = self.policy.retry
+        max_attempts = retry.max_attempts if retry is not None else 1
+        start = self.clock.now_ms()
+        attempts = 0
+        while True:
+            with self._lock:
+                if self.breaker is not None:
+                    self.breaker.before_call(self.name)  # CircuitOpenError
+            attempts += 1
+            if self.stats is not None:
+                self.stats.attempts += 1
+            try:
+                result = self._attempt(thunk)
+            except CircuitOpenError:
+                raise  # shed inside the attempt: not a source failure
+            except SourceError as exc:
+                with self._lock:
+                    if self.stats is not None:
+                        self.stats.failures += 1
+                    if self.breaker is not None:
+                        was_open = self.breaker.state == "open"
+                        self.breaker.record_failure()
+                        if self.breaker.state == "open" and not was_open \
+                                and self.stats is not None:
+                            self.stats.breaker_trips += 1
+                if attempts >= max_attempts:
+                    # Annotate for DegradationRecord construction upstream.
+                    exc.resilience_attempts = attempts
+                    exc.resilience_elapsed_ms = self.clock.now_ms() - start
+                    raise
+                if self.stats is not None:
+                    self.stats.retries += 1
+                self.clock.charge_ms(retry.delay_ms(attempts, self.rng))
+            else:
+                with self._lock:
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                return result
+
+    def _attempt(self, thunk: Callable[[], object]):
+        """One attempt under the policy's time budget.
+
+        Virtual clock: the attempt runs in a clock branch; an overrun
+        charges exactly ``timeout_ms`` and raises
+        :class:`SourceTimeoutError` (the system abandons the attempt at the
+        budget, per section 5.6).  Wall clock: the overrun is detected
+        after the fact — real time cannot be recalled — and still raises,
+        so retry/degradation semantics match across modes.
+        """
+        limit = self.policy.timeout_ms
+        if limit is None:
+            return thunk()
+        if isinstance(self.clock, VirtualClock):
+            self.clock.begin_branch()
+            try:
+                result = thunk()
+                failed = None
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                failed = exc
+            elapsed = self.clock.end_branch()
+            if failed is not None:
+                self.clock.charge_ms(min(elapsed, limit))
+                raise failed
+            if elapsed > limit:
+                self.clock.charge_ms(limit)
+                raise SourceTimeoutError(
+                    f"source {self.name} exceeded its {limit:g}ms budget "
+                    f"(needed {elapsed:g}ms)"
+                )
+            self.clock.charge_ms(elapsed)
+            return result
+        start = self.clock.now_ms()
+        result = thunk()
+        elapsed = self.clock.now_ms() - start
+        if elapsed > limit:
+            raise SourceTimeoutError(
+                f"source {self.name} exceeded its {limit:g}ms budget "
+                f"(needed {elapsed:g}ms)"
+            )
+        return result
+
+
+class ResilienceManager:
+    """Source policies, guards and degradation records for one server."""
+
+    #: policy key applying to every source without an explicit policy
+    DEFAULT = "*"
+
+    def __init__(self, clock: Clock):
+        self.clock = clock
+        self.partial_results = False
+        self._policies: dict[str, SourcePolicy] = {}
+        self._guards: dict[str, SourceGuard] = {}
+        self._stats: dict[str, object] = {}
+        self._lock = threading.RLock()
+        #: records absorbed during the current query (partial-results mode)
+        self.degradations: list[DegradationRecord] = []
+
+    # -- configuration -------------------------------------------------------
+
+    def set_policy(self, name: str, policy: SourcePolicy | None) -> None:
+        """Install (or, with ``None``, remove) a source's policy.  ``"*"``
+        sets the default for sources without their own."""
+        with self._lock:
+            if policy is None:
+                self._policies.pop(name, None)
+            else:
+                self._policies[name] = policy
+            if name == self.DEFAULT:
+                self._guards.clear()  # defaults changed under every source
+            else:
+                self._guards.pop(name, None)
+
+    def policy_for(self, name: str) -> SourcePolicy | None:
+        return self._policies.get(name) or self._policies.get(self.DEFAULT)
+
+    def register_stats(self, name: str, stats) -> None:
+        """Bind the SourceStats object resilience counters land on."""
+        self._stats[name] = stats
+
+    # -- invocation path -----------------------------------------------------
+
+    def call(self, name: str, thunk: Callable[[], object], stats=None):
+        """Run one source invocation under the source's policy (if any)."""
+        if stats is not None and self._stats.get(name) is not stats:
+            self.register_stats(name, stats)
+        guard = self._guard(name)
+        if guard is None:
+            bound = stats if stats is not None else self._stats.get(name)
+            if bound is not None:
+                bound.attempts += 1
+            return thunk()
+        return guard.call(thunk)
+
+    def _guard(self, name: str) -> SourceGuard | None:
+        with self._lock:
+            guard = self._guards.get(name)
+            if guard is None:
+                policy = self.policy_for(name)
+                if policy is None:
+                    return None
+                guard = SourceGuard(name, policy, self.clock,
+                                    self._stats.get(name))
+                self._guards[name] = guard
+            elif guard.stats is None and name in self._stats:
+                guard.stats = self._stats[name]
+            return guard
+
+    # -- graceful degradation ------------------------------------------------
+
+    def begin_query(self) -> None:
+        self.degradations = []
+
+    def absorb(self, source: str, exc: SourceError) -> bool:
+        """In partial-results mode, record the failure and report True (the
+        caller substitutes an empty sequence); otherwise False (re-raise)."""
+        if not self.partial_results:
+            return False
+        record = DegradationRecord(
+            source=source,
+            error=str(exc),
+            attempts=getattr(exc, "resilience_attempts", 1),
+            elapsed_ms=getattr(exc, "resilience_elapsed_ms", 0.0),
+        )
+        with self._lock:
+            self.degradations.append(record)
+            stats = self._stats.get(source)
+            if stats is not None:
+                stats.degraded += 1
+        return True
+
+    # -- observability -------------------------------------------------------
+
+    def breaker_state(self, name: str) -> str | None:
+        guard = self._guards.get(name)
+        if guard is None or guard.breaker is None:
+            return None
+        return guard.breaker.state
+
+    def breaker_transitions(self, name: str) -> list[tuple[float, str, str]]:
+        guard = self._guards.get(name)
+        if guard is None or guard.breaker is None:
+            return []
+        return list(guard.breaker.transitions)
+
+    def health(self, name: str) -> dict:
+        """The resilience-side health fields for one source."""
+        policy = self.policy_for(name)
+        return {
+            "breaker": self.breaker_state(name),
+            "breaker_transitions": len(self.breaker_transitions(name)),
+            "policy": None if policy is None else policy.describe(),
+        }
+
+    def reset_stats(self) -> None:
+        """Clear degradation records (breaker state is live and survives)."""
+        self.degradations = []

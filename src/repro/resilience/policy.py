@@ -1,0 +1,127 @@
+"""Per-source QoS policies: retry with backoff, circuit breaking, timeouts.
+
+Section 5.6 of the paper treats source failure as an expression-level
+concern (``fn-bea:fail-over`` / ``fn-bea:timeout``); this module makes it a
+*configuration* concern: a :class:`SourcePolicy` applies retry/backoff, a
+circuit breaker and a per-attempt time budget to every invocation of a
+named source without editing query text.
+
+All waiting is charged to the platform clock, and backoff jitter draws
+from a seeded RNG, so resilience behaviour is exactly reproducible under
+the virtual clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..clock import Clock
+from ..errors import CircuitOpenError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget for one source.
+
+    Retries apply only to :class:`~repro.errors.SourceError` — programming
+    errors propagate immediately — and never to
+    :class:`~repro.errors.CircuitOpenError` (retrying a deliberately-shed
+    call would defeat the breaker).  Attempt ``i``'s failure waits
+    ``backoff_ms * multiplier**(i-1)``, stretched by up to ``jitter``
+    (a fraction, drawn from the guard's seeded RNG) before attempt ``i+1``.
+    """
+
+    max_attempts: int = 3
+    backoff_ms: float = 10.0
+    multiplier: float = 2.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def delay_ms(self, failures: int, rng) -> float:
+        """Backoff charged after the ``failures``-th failed attempt."""
+        delay = self.backoff_ms * (self.multiplier ** (failures - 1))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+
+@dataclass(frozen=True)
+class CircuitBreakerConfig:
+    """Breaker tuning: trip open after ``failure_threshold`` consecutive
+    failures; after ``cooldown_ms`` of fast-failing, let one probe through
+    (half-open) — its outcome closes or re-opens the circuit."""
+
+    failure_threshold: int = 5
+    cooldown_ms: float = 1000.0
+
+
+@dataclass(frozen=True)
+class SourcePolicy:
+    """Everything :meth:`Platform.set_source_policy` configures per source."""
+
+    retry: RetryPolicy | None = None
+    breaker: CircuitBreakerConfig | None = None
+    #: per-attempt time budget; overruns raise SourceTimeoutError (retryable)
+    timeout_ms: float | None = None
+
+    def describe(self) -> dict:
+        return {
+            "retry": None if self.retry is None else {
+                "max_attempts": self.retry.max_attempts,
+                "backoff_ms": self.retry.backoff_ms,
+                "multiplier": self.retry.multiplier,
+                "jitter": self.retry.jitter,
+            },
+            "breaker": None if self.breaker is None else {
+                "failure_threshold": self.breaker.failure_threshold,
+                "cooldown_ms": self.breaker.cooldown_ms,
+            },
+            "timeout_ms": self.timeout_ms,
+        }
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open state machine for one source.
+
+    An open circuit sheds load *without a roundtrip*: :meth:`before_call`
+    raises :class:`CircuitOpenError` at zero simulated cost, which is the
+    fast-fail economics the R-RESIL benchmark measures.  Transitions are
+    recorded (time, from, to) for tests and ``source_health()``.
+    """
+
+    def __init__(self, config: CircuitBreakerConfig, clock: Clock):
+        self.config = config
+        self.clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at_ms: float | None = None
+        self.transitions: list[tuple[float, str, str]] = []
+
+    def _move(self, to: str) -> None:
+        self.transitions.append((self.clock.now_ms(), self.state, to))
+        self.state = to
+        if to == "open":
+            self.opened_at_ms = self.clock.now_ms()
+
+    def before_call(self, source: str) -> None:
+        if self.state == "open":
+            assert self.opened_at_ms is not None
+            if self.clock.now_ms() - self.opened_at_ms >= self.config.cooldown_ms:
+                self._move("half-open")  # cooled down: admit one probe
+            else:
+                raise CircuitOpenError(
+                    f"circuit breaker for source {source} is open"
+                )
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state == "half-open":
+            self._move("closed")
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half-open":
+            self._move("open")  # probe failed: back to shedding
+        elif (self.state == "closed"
+              and self.consecutive_failures >= self.config.failure_threshold):
+            self._move("open")

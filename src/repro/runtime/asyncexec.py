@@ -17,6 +17,7 @@ Two execution modes:
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, TypeVar
 
 from ..clock import Clock, VirtualClock
@@ -74,12 +75,30 @@ class AsyncExecutor:
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
         futures = [self._pool.submit(thunk) for thunk in thunks]
-        return [future.result() for future in futures]
+        # Same contract as _run_virtual: every branch runs to completion
+        # before the first exception (in branch order) propagates, so a
+        # failing branch cannot leave siblings half-accounted.
+        outcomes: list[tuple[T | None, BaseException | None]] = []
+        for future in futures:
+            try:
+                outcomes.append((future.result(), None))
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                outcomes.append((None, exc))
+        for _, error in outcomes:
+            if error is not None:
+                raise error
+        return [result for result, _ in outcomes]  # type: ignore[misc]
 
-    def measure(self, thunk: Callable[[], T]) -> tuple[T | BaseException, float, bool]:
+    def measure(
+        self, thunk: Callable[[], T], limit_ms: float | None = None
+    ) -> tuple[T | BaseException, float, bool]:
         """Run a thunk measuring its latency charge; returns
         (result-or-exception, elapsed_ms, failed).  Used by
-        ``fn-bea:timeout`` in virtual mode."""
+        ``fn-bea:timeout``.  In wall-clock mode a ``limit_ms`` bounds the
+        *wait*: the thunk runs on the worker pool and an overrun returns a
+        :class:`TimeoutError` outcome after ~``limit_ms``, matching the
+        virtual clock's abandon-at-the-budget semantics (the worker is left
+        to finish in the background, as a real cancellation would be)."""
         if isinstance(self.clock, VirtualClock):
             self.clock.begin_branch()  # type: ignore[attr-defined]
             try:
@@ -91,6 +110,20 @@ class AsyncExecutor:
             elapsed = self.clock.end_branch()  # type: ignore[attr-defined]
             return result, elapsed, failed
         start = self.clock.now_ms()
+        if limit_ms is not None:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            future = self._pool.submit(thunk)
+            try:
+                result = future.result(timeout=limit_ms / 1000.0)
+                failed = False
+            except FuturesTimeoutError:
+                result = TimeoutError(f"branch exceeded {limit_ms:g}ms")
+                failed = True
+            except BaseException as exc:  # noqa: BLE001
+                result = exc
+                failed = True
+            return result, self.clock.now_ms() - start, failed
         try:
             result = thunk()
             failed = False

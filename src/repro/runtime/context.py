@@ -9,6 +9,7 @@ from ..clock import Clock, VirtualClock
 from ..errors import SourceError
 from ..relational.connection import Connection
 from ..relational.database import Database
+from ..resilience import ResilienceManager
 from ..services.metadata import MetadataRegistry
 from ..sql.dialects import SqlRenderer, capabilities_for
 from .asyncexec import AsyncExecutor
@@ -85,6 +86,8 @@ class DynamicContext:
         self.observed = ObservedCostModel()
         #: bound external variables for the current execution
         self.external_variables: dict[str, list] = {}
+        #: per-source retry/breaker/timeout policies + partial-results mode
+        self.resilience = ResilienceManager(self.clock)
         #: functions for which caching is administratively enabled
         self.max_recursion = 64
 
@@ -96,6 +99,8 @@ class DynamicContext:
         self.databases[database.name] = database
         connection = Connection(database)
         connection.observer = self.observed.record
+        connection.resilience = self.resilience
+        self.resilience.register_stats(database.name, database.stats)
         self._connections[database.name] = connection
 
     def connection(self, database_name: str) -> Connection:

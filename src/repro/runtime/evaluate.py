@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+from ..clock import VirtualClock
 from ..compiler.algebra import (
     IndexJoinForClause,
     PPkLetClause,
@@ -372,7 +373,7 @@ class Evaluator:
         if len(async_targets) > 1:
             order = list(async_targets)
             thunks = [
-                (lambda t=async_targets[i]: self.eval(t.args[0], env)) for i in order
+                self._async_thunk(async_targets[i].args[0], env) for i in order
             ]
             for i, result in zip(order, self.ctx.async_exec.run_parallel(thunks)):
                 async_results[i] = result
@@ -400,7 +401,9 @@ class Evaluator:
                 raise DynamicError(f"{name}() used outside a predicate focus")
             return [env[key]]
         if name == "fn-bea:async":
-            return self.ctx.async_exec.run_parallel([lambda: self.eval(node.args[0], env)])[0]
+            return self.ctx.async_exec.run_parallel(
+                [self._async_thunk(node.args[0], env)]
+            )[0]
         if name == "fn-bea:fail-over":
             return self._fail_over(node, env)
         if name == "fn-bea:timeout":
@@ -415,6 +418,21 @@ class Evaluator:
             return builtin.evaluator(*args)
         return self._call_user_function(node, env)
 
+    def _async_thunk(self, expr: ast.AstNode, env: Env):
+        """A branch thunk for ``fn-bea:async``.  In partial-results mode a
+        branch whose source fails degrades to the empty sequence (with a
+        DegradationRecord) instead of sinking the whole parallel group."""
+
+        def thunk() -> list[Item]:
+            try:
+                return self.eval(expr, env)
+            except SourceError as exc:
+                if self.ctx.resilience.absorb("fn-bea:async", exc):
+                    return []
+                raise
+
+        return thunk
+
     def _fail_over(self, node: ast.FunctionCall, env: Env) -> list[Item]:
         try:
             return self.eval(node.args[0], env)
@@ -426,21 +444,30 @@ class Evaluator:
         if len(millis_atoms) != 1:
             raise DynamicError("fn-bea:timeout: bad time limit")
         limit = float(numeric_value(millis_atoms[0]))
+        # Only the virtual clock needs explicit charges: the branch's time
+        # was *unwound* by measure().  In wall mode the time has physically
+        # passed — charging again would double-count it — and measure()
+        # itself bounds the wait at the limit.
+        virtual = isinstance(self.ctx.clock, VirtualClock)
         result, elapsed, failed = self.ctx.async_exec.measure(
-            lambda: self.eval(node.args[0], env)
+            lambda: self.eval(node.args[0], env),
+            limit_ms=None if virtual else limit,
         )
         if failed:
-            if isinstance(result, SourceError):
-                self.ctx.clock.charge_ms(min(elapsed, limit))
+            if isinstance(result, (SourceError, TimeoutError)):
+                if virtual:
+                    self.ctx.clock.charge_ms(min(elapsed, limit))
                 return self.eval(node.args[2], env)
             assert isinstance(result, BaseException)
             raise result
         if elapsed > limit:
             # The primary took too long: the system fails over after the
             # time limit has elapsed (section 5.6).
-            self.ctx.clock.charge_ms(limit)
+            if virtual:
+                self.ctx.clock.charge_ms(limit)
             return self.eval(node.args[2], env)
-        self.ctx.clock.charge_ms(elapsed)
+        if virtual:
+            self.ctx.clock.charge_ms(elapsed)
         return result  # type: ignore[return-value]
 
     def _call_user_function(self, node: ast.FunctionCall, env: Env) -> list[Item]:
@@ -487,7 +514,17 @@ class Evaluator:
                 return hit
         assert definition.invoke is not None
         self.ctx.stats.service_calls += 1
-        result = definition.invoke(args)
+        resilience = self.ctx.resilience
+        adaptor = definition.adaptor
+        source = adaptor.name if adaptor is not None else node.name
+        stats = adaptor.stats if adaptor is not None else None
+        try:
+            result = resilience.call(source, lambda: definition.invoke(args),
+                                     stats=stats)
+        except SourceError as exc:
+            if resilience.absorb(source, exc):
+                return []  # degraded: empty sequence, never cached
+            raise
         if use_cache:
             cache.put(node.name, key, result)
         return result
@@ -498,7 +535,12 @@ class Evaluator:
         assert meta is not None
         columns = ", ".join(f't1."{name}" AS {name}' for name, _t in meta.columns)
         sql = f'SELECT {columns} FROM "{meta.table}" t1'
-        rows = self.ctx.connection(meta.database).execute_query(sql)
+        try:
+            rows = self.ctx.connection(meta.database).execute_query(sql)
+        except SourceError as exc:
+            if self.ctx.resilience.absorb(meta.database, exc):
+                return []
+            raise
         items: list[Item] = []
         for row in rows:
             items.append(_row_element(meta, row))
@@ -640,7 +682,12 @@ class Evaluator:
             values = bind_parameters(pushed, env, self)
             params = [values[i] for i in param_order(pushed.select)]
             sql = render_pushed(pushed, self)
-            rows = self.ctx.connection(pushed.database).execute_query(sql, params)
+            try:
+                rows = self.ctx.connection(pushed.database).execute_query(sql, params)
+            except SourceError as exc:
+                if self.ctx.resilience.absorb(pushed.database, exc):
+                    continue  # degraded: this outer tuple joins to nothing
+                raise
             self.ctx.stats.pushed_queries += 1
             for row in rows:
                 extended = dict(env)

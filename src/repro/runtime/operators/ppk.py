@@ -36,7 +36,7 @@ import copy
 from typing import TYPE_CHECKING, Iterator
 
 from ...compiler.algebra import PPkLetClause, PushedSQL
-from ...errors import DynamicError
+from ...errors import DynamicError, SourceError
 from ...sql.ast_nodes import BinOp, Param, Select, param_order
 from ...xml.items import Item
 from ...xquery.functions import atomize
@@ -118,7 +118,13 @@ def _fetch_block(clause: PPkLetClause, block: list[dict],
         values = (bind_parameters(pushed, block[0], evaluator)
                   + distinct_keys + [None] * (bucket - len(distinct_keys)))
         params = [values[i] for i in order]
-        rows = ctx.connection(pushed.database).execute_query(sql, params)
+        try:
+            rows = ctx.connection(pushed.database).execute_query(sql, params)
+        except SourceError as exc:
+            if ctx.resilience.absorb(pushed.database, exc):
+                # Degraded block: every tuple left-outer joins to nothing.
+                return keys, rows_by_key
+            raise
         ctx.stats.pushed_queries += 1
         # Hash join: partition the fetched rows by the correlation column.
         for row in rows:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterator
 
 from ...compiler.algebra import ColumnSlot, GroupSlot, NestedSlot, PushedSQL
-from ...errors import DynamicError
+from ...errors import DynamicError, SourceError
 from ...xml.items import AtomicValue, AttributeNode, ElementNode, Item, TextNode
 from ...xml.qname import QName
 from ...xquery import ast_nodes as ast
@@ -30,7 +30,12 @@ def execute_pushed(pushed: PushedSQL, env: dict, evaluator: "Evaluator") -> Iter
     values = bind_parameters(pushed, env, evaluator)
     params = [values[i] for i in param_order(pushed.select)]
     sql = render_pushed(pushed, evaluator)
-    rows = ctx.connection(pushed.database).execute_query(sql, params)
+    try:
+        rows = ctx.connection(pushed.database).execute_query(sql, params)
+    except SourceError as exc:
+        if ctx.resilience.absorb(pushed.database, exc):
+            return  # degraded: the region contributes no items
+        raise
     ctx.stats.pushed_queries += 1
     yield from rebuild(pushed, rows, evaluator)
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..errors import ConcurrencyError, UpdateError
+from ..errors import ConcurrencyError, SourceError, TransactionError, UpdateError
 from ..relational.database import Database
 from ..relational.txn import TwoPhaseCommit
 from .concurrency import ConcurrencyPolicy
@@ -42,10 +42,16 @@ class SubmitEngine:
         databases: dict[str, Database],
         inverse_of: Callable[[str], Optional[str]],
         resolver: Callable[[str, object], object],
+        resilience=None,
     ):
         self.databases = databases
         self.inverse_of = inverse_of
         self.resolver = resolver
+        #: optional ResilienceManager: retry/breaker apply per statement.
+        #: Partial-results degradation never applies here — a submit is
+        #: atomic, so an exhausted retry aborts (and rolls back) the whole
+        #: submit rather than silently skipping a statement.
+        self.resilience = resilience
 
     def submit(
         self,
@@ -84,7 +90,15 @@ class SubmitEngine:
                     # re-parsed (validating the dialect round trip, as the
                     # query path does) at most once per distinct text.
                     prepared = database.statements.prepare(sql_text)
-                    count = txn.execute(prepared.stmt, tables=prepared.tables)
+                    try:
+                        count = self._execute(database, txn, prepared)
+                    except SourceError as exc:
+                        # An exhausted source failure aborts the XA branch:
+                        # the submit is atomic, so the whole transaction
+                        # rolls back (never a partial result).
+                        raise TransactionError(
+                            f"XA branch {update.database} failed: {exc}"
+                        ) from exc
                     result.statements.append(sql_text)
                     database.charge_roundtrip(count, sql_text)
                     if count == 0:
@@ -106,6 +120,23 @@ class SubmitEngine:
             obj.discard_changes()
         result.affected_databases = sorted(affected)
         return result
+
+    def _execute(self, database: Database, txn, prepared) -> int:
+        """One statement, under the database's resilience policy (if any).
+
+        The availability/fault gate raises *before* ``txn.execute`` touches
+        any row, so a retried attempt re-runs from a clean slate; only a
+        successful attempt mutates the transaction's write set.
+        """
+
+        def attempt() -> int:
+            database.check_call()
+            return txn.execute(prepared.stmt, tables=prepared.tables)
+
+        if self.resilience is None:
+            return attempt()
+        return self.resilience.call(database.name, attempt,
+                                    stats=database.stats)
 
     def _database(self, name: str) -> Database:
         try:

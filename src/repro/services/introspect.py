@@ -148,6 +148,7 @@ def introspect_web_service(
                 invoke=adaptor.invoke,
                 cacheable=True,
                 annotations={"service": descriptor.name, "style": operation.style},
+                adaptor=adaptor,
             )
         )
     return definitions
@@ -174,6 +175,7 @@ def java_function_def(
         kind="javafunc",
         invoke=adaptor.invoke,
         annotations={"language": "java"},
+        adaptor=adaptor,
     )
 
 
@@ -206,6 +208,7 @@ def stored_procedure_def(
         kind="storedproc",
         invoke=adaptor.invoke,
         annotations={"connection": database.name, "procedure": name},
+        adaptor=adaptor,
     )
 
 
@@ -217,4 +220,5 @@ def file_function_def(name: str, adaptor, record_shape: ElementItemType) -> Sour
         kind="file",
         invoke=adaptor.invoke,
         annotations={"path": str(getattr(adaptor, "path", ""))},
+        adaptor=adaptor,
     )

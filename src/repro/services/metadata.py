@@ -41,6 +41,9 @@ class SourceFunctionDef:
     cacheable: bool = False
     #: pragma attributes captured at introspection time
     annotations: dict[str, str] = field(default_factory=dict)
+    #: the runtime adaptor behind ``invoke`` for functional sources; gives
+    #: the resilience layer the source identity and stats object (R-RESIL)
+    adaptor: Optional[object] = None
 
     @property
     def arity(self) -> int:

@@ -17,6 +17,12 @@ from ..compiler.pipeline import CompiledPlan, Compiler, CompilerOptions, PlanCac
 from ..compiler.views import ViewPlanCache
 from ..errors import StaticError, UpdateError
 from ..relational.database import Database
+from ..resilience import (
+    CircuitBreakerConfig,
+    DegradationRecord,
+    RetryPolicy,
+    SourcePolicy,
+)
 from ..runtime.cache import FunctionCache
 from ..runtime.context import DynamicContext
 from ..runtime.evaluate import Evaluator
@@ -234,12 +240,72 @@ class Platform:
     def register_update_override(self, service_name: str, override: UpdateOverride) -> None:
         self._update_overrides[service_name] = override
 
+    # -- source resilience (R-RESIL) -------------------------------------------
+
+    def set_source_policy(self, name: str,
+                          retry: RetryPolicy | int | None = None,
+                          breaker: CircuitBreakerConfig | int | None = None,
+                          timeout_ms: float | None = None) -> None:
+        """Configure per-source QoS: retry/backoff, circuit breaking and a
+        per-attempt time budget.  ``name`` is a database name, an adaptor
+        name (e.g. ``"RatingService.getRating"``) or ``"*"`` for the
+        default policy.  Integer shorthands: ``retry=3`` means three
+        attempts with default backoff; ``breaker=5`` means trip after five
+        consecutive failures.  All ``None`` removes the source's policy.
+        """
+        if isinstance(retry, int):
+            retry = RetryPolicy(max_attempts=retry)
+        if isinstance(breaker, int):
+            breaker = CircuitBreakerConfig(failure_threshold=breaker)
+        if retry is None and breaker is None and timeout_ms is None:
+            self.ctx.resilience.set_policy(name, None)
+        else:
+            self.ctx.resilience.set_policy(
+                name, SourcePolicy(retry=retry, breaker=breaker,
+                                   timeout_ms=timeout_ms)
+            )
+
+    def set_partial_results(self, enabled: bool) -> None:
+        """Toggle partial-results mode: a source failure that survives its
+        retry budget degrades to an empty sequence (recorded on
+        :attr:`last_degradations`) instead of failing the query."""
+        self.ctx.resilience.partial_results = enabled
+
+    @property
+    def last_degradations(self) -> list[DegradationRecord]:
+        """Degradation records collected during the most recent query."""
+        return list(self.ctx.resilience.degradations)
+
+    def source_health(self) -> dict[str, dict]:
+        """Availability, resilience counters, breaker state and policy for
+        every registered source (databases and functional adaptors)."""
+        health: dict[str, dict] = {}
+        manager = self.ctx.resilience
+        for name, database in self.ctx.databases.items():
+            entry = {"kind": "database", "available": database.available}
+            entry.update(database.stats.resilience_snapshot())
+            entry.update(manager.health(name))
+            health[name] = entry
+        for definition in self.registry.functions():
+            adaptor = definition.adaptor
+            if adaptor is None or adaptor.name in health:
+                continue
+            entry = {"kind": definition.kind, "available": adaptor.available}
+            entry.update(adaptor.stats.resilience_snapshot())
+            entry.update(manager.health(adaptor.name))
+            health[adaptor.name] = entry
+        return health
+
     def reset_stats(self) -> None:
         """Zero every runtime/source counter (keeps caches and plans)."""
         self.ctx.stats.reset()
         self.cache.stats.reset()
         for database in self.ctx.databases.values():
             database.stats.reset()
+        for definition in self.registry.functions():
+            if definition.adaptor is not None:
+                definition.adaptor.stats.reset()
+        self.ctx.resilience.reset_stats()
 
     def close(self) -> None:
         """Release runtime resources (async worker threads).  Safe to call
@@ -298,6 +364,7 @@ class Platform:
         materialized first (section 2.2)."""
         plan = self.prepare(query, variables)
         self.ctx.external_variables = dict(variables or {})
+        self.ctx.resilience.begin_query()
         for item in self.evaluator.iter_eval(plan.expr, {}):
             filtered = self.security.filter_items([item], user)
             yield from filtered
@@ -369,6 +436,7 @@ class Platform:
         self.ctx.external_variables = {
             f"__arg{i}": list(arg) for i, arg in enumerate(args)
         }
+        self.ctx.resilience.begin_query()
         result = self.evaluator.eval(plan.expr, {})
         return self.security.filter_items(result, user)
 
@@ -421,7 +489,8 @@ class Platform:
                user: User = ADMIN) -> SubmitResult:
         """Propagate SDO changes back to the affected sources atomically."""
         engine = SubmitEngine(
-            self.ctx.databases, self.inverses.inverse_of, self._apply_inverse
+            self.ctx.databases, self.inverses.inverse_of, self._apply_inverse,
+            resilience=self.ctx.resilience,
         )
         objects = graph.objects if isinstance(graph, DataGraph) else [graph]
         override = None

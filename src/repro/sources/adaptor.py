@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from ..clock import Clock, VirtualClock
 from ..errors import SourceError
+from ..relational.database import SourceStats
 from ..xml.items import Item
 from ..xml.tokens import Token, items_to_tokens, tokens_to_items
 
@@ -26,7 +27,8 @@ class Adaptor:
     Subclasses implement the source-model hooks; ``invoke`` runs the
     five-step protocol.  ``available`` and ``extra_latency_ms`` support the
     failure/slowness injection that the failover machinery (section 5.6)
-    is tested against.
+    is tested against; ``faults`` accepts a scripted
+    :class:`~repro.resilience.FaultInjector` plan (R-RESIL).
     """
 
     def __init__(self, name: str, clock: Clock | None = None):
@@ -34,7 +36,12 @@ class Adaptor:
         self.clock = clock or VirtualClock()
         self.available = True
         self.extra_latency_ms = 0.0
+        #: what step 1 costs against an unavailable source before it raises
+        self.connect_timeout_ms = 10.0
         self.invocations = 0
+        self.stats = SourceStats()
+        #: optional scripted fault plan (repro.resilience.FaultInjector)
+        self.faults = None
 
     # -- protocol hooks ---------------------------------------------------------
 
@@ -61,7 +68,13 @@ class Adaptor:
 
     def invoke(self, args: list[list[Item]]) -> list[Item]:
         if not self.available:
+            # A failed connect is never free: charge the connect timeout
+            # before raising so failover economics stay realistic (R-RESIL).
+            if self.connect_timeout_ms:
+                self.clock.charge_ms(self.connect_timeout_ms)
             raise SourceError(f"source {self.name} is unavailable")
+        if self.faults is not None:
+            self.faults.on_call(self.name, self.clock)
         self.invocations += 1
         if self.extra_latency_ms:
             self.clock.charge_ms(self.extra_latency_ms)
@@ -72,6 +85,10 @@ class Adaptor:
             items = self.translate_result(raw)
         finally:
             self.close(connection)
+        if self.faults is not None:
+            items, dropped = self.faults.on_result(self.name, items)
+            if dropped is not None:
+                raise dropped
         # Round-trip through the typed token stream: this is the form in
         # which data enters the ALDSP runtime (section 5.1).
         tokens: list[Token] = list(items_to_tokens(items))

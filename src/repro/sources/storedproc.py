@@ -47,8 +47,7 @@ class StoredProcedureAdaptor(Adaptor):
         return [to_python(arg) for arg in args]
 
     def call(self, connection: object, params: list[object]) -> object:
-        if not self.database.available:
-            raise SourceError(f"database {self.database.name} is unavailable")
+        self.database.check_call()
         rows = self.procedure(self.database, *params)
         if not isinstance(rows, list):
             raise SourceError(f"{self.name}: procedure must return a list of rows")

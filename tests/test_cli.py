@@ -58,3 +58,40 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestHealthCommand:
+    def test_health_with_dead_database(self):
+        result = run_cli("--customers", "2", "health", "--kill", "ccdb",
+                         "--retry", "2")
+        assert result.returncode == 0
+        assert "profiles returned: 2" in result.stdout
+        assert "DOWN" in result.stdout
+        assert "degradations (partial results):" in result.stdout
+        assert "ccdb: database ccdb is unavailable" in result.stdout
+
+    def test_health_json(self):
+        import json
+
+        result = run_cli("--customers", "2", "health", "--kill", "ccdb",
+                         "--retry", "2", "--breaker", "3", "--json")
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        assert payload["results"] == 2
+        assert payload["sources"]["ccdb"]["available"] is False
+        assert payload["sources"]["ccdb"]["retries"] == 1
+        [record] = payload["degradations"]
+        assert record["source"] == "ccdb" and record["attempts"] == 2
+
+    def test_health_flaky_source_is_seeded(self):
+        a = run_cli("health", "--flaky", "ccdb", "--seed", "5", "--retry", "2",
+                    "--json")
+        b = run_cli("health", "--flaky", "ccdb", "--seed", "5", "--retry", "2",
+                    "--json")
+        assert a.returncode == b.returncode == 0
+        assert a.stdout == b.stdout  # same seed, bit-for-bit identical
+
+    def test_health_unknown_source_errors(self):
+        result = run_cli("health", "--kill", "nosuchdb")
+        assert result.returncode == 1
+        assert "no source named nosuchdb" in result.stderr
