@@ -1,0 +1,97 @@
+"""Observability overhead (DESIGN.md O-OBS).
+
+Tracing must be free when it is off and cheap when it is on.  The "free"
+half is a *checkable contract*, not a measurement: with the no-op tracer
+installed, executing a PP-k query crosses every instrumentation point
+(``tracer.calls`` grows) yet allocates zero spans
+(``tracer.spans_allocated`` stays 0).  The "cheap" half is measured: the
+same PP-k workload wall-timed with tracing off vs on, simulated cost
+identical in both modes (spans never charge the virtual clock).  Numbers
+land in ``BENCH_observability.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.demo import build_demo_platform
+
+QUERY = '''
+for $c in CUSTOMER()
+return <OUT>{ $c/CID,
+    <CARDS>{ for $cc in CREDIT_CARD() where $cc/CID eq $c/CID
+             return $cc/NUMBER }</CARDS> }</OUT>
+'''
+
+N_CUSTOMERS = 40
+K = 10
+REPETITIONS = 20
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+
+
+def wall(fn, repetitions=REPETITIONS):
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        fn()
+    return (time.perf_counter() - start) / repetitions
+
+
+def test_tracing_overhead_off_vs_on(benchmark, report):
+    platform = build_demo_platform(customers=N_CUSTOMERS, orders_per_customer=0,
+                                   deploy_profile=False)
+    platform.set_ppk_block_size(K)
+    platform.execute(QUERY)  # warm plan cache: measure execution, not parsing
+
+    # -- off: the contract -------------------------------------------------
+    platform.set_tracing(False)
+    platform.reset_stats()
+    calls_before = platform.tracer.calls
+    sim_start = platform.clock.now_ms()
+    rows = len(platform.execute(QUERY))
+    sim_off = platform.clock.now_ms() - sim_start
+    crossings = platform.tracer.calls - calls_before
+    assert rows == N_CUSTOMERS
+    assert crossings > 0, "hot path never reached an instrumentation point"
+    assert platform.tracer.spans_allocated == 0  # off costs no allocation
+    off_wall = wall(lambda: platform.execute(QUERY))
+
+    # -- on: spans recorded, simulated cost unchanged ----------------------
+    platform.set_tracing(True)
+    platform.reset_stats()
+    sim_start = platform.clock.now_ms()
+    platform.execute(QUERY)
+    sim_on = platform.clock.now_ms() - sim_start
+    spans = platform.tracer.spans_allocated
+    assert spans > 0
+    # tracing never charges the virtual clock (only float summation noise)
+    assert sim_on == pytest.approx(sim_off)
+    on_wall = wall(lambda: platform.execute(QUERY))
+
+    benchmark(lambda: platform.execute(QUERY))
+    platform.set_tracing(False)
+
+    BENCH_FILE.write_text(json.dumps({
+        "workload": f"PP-k credit-card join, {N_CUSTOMERS} customers, k={K}, "
+                    f"{REPETITIONS} repetitions",
+        "instrumentation_crossings_per_query": crossings,
+        "spans_allocated_when_off": 0,
+        "spans_per_query_when_on": spans,
+        "simulated_ms": {"off": round(sim_off, 3), "on": round(sim_on, 3)},
+        "wall_ms_per_query": {"off": round(off_wall * 1000, 3),
+                              "on": round(on_wall * 1000, 3)},
+    }, indent=2) + "\n")
+
+    report("tracing overhead, off vs on (O-OBS)", [
+        f"instrumentation crossings/query: {crossings}  "
+        f"spans allocated when off: 0 (checked)",
+        f"spans recorded when on: {spans}",
+        f"wall: off {off_wall * 1000:6.2f} ms/query   "
+        f"on {on_wall * 1000:6.2f} ms/query",
+        f"simulated cost identical in both modes: {sim_off:.1f} ms",
+        f"baseline written to {BENCH_FILE.name}",
+    ])

@@ -5,6 +5,8 @@
     python -m repro explain "<xquery>"   # show the distributed plan
     python -m repro lint "<xquery>"      # static analysis: all diagnostics
     python -m repro sql "<xquery>"       # show the SQL shipped to sources
+    python -m repro trace "<xquery>"     # Chrome trace JSON for a query
+    python -m repro stats ["<xquery>"]   # unified metrics snapshot
     python -m repro lineage              # lineage map of the profile service
 
 All subcommands build the Figure-3 federation of :mod:`repro.demo`
@@ -165,6 +167,59 @@ def _cmd_health(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Execute a query with tracing on and emit the trace (O-OBS).
+
+    Default output is Chrome ``trace_event`` JSON (load it in
+    ``chrome://tracing`` / Perfetto); ``--tree`` prints the span tree and
+    ``--profile`` the plan annotated with per-operator actuals.
+    """
+    from .observability import chrome_trace_json, render_span_tree
+
+    platform = _build(args)
+    try:
+        if args.profile:
+            print(platform.profile(args.xquery).text)
+            return 0
+        platform.set_tracing(True)
+        platform.execute(args.xquery)
+        if args.tree:
+            for root in platform.tracer.roots:
+                print(render_span_tree(root))
+        else:
+            print(chrome_trace_json(platform.tracer.roots))
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Run a query (default: the running example) and render the unified
+    metrics snapshot — runtime, per-source, cache, resilience and trace
+    series in one plane (O-OBS)."""
+    import json
+
+    from .observability import render_metrics
+
+    platform = _build(args)
+    platform.set_tracing(True)
+    try:
+        if args.xquery:
+            platform.execute(args.xquery)
+        else:
+            platform.call("getProfile")
+    except Exception as exc:  # noqa: BLE001
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    snapshot = platform.metrics_snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_metrics(snapshot))
+    return 0
+
+
 def _cmd_lineage(args) -> int:
     platform = _build(args)
     lineage = platform.lineage("ProfileService")
@@ -205,6 +260,21 @@ def build_parser() -> argparse.ArgumentParser:
     sql = commands.add_parser("sql", help="show the SQL shipped to the sources")
     sql.add_argument("xquery")
     sql.set_defaults(fn=_cmd_sql)
+    trace = commands.add_parser(
+        "trace", help="execute with tracing and emit Chrome trace JSON")
+    trace.add_argument("xquery")
+    trace.add_argument("--tree", action="store_true",
+                       help="print the span tree instead of Chrome JSON")
+    trace.add_argument("--profile", action="store_true",
+                       help="print the plan annotated with operator actuals")
+    trace.set_defaults(fn=_cmd_trace)
+    stats = commands.add_parser(
+        "stats", help="run a query and render the unified metrics snapshot")
+    stats.add_argument("xquery", nargs="?", default=None,
+                       help="query to run (default: the running example)")
+    stats.add_argument("--json", action="store_true",
+                       help="dump the snapshot as JSON")
+    stats.set_defaults(fn=_cmd_stats)
     commands.add_parser("lineage", help="lineage map of the profile service") \
         .set_defaults(fn=_cmd_lineage)
     health = commands.add_parser(

@@ -4,9 +4,17 @@
 which regions were pushed (and their SQL), where PP-k joins run and with
 what block size, which joins use the hash-index method, and what stays in
 the middleware.  ``Platform.explain(query)`` is the user-facing entry.
+
+``Platform.profile(query)`` reuses this renderer: it passes an
+``annotate`` callback that appends per-operator actuals to operator
+lines, joined on the **operator ids** stamped by
+:func:`assign_operator_ids` during compilation (stage 6), so explain and
+profile agree on which operator is which across plan-cache hits.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Optional
 
 from ..sql.dialects import SqlRenderer, capabilities_for
 from ..xquery import ast_nodes as ast
@@ -21,10 +29,57 @@ from .algebra import (
     SourceCall,
 )
 
+Annotator = Optional[Callable[[ast.AstNode], str]]
 
-def explain(expr: ast.AstNode, indent: int = 0) -> str:
-    """Render an (optimized, pushed) expression tree as an explain plan."""
-    return "\n".join(_lines(expr, indent))
+
+def assign_operator_ids(expr: ast.AstNode) -> int:
+    """Stamp a stable ``op_id`` on every runtime operator node, pre-order.
+
+    Runs once per compiled plan (the tree is cached, so explain, profile
+    and the tracer all see the same ids).  The pushed region *inside* a
+    PP-k or pushed-join clause is part of that clause operator and shares
+    its identity, so traversal does not descend into it.  Function calls
+    only count when the runtime traces them: the service-quality
+    ``fn-bea:`` operators and residual (non-builtin) user calls — the
+    cache-pinned ones the optimizer was told not to inline.
+    """
+    from ..xquery.functions import all_builtins
+
+    builtins = all_builtins()
+    counter = 0
+
+    def visit(node: ast.AstNode) -> None:
+        nonlocal counter
+        if isinstance(node, (PushedSQL, PPkLetClause, PushedTupleForClause,
+                             IndexJoinForClause, ast.GroupByClause,
+                             ast.OrderByClause)) or \
+                (isinstance(node, ast.FunctionCall) and
+                 (isinstance(node, SourceCall) or node.name not in builtins)):
+            counter += 1
+            node.op_id = counter
+        if isinstance(node, (PPkLetClause, PushedTupleForClause)):
+            return  # the pushed region is the clause's own plumbing
+        for child in node.children():
+            visit(child)
+
+    visit(expr)
+    return counter
+
+
+def explain(expr: ast.AstNode, indent: int = 0, annotate: Annotator = None) -> str:
+    """Render an (optimized, pushed) expression tree as an explain plan.
+
+    ``annotate``, when given, maps a node to a suffix appended to that
+    operator's first line (``Platform.profile``'s actuals)."""
+    return "\n".join(_lines(expr, indent, annotate))
+
+
+def _mark(lines: list[str], node: ast.AstNode, annotate: Annotator) -> list[str]:
+    if annotate is not None:
+        suffix = annotate(node)
+        if suffix:
+            lines[0] += suffix
+    return lines
 
 
 def _pad(depth: int) -> str:
@@ -46,7 +101,7 @@ def _dialect_label(pushed: PushedSQL) -> str:
     return f"{pushed.vendor}->{dialect}"
 
 
-def _lines(node: ast.AstNode, depth: int) -> list[str]:
+def _lines(node: ast.AstNode, depth: int, annotate: Annotator = None) -> list[str]:
     pad = _pad(depth)
     if isinstance(node, PushedSQL):
         lines = [f"{pad}PUSHED SQL -> {node.database} ({node.vendor})"]
@@ -62,25 +117,27 @@ def _lines(node: ast.AstNode, depth: int) -> list[str]:
             lines.append(f"{pad}  mid-tier regroup on: {', '.join(node.regroup)} "
                          "(clustered, no sort)")
         lines.append(f"{pad}  rebuild: {_describe_template(node.template)}")
-        return lines
+        return _mark(lines, node, annotate)
     if isinstance(node, ast.FLWOR):
         lines = [f"{pad}FLWOR"]
         for clause in node.clauses:
-            lines.extend(_clause_lines(clause, depth + 1))
+            lines.extend(_clause_lines(clause, depth + 1, annotate))
         lines.append(f"{pad}  return")
-        lines.extend(_lines(node.return_expr, depth + 2))
+        lines.extend(_lines(node.return_expr, depth + 2, annotate))
         return lines
     if isinstance(node, SourceCall):
-        return [f"{pad}SOURCE CALL {node.name}() [{node.kind}] (adaptor invocation)"]
+        return _mark(
+            [f"{pad}SOURCE CALL {node.name}() [{node.kind}] (adaptor invocation)"],
+            node, annotate)
     if isinstance(node, ast.FunctionCall):
         lines = [f"{pad}CALL {node.name}({len(node.args)} args)"]
         for arg in node.args:
-            lines.extend(_lines(arg, depth + 1))
-        return lines
+            lines.extend(_lines(arg, depth + 1, annotate))
+        return _mark(lines, node, annotate)
     if isinstance(node, ast.ElementCtor):
         lines = [f"{pad}CONSTRUCT <{node.name}>"]
         for part in node.content:
-            lines.extend(_lines(part, depth + 1))
+            lines.extend(_lines(part, depth + 1, annotate))
         return lines
     if isinstance(node, ast.TypeswitchExpr):
         return [f"{pad}TYPESWITCH ({len(node.cases)} cases, mid-tier)"]
@@ -90,11 +147,12 @@ def _lines(node: ast.AstNode, depth: int) -> list[str]:
         return [f"{pad}{label}"]
     lines = [f"{pad}{label}"]
     for child in children:
-        lines.extend(_lines(child, depth + 1))
+        lines.extend(_lines(child, depth + 1, annotate))
     return lines
 
 
-def _clause_lines(clause: ast.Clause, depth: int) -> list[str]:
+def _clause_lines(clause: ast.Clause, depth: int,
+                  annotate: Annotator = None) -> list[str]:
     pad = _pad(depth)
     if isinstance(clause, PPkLetClause):
         pushed = clause.pushed
@@ -104,23 +162,23 @@ def _clause_lines(clause: ast.Clause, depth: int) -> list[str]:
                      f"sql[{_dialect_label(pushed)}]: {_sql_of(pushed)}")
         lines.append(f"{pad}  + disjunctive block predicate on "
                      f"{pushed.correlation.column_alias if pushed.correlation else '?'}")
-        return lines
+        return _mark(lines, clause, annotate)
     if isinstance(clause, PushedTupleForClause):
         pushed = clause.pushed
         lines = [f"{pad}PUSHED JOIN for ${', $'.join(clause.vars)} "
                  f"-> {pushed.database} ({pushed.vendor})"]
         lines.append(f"{pad}  sql[{_dialect_label(pushed)}]: {_sql_of(pushed)}")
-        return lines
+        return _mark(lines, clause, annotate)
     if isinstance(clause, IndexJoinForClause):
-        return [f"{pad}INDEX NESTED-LOOP JOIN for ${clause.var} "
-                "(hash-indexed inner, built once)"]
+        return _mark([f"{pad}INDEX NESTED-LOOP JOIN for ${clause.var} "
+                      "(hash-indexed inner, built once)"], clause, annotate)
     if isinstance(clause, ast.ForClause):
         lines = [f"{pad}for ${clause.var} in"]
-        lines.extend(_lines(clause.expr, depth + 1))
+        lines.extend(_lines(clause.expr, depth + 1, annotate))
         return lines
     if isinstance(clause, ast.LetClause):
         lines = [f"{pad}let ${clause.var} :="]
-        lines.extend(_lines(clause.expr, depth + 1))
+        lines.extend(_lines(clause.expr, depth + 1, annotate))
         return lines
     if isinstance(clause, ast.WhereClause):
         return [f"{pad}where (mid-tier filter)"]
@@ -128,9 +186,10 @@ def _clause_lines(clause: ast.Clause, depth: int) -> list[str]:
         mode = "pre-clustered (streaming)" if getattr(clause, "pre_clustered", False) \
             else "sort-then-group"
         keys = ", ".join(var for _e, var in clause.keys)
-        return [f"{pad}group by {keys} [{mode}]"]
+        return _mark([f"{pad}group by {keys} [{mode}]"], clause, annotate)
     if isinstance(clause, ast.OrderByClause):
-        return [f"{pad}order by ({len(clause.specs)} keys, mid-tier sort)"]
+        return _mark([f"{pad}order by ({len(clause.specs)} keys, mid-tier sort)"],
+                     clause, annotate)
     return [f"{pad}{type(clause).__name__}"]
 
 

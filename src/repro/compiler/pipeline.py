@@ -125,6 +125,11 @@ class Compiler:
         from ..sql.rewriter import push_sql
 
         expr = push_sql(expr, self.options.push, bound=frozenset(env))
+        from .explain import assign_operator_ids
+
+        # Stable operator identity: explain, profile and the tracer all
+        # join on these ids, and cached plans keep them across executions.
+        assign_operator_ids(expr)
         plan = CompiledPlan(expr, self.module, list(checker.errors), source)
         if self.options.verify and not plan.errors:
             from .verify import verify_plan

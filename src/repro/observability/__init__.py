@@ -1,0 +1,39 @@
+"""Observability plane (O-OBS): query tracing, operator profiling, and the
+unified metrics registry.  See DESIGN.md section O-OBS."""
+
+from .export import (
+    chrome_trace,
+    chrome_trace_json,
+    render_metrics,
+    render_span_tree,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, series_name
+from .profile import (
+    OperatorActuals,
+    QueryProfile,
+    aggregate_operators,
+    make_annotator,
+    profile_render,
+)
+from .tracer import NOOP_SPAN, NoopTracer, QueryTracer, Span
+
+__all__ = [
+    "NOOP_SPAN",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NoopTracer",
+    "OperatorActuals",
+    "QueryProfile",
+    "QueryTracer",
+    "Span",
+    "aggregate_operators",
+    "chrome_trace",
+    "chrome_trace_json",
+    "make_annotator",
+    "profile_render",
+    "render_metrics",
+    "render_span_tree",
+    "series_name",
+]

@@ -1,0 +1,131 @@
+"""Exporters for traces and metrics (O-OBS).
+
+* :func:`chrome_trace` / :func:`chrome_trace_json` — the span tree as
+  Chrome ``trace_event`` JSON (open in ``chrome://tracing`` or Perfetto).
+  Events are complete-events (``"ph": "X"``) in span-id order with
+  timestamps in microseconds; overlapping branches are laid out on
+  separate deterministic ``tid`` lanes.  The JSON is rendered with sorted
+  keys and fixed separators, so a deterministic run exports
+  byte-identical text.
+* :func:`render_span_tree` — an indented text rendering of one trace.
+* :func:`render_metrics` — the unified metrics snapshot as a text
+  dashboard (``repro stats``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import Span
+
+#: span kinds that always get their own timeline lane (they overlap their
+#: siblings by construction)
+_BRANCH_KINDS = frozenset({"async.branch"})
+
+
+def chrome_trace(roots: list[Span], process_name: str = "repro") -> dict:
+    """The Chrome ``trace_event`` payload for one or more trace roots."""
+    events: list[dict] = [{
+        "args": {"name": process_name},
+        "name": "process_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 0,
+        "ts": 0,
+    }]
+    lanes = _Lanes()
+    for root in roots:
+        _emit(root, 0, lanes, events)
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def chrome_trace_json(roots: list[Span], process_name: str = "repro") -> str:
+    """Byte-stable JSON text of :func:`chrome_trace`."""
+    return json.dumps(chrome_trace(roots, process_name),
+                      sort_keys=True, separators=(",", ":"))
+
+
+class _Lanes:
+    """Deterministic ``tid`` allocation: spans inherit their parent's lane
+    unless they are branch spans, which each get the next fresh lane."""
+
+    def __init__(self) -> None:
+        self.next_lane = 1
+
+    def lane_for(self, span: Span, parent_lane: int) -> int:
+        if span.kind in _BRANCH_KINDS:
+            lane = self.next_lane
+            self.next_lane += 1
+            return lane
+        return parent_lane
+
+
+def _emit(span: Span, parent_lane: int, lanes: _Lanes, events: list[dict]) -> None:
+    lane = lanes.lane_for(span, parent_lane)
+    end = span.end_ms if span.end_ms is not None else span.start_ms
+    events.append({
+        "args": _json_args(span),
+        "cat": span.kind,
+        "dur": round((end - span.start_ms) * 1000.0, 3),
+        "name": span.name or span.kind,
+        "ph": "X",
+        "pid": 1,
+        "tid": lane,
+        "ts": round(span.start_ms * 1000.0, 3),
+    })
+    for child in span.children:
+        _emit(child, lane, lanes, events)
+
+
+def _json_args(span: Span) -> dict:
+    args: dict = {"sid": span.sid, "kind": span.kind}
+    for key, value in span.attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            args[key] = value
+        else:
+            args[key] = str(value)
+    return args
+
+
+# ---------------------------------------------------------------------------
+# Text renderings
+# ---------------------------------------------------------------------------
+
+
+def render_span_tree(root: Span) -> str:
+    """An indented, readable text rendering of one trace."""
+    lines: list[str] = []
+    _tree_lines(root, 0, lines)
+    return "\n".join(lines)
+
+
+def _tree_lines(span: Span, depth: int, lines: list[str]) -> None:
+    label = span.kind if span.name is None else f"{span.kind} {span.name}"
+    attrs = " ".join(
+        f"{key}={value}" for key, value in span.attrs.items() if key != "op"
+    )
+    suffix = f"  [{attrs}]" if attrs else ""
+    lines.append(f"{'  ' * depth}{label}  {span.elapsed_ms:.3f}ms{suffix}")
+    for child in span.children:
+        _tree_lines(child, depth + 1, lines)
+
+
+def render_metrics(snapshot: dict) -> str:
+    """The metrics snapshot as an aligned text dashboard.
+
+    Histogram series render their count/sum/avg; empty series are shown —
+    a zero counter is information (the path was never taken).
+    """
+    if not snapshot:
+        return "(no metrics)"
+    width = max(len(name) for name in snapshot)
+    lines = []
+    for name, value in snapshot.items():
+        if isinstance(value, dict):
+            rendered = (f"count={value.get('count', 0)} "
+                        f"sum={value.get('sum', 0)}ms avg={value.get('avg')}ms "
+                        f"min={value.get('min')} max={value.get('max')}")
+        else:
+            rendered = str(value)
+        lines.append(f"{name:<{width}}  {rendered}")
+    return "\n".join(lines)

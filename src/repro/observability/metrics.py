@@ -1,0 +1,154 @@
+"""The unified metrics plane (O-OBS).
+
+One :class:`MetricsRegistry` per server absorbs what used to be four
+unrelated stats surfaces — ``RuntimeStats``, per-source ``SourceStats``
+(including the statement-cache and resilience counters), ``CacheStats``
+and ``GroupStats`` — behind a single snapshot API with labeled series.
+
+Two kinds of series co-exist:
+
+* **instruments** — counters/gauges/histograms created through the
+  registry (e.g. the tracer's per-operator-kind ``trace.span_ms``
+  histograms).  These are live objects updated at event time.
+* **collectors** — callbacks that read the *existing* stats objects at
+  snapshot time.  The legacy counters stay where they are (their hot-path
+  cost is already paid); the registry is the one read surface over them,
+  so nothing is double-counted and migration costs zero on the hot path.
+
+Series names are flattened Prometheus-style: ``name{label=value,...}``
+with labels sorted, and the whole snapshot is returned sorted by series
+name, so renderings and JSON exports are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def series_name(name: str, labels: dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def snapshot(self):
+        return round(self.value, 3) if isinstance(self.value, float) else self.value
+
+
+class Histogram:
+    """Count/sum/min/max/avg over observed values (span durations)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 3),
+            "min": round(self.min, 3) if self.min is not None else None,
+            "max": round(self.max, 3) if self.max is not None else None,
+            "avg": round(self.total / self.count, 3) if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Labeled counters/gauges/histograms plus snapshot-time collectors."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+        self._collectors: list[Callable[[], dict]] = []
+
+    # -- instruments ---------------------------------------------------------
+
+    def _instrument(self, factory, name: str, labels: dict[str, str]):
+        key = series_name(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._instrument(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._instrument(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._instrument(Histogram, name, labels)
+
+    # -- collectors ----------------------------------------------------------
+
+    def add_collector(self, collect: Callable[[], dict]) -> None:
+        """Register a callback returning ``{series_name: value}`` read at
+        snapshot time (the bridge from the legacy stats objects)."""
+        self._collectors.append(collect)
+
+    # -- the one read surface ------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Every series — instruments and collected — sorted by name."""
+        merged: dict[str, object] = {}
+        for key, instrument in self._instruments.items():
+            merged[key] = instrument.snapshot()
+        for collect in self._collectors:
+            merged.update(collect())
+        return dict(sorted(merged.items()))
+
+    def reset(self) -> None:
+        """Zero the instruments (collector-backed series reset with their
+        owning stats objects — ``Platform.reset_stats`` does both)."""
+        for instrument in self._instruments.values():
+            instrument.reset()

@@ -1,0 +1,258 @@
+"""Query tracing: a span tree mirroring the executed plan (O-OBS).
+
+Section 9's "observed cost" pitch is about *instrumenting the system* and
+optimizing from what is actually measured.  The tracer is that
+instrumentation: when enabled, every operator instance the runtime
+executes — pushed SQL region, PP-k block fetch/join, index join build,
+group-by, async branch, cache lookup, SDO submit — records a
+:class:`Span`, with child spans for each source roundtrip, retry attempt
+and breaker rejection.  Timestamps come from the platform's active
+:class:`~repro.clock.Clock`, so traces are **deterministic** under the
+virtual clock (same query + same seed => byte-identical export) and real
+under a wall clock.
+
+Overhead contract
+-----------------
+Tracing is off by default.  The disabled path is a :class:`NoopTracer`
+whose ``start``/``instant`` methods allocate **nothing**: they return a
+module-level immutable :data:`NOOP_SPAN` singleton and bump a plain
+integer call counter.  That counter is the auditable part of the
+contract: benchmarks assert ``calls > 0 and spans_allocated == 0`` to
+prove the hot path crossed the instrumentation points without creating a
+single span object (``benchmarks/test_observability.py``).
+
+Thread model
+------------
+Span parenting normally follows a per-thread cursor stack.  Crossing the
+:class:`~repro.runtime.asyncexec.AsyncExecutor` pool boundary is the one
+place that must NOT rely on ambient state: the executor captures the
+active span *before* submitting and passes it as the explicit ``parent``
+of each branch span, so branches nest under the query span even when they
+run on pool threads (and under the virtual clock, where they run inline).
+Spans may close out of order relative to their siblings — streaming
+operators interleave — so closing removes the span from wherever it sits
+in its cursor rather than asserting LIFO.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from ..clock import Clock
+
+if TYPE_CHECKING:
+    from .metrics import MetricsRegistry
+
+
+class Span:
+    """One timed operation in the executed plan."""
+
+    __slots__ = ("sid", "kind", "name", "start_ms", "end_ms", "attrs",
+                 "children", "parent", "_tracer", "_tid")
+
+    def __init__(self, sid: int, kind: str, name: str | None,
+                 start_ms: float, tracer: "QueryTracer", tid: int):
+        self.sid = sid
+        self.kind = kind
+        self.name = name
+        self.start_ms = start_ms
+        self.end_ms: float | None = None
+        self.attrs: dict = {}
+        self.children: list[Span] = []
+        self.parent: Span | None = None
+        self._tracer = tracer
+        self._tid = tid
+
+    # -- annotation ----------------------------------------------------------
+
+    def set(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def add(self, key: str, n: int = 1) -> None:
+        self.attrs[key] = self.attrs.get(key, 0) + n
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def end(self) -> None:
+        if self.end_ms is None:
+            self._tracer._close(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None and "error" not in self.attrs:
+            self.attrs["error"] = type(exc).__name__
+        self.end()
+        return False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def elapsed_ms(self) -> float:
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    def walk(self):
+        """Pre-order traversal including self."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: str) -> "list[Span]":
+        return [span for span in self.walk() if span.kind == kind]
+
+    def __repr__(self) -> str:
+        return (f"Span#{self.sid}({self.kind}"
+                + (f" {self.name!r}" if self.name else "")
+                + f" {self.elapsed_ms:.3f}ms)")
+
+
+class _NoopSpan:
+    """The shared do-nothing span: every method is a no-op, so disabled
+    tracing costs a method call and nothing else."""
+
+    __slots__ = ()
+
+    kind = "noop"
+    name = None
+    start_ms = 0.0
+    end_ms = 0.0
+    elapsed_ms = 0.0
+    attrs: dict = {}
+    children: list = []
+    parent = None
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def add(self, key: str, n: int = 1) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: the singleton every NoopTracer.start() returns — no allocation, ever
+NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """Tracing disabled: zero span allocation, one counter.
+
+    ``calls`` counts how many times the hot path *would* have started a
+    span; paired with ``spans_allocated`` (always 0) it makes the
+    overhead-off contract checkable instead of hand-waved.
+    """
+
+    __slots__ = ("calls",)
+
+    enabled = False
+    spans_allocated = 0
+    roots: list = []
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def start(self, kind: str, name: str | None = None,
+              parent: object | None = None, **attrs) -> _NoopSpan:
+        self.calls += 1
+        return NOOP_SPAN
+
+    def instant(self, kind: str, name: str | None = None, **attrs) -> None:
+        self.calls += 1
+
+    def current(self) -> None:
+        return None
+
+
+class QueryTracer:
+    """Tracing enabled: records a span tree per query.
+
+    Spans started on a thread parent to that thread's innermost open span;
+    a span started with an explicit ``parent`` (the async-pool handoff)
+    parents there instead and seeds its own thread's cursor.  Span ids are
+    allocated sequentially under a lock, so virtual-clock runs (which are
+    sequential) produce identical ids every time.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Clock, metrics: "Optional[MetricsRegistry]" = None):
+        self.clock = clock
+        self.metrics = metrics
+        self.roots: list[Span] = []
+        self.calls = 0
+        self.spans_allocated = 0
+        self._next_id = 1
+        self._cursors: dict[int, list[Span]] = {}
+        self._lock = threading.RLock()
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def start(self, kind: str, name: str | None = None,
+              parent: Span | None = None, **attrs) -> Span:
+        tid = threading.get_ident()
+        with self._lock:
+            self.calls += 1
+            self.spans_allocated += 1
+            span = Span(self._next_id, kind, name, self.clock.now_ms(), self, tid)
+            self._next_id += 1
+            if attrs:
+                # None-valued attrs are "not applicable" (e.g. a missing
+                # operator id) and are simply not recorded.
+                span.attrs.update(
+                    {key: value for key, value in attrs.items() if value is not None}
+                )
+            stack = self._cursors.setdefault(tid, [])
+            if parent is None and stack:
+                parent = stack[-1]
+            span.parent = parent
+            if parent is None:
+                self.roots.append(span)
+            else:
+                parent.children.append(span)
+            stack.append(span)
+        return span
+
+    def instant(self, kind: str, name: str | None = None, **attrs) -> Span:
+        """A zero-duration event span (e.g. a breaker rejection)."""
+        span = self.start(kind, name, **attrs)
+        span.end()
+        return span
+
+    def _close(self, span: Span) -> None:
+        with self._lock:
+            span.end_ms = self.clock.now_ms()
+            stack = self._cursors.get(span._tid)
+            if stack is not None:
+                try:
+                    stack.remove(span)
+                except ValueError:
+                    pass  # closed from a different scope; tree is intact
+                if not stack:
+                    del self._cursors[span._tid]
+        if self.metrics is not None:
+            self.metrics.histogram("trace.span_ms", kind=span.kind) \
+                .observe(span.end_ms - span.start_ms)
+
+    # -- introspection -------------------------------------------------------
+
+    def current(self) -> Span | None:
+        """The calling thread's innermost open span (explicitly capture
+        this before handing work to another thread)."""
+        stack = self._cursors.get(threading.get_ident())
+        return stack[-1] if stack else None
+
+    @property
+    def last_root(self) -> Span | None:
+        return self.roots[-1] if self.roots else None

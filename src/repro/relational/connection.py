@@ -13,10 +13,14 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..errors import SourceError
+from ..observability.tracer import NoopTracer
 from .database import Database
 from .executor import Executor
 from .prepared import PreparedStatement
 from .txn import Transaction
+
+#: shared do-nothing tracer for connections outside a DynamicContext
+_NOOP_TRACER = NoopTracer()
 
 
 class Connection:
@@ -26,11 +30,15 @@ class Connection:
         self.db = database
         self._txn: Transaction | None = None
         #: optional instrumentation hook: fn(database_name, rows, elapsed_ms)
-        #: — feeds the observed-cost optimizer (section 9)
+        #: — feeds the observed-cost optimizer (section 9).  Fed from the
+        #: per-attempt success path, so retried/failed attempts and retry
+        #: backoff never skew the fit (O-OBS).
         self.observer = None
         #: optional ResilienceManager applying the database's source policy
         #: (retry / breaker / timeout) to every statement (R-RESIL)
         self.resilience = None
+        #: query tracer (records one ``source.roundtrip`` span per attempt)
+        self.tracer = _NOOP_TRACER
 
     def prepare(self, sql: str | PreparedStatement) -> PreparedStatement:
         """Prepare a statement (or pass one through), consulting the
@@ -43,28 +51,35 @@ class Connection:
     def execute_query(self, sql: str | PreparedStatement,
                       params: Sequence | None = None) -> list[dict]:
         """Run a SELECT; returns rows as alias->value dicts."""
-        start = self.db.clock.now_ms()
         prepared = self.prepare(sql)
-        rows = self._guarded(lambda: self._run_query(prepared, params))
-        if self.observer is not None:
-            self.observer(self.db.name, len(rows), self.db.clock.now_ms() - start)
-        return rows
+        return self._guarded(lambda: self._run_query(prepared, params))
 
     def _run_query(self, prepared: PreparedStatement,
                    params: Sequence | None) -> list[dict]:
         """One attempt of a SELECT: availability/fault gate, execution,
-        mid-result drop simulation, and roundtrip accounting."""
-        self.db.check_call()
-        rows = Executor(self.db, params, tables=prepared.tables).execute(prepared.stmt)
-        if not isinstance(rows, list):
-            raise SourceError(f"expected a query, got DML: {prepared.sql}")
-        if self.db.faults is not None:
-            rows, dropped = self.db.faults.on_result(self.db.name, rows)
-            if dropped is not None:
-                # The shipped prefix is charged, then the connection dies.
-                self.db.charge_roundtrip(len(rows), prepared.sql)
-                raise dropped
-        self.db.charge_roundtrip(len(rows), prepared.sql)
+        mid-result drop simulation, and roundtrip accounting.
+
+        This is the shared instrumentation point: the roundtrip span and
+        the observed-cost sample both cover exactly one attempt, so the
+        cost fit sees source behaviour (never retry backoff), and only
+        *successful* attempts are observed.
+        """
+        start = self.db.clock.now_ms()
+        with self.tracer.start("source.roundtrip", self.db.name) as span:
+            self.db.check_call()
+            rows = Executor(self.db, params, tables=prepared.tables).execute(prepared.stmt)
+            if not isinstance(rows, list):
+                raise SourceError(f"expected a query, got DML: {prepared.sql}")
+            if self.db.faults is not None:
+                rows, dropped = self.db.faults.on_result(self.db.name, rows)
+                if dropped is not None:
+                    # The shipped prefix is charged, then the connection dies.
+                    self.db.charge_roundtrip(len(rows), prepared.sql)
+                    raise dropped
+            self.db.charge_roundtrip(len(rows), prepared.sql)
+            span.set(rows=len(rows))
+        if self.observer is not None:
+            self.observer(self.db.name, len(rows), self.db.clock.now_ms() - start)
         return rows
 
     def execute_update(self, sql: str | PreparedStatement,
@@ -75,14 +90,16 @@ class Connection:
 
     def _run_update(self, prepared: PreparedStatement,
                     params: Sequence | None) -> int:
-        self.db.check_call()
-        if self._txn is not None:
-            count = self._txn.execute(prepared.stmt, params, tables=prepared.tables)
-        else:
-            count = Executor(self.db, params, tables=prepared.tables).execute(prepared.stmt)
-        if not isinstance(count, int):
-            raise SourceError(f"expected DML, got a query: {prepared.sql}")
-        self.db.charge_roundtrip(count, prepared.sql)
+        with self.tracer.start("source.roundtrip", self.db.name, dml=True) as span:
+            self.db.check_call()
+            if self._txn is not None:
+                count = self._txn.execute(prepared.stmt, params, tables=prepared.tables)
+            else:
+                count = Executor(self.db, params, tables=prepared.tables).execute(prepared.stmt)
+            if not isinstance(count, int):
+                raise SourceError(f"expected DML, got a query: {prepared.sql}")
+            self.db.charge_roundtrip(count, prepared.sql)
+            span.set(rows=count)
         return count
 
     def _guarded(self, attempt):

@@ -29,6 +29,7 @@ from typing import Callable
 
 from ..clock import Clock, VirtualClock
 from ..errors import CircuitOpenError, SourceError, SourceTimeoutError
+from ..observability.tracer import NoopTracer
 from .policy import CircuitBreaker, SourcePolicy
 
 
@@ -53,11 +54,13 @@ class DegradationRecord:
 class SourceGuard:
     """Per-source runtime state: breaker, retry RNG, counters."""
 
-    def __init__(self, name: str, policy: SourcePolicy, clock: Clock, stats):
+    def __init__(self, name: str, policy: SourcePolicy, clock: Clock, stats,
+                 tracer=None):
         self.name = name
         self.policy = policy
         self.clock = clock
         self.stats = stats
+        self.tracer = tracer if tracer is not None else NoopTracer()
         self.rng = random.Random(policy.retry.seed if policy.retry else 0)
         self.breaker = (CircuitBreaker(policy.breaker, clock)
                         if policy.breaker else None)
@@ -71,12 +74,18 @@ class SourceGuard:
         while True:
             with self._lock:
                 if self.breaker is not None:
-                    self.breaker.before_call(self.name)  # CircuitOpenError
+                    try:
+                        self.breaker.before_call(self.name)  # CircuitOpenError
+                    except CircuitOpenError:
+                        self.tracer.instant("breaker.rejected", self.name)
+                        raise
             attempts += 1
             if self.stats is not None:
                 self.stats.attempts += 1
             try:
-                result = self._attempt(thunk)
+                with self.tracer.start("source.attempt", self.name,
+                                       attempt=attempts):
+                    result = self._attempt(thunk)
             except CircuitOpenError:
                 raise  # shed inside the attempt: not a source failure
             except SourceError as exc:
@@ -161,6 +170,8 @@ class ResilienceManager:
         self._lock = threading.RLock()
         #: records absorbed during the current query (partial-results mode)
         self.degradations: list[DegradationRecord] = []
+        #: query tracer, propagated to every guard (DynamicContext.set_tracer)
+        self.tracer = NoopTracer()
 
     # -- configuration -------------------------------------------------------
 
@@ -206,10 +217,11 @@ class ResilienceManager:
                 if policy is None:
                     return None
                 guard = SourceGuard(name, policy, self.clock,
-                                    self._stats.get(name))
+                                    self._stats.get(name), tracer=self.tracer)
                 self._guards[name] = guard
             elif guard.stats is None and name in self._stats:
                 guard.stats = self._stats[name]
+            guard.tracer = self.tracer  # follow tracer swaps (profile runs)
             return guard
 
     # -- graceful degradation ------------------------------------------------

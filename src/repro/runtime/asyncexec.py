@@ -21,6 +21,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, TypeVar
 
 from ..clock import Clock, VirtualClock
+from ..observability.tracer import NoopTracer
 
 T = TypeVar("T")
 
@@ -33,6 +34,8 @@ class AsyncExecutor:
         #: how many parallel groups were executed (bench observability)
         self.groups_run = 0
         self.branches_run = 0
+        #: query tracer (DynamicContext.set_tracer installs the real one)
+        self.tracer = NoopTracer()
 
     def run_parallel(self, thunks: list[Callable[[], T]]) -> list[T]:
         """Evaluate the thunks 'concurrently' and return results in order.
@@ -40,16 +43,39 @@ class AsyncExecutor:
         Exceptions propagate after all branches complete (the first raised,
         in branch order), so a failing branch cannot leave siblings
         half-accounted.
+
+        Tracing: the group span is opened on the calling thread and passed
+        as the branch spans' parent *explicitly* — pool threads have no
+        ambient cursor for this trace, so relying on thread-local parenting
+        would orphan every branch (O-OBS satellite fix).
         """
         if not thunks:
             return []
         self.groups_run += 1
         self.branches_run += len(thunks)
         if len(thunks) == 1:
-            return [thunks[0]()]
-        if isinstance(self.clock, VirtualClock):
-            return self._run_virtual(thunks)
-        return self._run_threads(thunks)
+            with self.tracer.start("async.branch", "branch-0"):
+                return [thunks[0]()]
+        group = self.tracer.start("async.group", branches=len(thunks))
+        try:
+            wrapped = [self._traced(thunk, i, group)
+                       for i, thunk in enumerate(thunks)]
+            if isinstance(self.clock, VirtualClock):
+                return self._run_virtual(wrapped)
+            return self._run_threads(wrapped)
+        finally:
+            # Closed after the join (virtual: after the max-branch charge),
+            # so the group's elapsed time is the overlapped total.
+            group.end()
+
+    def _traced(self, thunk: Callable[[], T], index: int, group) -> Callable[[], T]:
+        tracer = self.tracer
+
+        def run() -> T:
+            with tracer.start("async.branch", f"branch-{index}", parent=group):
+                return thunk()
+
+        return run
 
     def _run_virtual(self, thunks: list[Callable[[], T]]) -> list[T]:
         results: list[T | None] = []

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..clock import Clock, VirtualClock
 from ..errors import SourceError
+from ..observability import MetricsRegistry, NoopTracer
 from ..relational.connection import Connection
 from ..relational.database import Database
 from ..resilience import ResilienceManager
@@ -90,6 +91,14 @@ class DynamicContext:
         self.resilience = ResilienceManager(self.clock)
         #: functions for which caching is administratively enabled
         self.max_recursion = 64
+        #: the unified metrics plane (O-OBS): one snapshot over every
+        #: stats surface, plus live instruments the tracer feeds
+        self.metrics = MetricsRegistry()
+        #: query tracer — a no-op by default (tracing is opt-in); install
+        #: a QueryTracer via :meth:`set_tracer` / ``Platform.set_tracing``
+        self.tracer = NoopTracer()
+        self.async_exec.tracer = self.tracer
+        self.resilience.tracer = self.tracer
 
     # -- databases ----------------------------------------------------------------
 
@@ -100,8 +109,19 @@ class DynamicContext:
         connection = Connection(database)
         connection.observer = self.observed.record
         connection.resilience = self.resilience
+        connection.tracer = self.tracer
         self.resilience.register_stats(database.name, database.stats)
         self._connections[database.name] = connection
+
+    def set_tracer(self, tracer) -> None:
+        """Install a tracer on every instrumentation point in one step —
+        the async executor, the resilience guards and each connection hold
+        their own reference (no thread-local ambient state)."""
+        self.tracer = tracer
+        self.async_exec.tracer = tracer
+        self.resilience.tracer = tracer
+        for connection in self._connections.values():
+            connection.tracer = tracer
 
     def connection(self, database_name: str) -> Connection:
         try:

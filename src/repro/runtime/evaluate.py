@@ -401,9 +401,11 @@ class Evaluator:
                 raise DynamicError(f"{name}() used outside a predicate focus")
             return [env[key]]
         if name == "fn-bea:async":
-            return self.ctx.async_exec.run_parallel(
-                [self._async_thunk(node.args[0], env)]
-            )[0]
+            with self.ctx.tracer.start("async.call", name,
+                                       op=getattr(node, "op_id", None)):
+                return self.ctx.async_exec.run_parallel(
+                    [self._async_thunk(node.args[0], env)]
+                )[0]
         if name == "fn-bea:fail-over":
             return self._fail_over(node, env)
         if name == "fn-bea:timeout":
@@ -434,12 +436,22 @@ class Evaluator:
         return thunk
 
     def _fail_over(self, node: ast.FunctionCall, env: Env) -> list[Item]:
-        try:
-            return self.eval(node.args[0], env)
-        except SourceError:
-            return self.eval(node.args[1], env)
+        with self.ctx.tracer.start("fail-over", node.name,
+                                   op=getattr(node, "op_id", None)) as span:
+            try:
+                result = self.eval(node.args[0], env)
+                span.set(failed_over=False)
+                return result
+            except SourceError:
+                span.set(failed_over=True)
+                return self.eval(node.args[1], env)
 
     def _timeout(self, node: ast.FunctionCall, env: Env) -> list[Item]:
+        with self.ctx.tracer.start("timeout", node.name,
+                                   op=getattr(node, "op_id", None)):
+            return self._timeout_inner(node, env)
+
+    def _timeout_inner(self, node: ast.FunctionCall, env: Env) -> list[Item]:
         millis_atoms = atomize(self.eval(node.args[1], env))
         if len(millis_atoms) != 1:
             raise DynamicError("fn-bea:timeout: bad time limit")
@@ -479,7 +491,10 @@ class Evaluator:
         use_cache = cache is not None and cache.is_enabled(node.name)
         if use_cache:
             key = cache.argument_key(args)
-            hit = cache.get(node.name, key)
+            with self.ctx.tracer.start("cache.lookup", node.name,
+                                       op=getattr(node, "op_id", None)) as span:
+                hit = cache.get(node.name, key)
+                span.set(hit=hit is not None)
             if hit is not None:
                 return hit
         if self._depth >= self.ctx.max_recursion:
@@ -507,9 +522,13 @@ class Evaluator:
         args = [self.eval(arg, env) for arg in node.args]
         cache = self.ctx.cache
         use_cache = cache is not None and cache.is_enabled(node.name)
+        op_id = getattr(node, "op_id", None)
         if use_cache:
             key = cache.argument_key(args)
-            hit = cache.get(node.name, key)
+            with self.ctx.tracer.start("cache.lookup", node.name,
+                                       op=op_id) as span:
+                hit = cache.get(node.name, key)
+                span.set(hit=hit is not None)
             if hit is not None:
                 return hit
         assert definition.invoke is not None
@@ -518,13 +537,16 @@ class Evaluator:
         adaptor = definition.adaptor
         source = adaptor.name if adaptor is not None else node.name
         stats = adaptor.stats if adaptor is not None else None
-        try:
-            result = resilience.call(source, lambda: definition.invoke(args),
-                                     stats=stats)
-        except SourceError as exc:
-            if resilience.absorb(source, exc):
-                return []  # degraded: empty sequence, never cached
-            raise
+        with self.ctx.tracer.start("source-call", source, op=op_id) as span:
+            try:
+                result = resilience.call(source, lambda: definition.invoke(args),
+                                         stats=stats)
+            except SourceError as exc:
+                if resilience.absorb(source, exc):
+                    span.set(degraded=True)
+                    return []  # degraded: empty sequence, never cached
+                raise
+            span.set(rows=len(result))
         if use_cache:
             cache.put(node.name, key, result)
         return result
@@ -535,12 +557,16 @@ class Evaluator:
         assert meta is not None
         columns = ", ".join(f't1."{name}" AS {name}' for name, _t in meta.columns)
         sql = f'SELECT {columns} FROM "{meta.table}" t1'
-        try:
-            rows = self.ctx.connection(meta.database).execute_query(sql)
-        except SourceError as exc:
-            if self.ctx.resilience.absorb(meta.database, exc):
-                return []
-            raise
+        with self.ctx.tracer.start("table-scan", meta.table,
+                                   op=getattr(node, "op_id", None)) as span:
+            try:
+                rows = self.ctx.connection(meta.database).execute_query(sql)
+            except SourceError as exc:
+                if self.ctx.resilience.absorb(meta.database, exc):
+                    span.set(degraded=True)
+                    return []
+                raise
+            span.set(rows=len(rows))
         items: list[Item] = []
         for row in rows:
             items.append(_row_element(meta, row))
@@ -584,11 +610,15 @@ class Evaluator:
             if index is None:
                 index = {}
                 self.ctx.stats.index_joins_built += 1
-                for item in self.iter_eval(clause.expr, env):
-                    key_atoms = atomize(self.eval(clause.inner_key, {clause.var: [item]}))
-                    if len(key_atoms) != 1:
-                        continue  # empty/multi keys never equi-join
-                    index.setdefault(key_atoms[0].value, []).append(item)
+                with self.ctx.tracer.start(
+                        "index-join.build", clause.var,
+                        op=getattr(clause, "op_id", None)) as span:
+                    for item in self.iter_eval(clause.expr, env):
+                        key_atoms = atomize(self.eval(clause.inner_key, {clause.var: [item]}))
+                        if len(key_atoms) != 1:
+                            continue  # empty/multi keys never equi-join
+                        index.setdefault(key_atoms[0].value, []).append(item)
+                    span.set(index_size=sum(len(v) for v in index.values()))
             self.ctx.stats.middleware_join_probes += 1
             probe_atoms = atomize(self.eval(clause.outer_key, env))
             if len(probe_atoms) != 1:
@@ -619,19 +649,22 @@ class Evaluator:
                 yield env
 
     def _order_tuples(self, clause: ast.OrderByClause, tuples: Iterator[Env]) -> Iterator[Env]:
-        materialized = list(tuples)
+        with self.ctx.tracer.start("order-by",
+                                   op=getattr(clause, "op_id", None)) as span:
+            materialized = list(tuples)
 
-        def sort_key(env: Env):
-            keys = []
-            for spec in clause.specs:
-                atoms = atomize(self.eval(spec.key, env))
-                if len(atoms) > 1:
-                    raise DynamicError("order by key with more than one item")
-                value = atoms[0].value if atoms else None
-                keys.append(_OrderKey(value, spec.descending, spec.empty_greatest))
-            return keys
+            def sort_key(env: Env):
+                keys = []
+                for spec in clause.specs:
+                    atoms = atomize(self.eval(spec.key, env))
+                    if len(atoms) > 1:
+                        raise DynamicError("order by key with more than one item")
+                    value = atoms[0].value if atoms else None
+                    keys.append(_OrderKey(value, spec.descending, spec.empty_greatest))
+                return keys
 
-        materialized.sort(key=sort_key)
+            materialized.sort(key=sort_key)
+            span.set(tuples=len(materialized))
         return iter(materialized)
 
     def _group_tuples(self, clause: ast.GroupByClause, tuples: Iterator[Env]) -> Iterator[Env]:
@@ -653,7 +686,18 @@ class Evaluator:
                 yield env, tuple(key_values)
 
         grouper = clustered_groups if getattr(clause, "pre_clustered", False) else sorted_groups
-        for key, members in grouper(annotated(), key_of, self.group_stats):
+        emitted_before = self.group_stats.groups_emitted
+        span = self.ctx.tracer.start("group-by",
+                                     op=getattr(clause, "op_id", None))
+        try:
+            yield from self._grouped_tuples(clause, grouper, annotated(), key_of)
+        finally:
+            span.set(groups=self.group_stats.groups_emitted - emitted_before)
+            span.end()
+
+    def _grouped_tuples(self, clause: ast.GroupByClause, grouper, stream,
+                        key_of) -> Iterator[Env]:
+        for key, members in grouper(stream, key_of, self.group_stats):
             result: Env = {}
             for (_expr, var), value in zip(clause.keys, key):
                 result[var] = [] if value is None else [_as_atomic_value(value)]
@@ -682,12 +726,16 @@ class Evaluator:
             values = bind_parameters(pushed, env, self)
             params = [values[i] for i in param_order(pushed.select)]
             sql = render_pushed(pushed, self)
-            try:
-                rows = self.ctx.connection(pushed.database).execute_query(sql, params)
-            except SourceError as exc:
-                if self.ctx.resilience.absorb(pushed.database, exc):
-                    continue  # degraded: this outer tuple joins to nothing
-                raise
+            with self.ctx.tracer.start("pushed-join", pushed.database,
+                                       op=getattr(clause, "op_id", None)) as span:
+                try:
+                    rows = self.ctx.connection(pushed.database).execute_query(sql, params)
+                except SourceError as exc:
+                    if self.ctx.resilience.absorb(pushed.database, exc):
+                        span.set(degraded=True)
+                        continue  # degraded: this outer tuple joins to nothing
+                    raise
+                span.set(rows=len(rows))
             self.ctx.stats.pushed_queries += 1
             for row in rows:
                 extended = dict(env)

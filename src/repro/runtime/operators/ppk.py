@@ -100,40 +100,45 @@ def _fetch_block(clause: PPkLetClause, block: list[dict],
     ctx.stats.ppk_blocks += 1
     ctx.stats.ppk_tuples += len(block)
 
-    # Compute each tuple's join key in the middleware.
-    keys = []
-    for env in block:
-        atoms = atomize(evaluator.eval(correlation.outer_key, env))
-        keys.append(atoms[0].value if atoms else None)
+    with ctx.tracer.start("ppk.fetch", pushed.database,
+                          op=getattr(clause, "op_id", None),
+                          tuples=len(block)) as span:
+        # Compute each tuple's join key in the middleware.
+        keys = []
+        for env in block:
+            atoms = atomize(evaluator.eval(correlation.outer_key, env))
+            keys.append(atoms[0].value if atoms else None)
 
-    distinct_keys = [key for key in dict.fromkeys(keys) if key is not None]
-    rows_by_key: dict[object, list[dict]] = {}
-    if distinct_keys:
-        bucket = _bucket_size(len(distinct_keys), clause.k)
-        sql, order = _bucketed_sql(pushed, correlation, bucket, evaluator)
-        # Non-correlation parameters are constant across the block
-        # (otherwise the rewriter forced k=1); pad the key list with NULLs
-        # up to the bucket size — NULL never equals anything, so padding
-        # cannot match rows.
-        values = (bind_parameters(pushed, block[0], evaluator)
-                  + distinct_keys + [None] * (bucket - len(distinct_keys)))
-        params = [values[i] for i in order]
-        try:
-            rows = ctx.connection(pushed.database).execute_query(sql, params)
-        except SourceError as exc:
-            if ctx.resilience.absorb(pushed.database, exc):
-                # Degraded block: every tuple left-outer joins to nothing.
-                return keys, rows_by_key
-            raise
-        ctx.stats.pushed_queries += 1
-        # Hash join: partition the fetched rows by the correlation column.
-        for row in rows:
-            if correlation.column_alias not in row:
-                raise DynamicError(
-                    f"PP-k correlation alias {correlation.column_alias!r} missing "
-                    f"from fetched row (columns: {sorted(row)})"
-                )
-            rows_by_key.setdefault(row[correlation.column_alias], []).append(row)
+        distinct_keys = [key for key in dict.fromkeys(keys) if key is not None]
+        rows_by_key: dict[object, list[dict]] = {}
+        if distinct_keys:
+            bucket = _bucket_size(len(distinct_keys), clause.k)
+            sql, order = _bucketed_sql(pushed, correlation, bucket, evaluator)
+            # Non-correlation parameters are constant across the block
+            # (otherwise the rewriter forced k=1); pad the key list with NULLs
+            # up to the bucket size — NULL never equals anything, so padding
+            # cannot match rows.
+            values = (bind_parameters(pushed, block[0], evaluator)
+                      + distinct_keys + [None] * (bucket - len(distinct_keys)))
+            params = [values[i] for i in order]
+            try:
+                rows = ctx.connection(pushed.database).execute_query(sql, params)
+            except SourceError as exc:
+                if ctx.resilience.absorb(pushed.database, exc):
+                    # Degraded block: every tuple left-outer joins to nothing.
+                    span.set(degraded=True)
+                    return keys, rows_by_key
+                raise
+            ctx.stats.pushed_queries += 1
+            span.set(rows=len(rows))
+            # Hash join: partition the fetched rows by the correlation column.
+            for row in rows:
+                if correlation.column_alias not in row:
+                    raise DynamicError(
+                        f"PP-k correlation alias {correlation.column_alias!r} missing "
+                        f"from fetched row (columns: {sorted(row)})"
+                    )
+                rows_by_key.setdefault(row[correlation.column_alias], []).append(row)
     return keys, rows_by_key
 
 
@@ -142,7 +147,12 @@ def _join_block(clause: PPkLetClause, block: list[dict],
                 evaluator: "Evaluator") -> Iterator[dict]:
     keys, rows_by_key = fetched
     ctx = evaluator.ctx
-    ctx.clock.charge_ms(ctx.middleware.ppk_join_ms_per_tuple * len(block))
+    # The span covers only the middleware join charge, not the downstream
+    # consumption of the joined tuples, so its elapsed time is exactly the
+    # operator's own work.
+    with ctx.tracer.start("ppk.join", op=getattr(clause, "op_id", None),
+                          tuples=len(block)):
+        ctx.clock.charge_ms(ctx.middleware.ppk_join_ms_per_tuple * len(block))
     for env, key in zip(block, keys):
         matches = rows_by_key.get(key, [])
         items: list[Item] = []

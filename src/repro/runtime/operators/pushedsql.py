@@ -30,12 +30,18 @@ def execute_pushed(pushed: PushedSQL, env: dict, evaluator: "Evaluator") -> Iter
     values = bind_parameters(pushed, env, evaluator)
     params = [values[i] for i in param_order(pushed.select)]
     sql = render_pushed(pushed, evaluator)
-    try:
-        rows = ctx.connection(pushed.database).execute_query(sql, params)
-    except SourceError as exc:
-        if ctx.resilience.absorb(pushed.database, exc):
-            return  # degraded: the region contributes no items
-        raise
+    # The span covers the source fetch; XML rebuild streams to the
+    # consumer afterwards (the region's own work is the shipped query).
+    with ctx.tracer.start("pushed-sql", pushed.database,
+                          op=getattr(pushed, "op_id", None)) as span:
+        try:
+            rows = ctx.connection(pushed.database).execute_query(sql, params)
+        except SourceError as exc:
+            if ctx.resilience.absorb(pushed.database, exc):
+                span.set(degraded=True)
+                return  # degraded: the region contributes no items
+            raise
+        span.set(rows=len(rows))
     ctx.stats.pushed_queries += 1
     yield from rebuild(pushed, rows, evaluator)
 

@@ -43,6 +43,7 @@ class SubmitEngine:
         inverse_of: Callable[[str], Optional[str]],
         resolver: Callable[[str, object], object],
         resilience=None,
+        tracer=None,
     ):
         self.databases = databases
         self.inverse_of = inverse_of
@@ -52,8 +53,26 @@ class SubmitEngine:
         #: atomic, so an exhausted retry aborts (and rolls back) the whole
         #: submit rather than silently skipping a statement.
         self.resilience = resilience
+        if tracer is None:
+            from ..observability.tracer import NoopTracer
+
+            tracer = NoopTracer()
+        self.tracer = tracer
 
     def submit(
+        self,
+        graph: DataGraph | DataObject,
+        lineage_for: Callable[[DataObject], LineageMap],
+        policy: ConcurrencyPolicy | None = None,
+        override: UpdateOverride | None = None,
+    ) -> SubmitResult:
+        with self.tracer.start("sdo.submit") as span:
+            result = self._submit(graph, lineage_for, policy, override)
+            span.set(statements=len(result.statements),
+                     rows=result.rows_updated)
+            return result
+
+    def _submit(
         self,
         graph: DataGraph | DataObject,
         lineage_for: Callable[[DataObject], LineageMap],

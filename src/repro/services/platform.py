@@ -16,6 +16,14 @@ from ..compiler.inverse import InverseRegistry
 from ..compiler.pipeline import CompiledPlan, Compiler, CompilerOptions, PlanCache
 from ..compiler.views import ViewPlanCache
 from ..errors import StaticError, UpdateError
+from ..observability import (
+    MetricsRegistry,
+    NoopTracer,
+    QueryProfile,
+    QueryTracer,
+    profile_render,
+    series_name,
+)
 from ..relational.database import Database
 from ..resilience import (
     CircuitBreakerConfig,
@@ -69,6 +77,9 @@ class Platform:
         self.services: dict[str, DataService] = {}
         self._lineage_cache: dict[str, LineageMap] = {}
         self._update_overrides: dict[str, UpdateOverride] = {}
+        # The unified metrics plane: the legacy stats objects stay the
+        # write surface; this collector is the one read surface over them.
+        self.ctx.metrics.add_collector(self._collect_metrics)
 
     # ------------------------------------------------------------------------
     # Source registration (design time)
@@ -296,16 +307,123 @@ class Platform:
             health[adaptor.name] = entry
         return health
 
+    # -- observability (O-OBS) --------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The unified metrics plane (instruments + stats collectors)."""
+        return self.ctx.metrics
+
+    @property
+    def tracer(self):
+        """The active tracer (a no-op unless tracing is enabled)."""
+        return self.ctx.tracer
+
+    def set_tracing(self, enabled: bool) -> None:
+        """Toggle query tracing.  Off (the default) installs the no-op
+        tracer: the hot path crosses the instrumentation points but
+        allocates no spans.  On installs a :class:`QueryTracer` driven by
+        the platform clock, feeding span durations into the metrics
+        registry."""
+        if enabled:
+            self.ctx.set_tracer(QueryTracer(self.clock, self.ctx.metrics))
+        else:
+            self.ctx.set_tracer(NoopTracer())
+
+    @property
+    def last_trace(self):
+        """The root span of the most recent traced query (None when
+        tracing is off or nothing ran)."""
+        return getattr(self.ctx.tracer, "last_root", None)
+
+    def profile(self, query: str, variables: dict[str, list[Item]] | None = None,
+                user: User = ADMIN) -> QueryProfile:
+        """``explain analyze``: execute the query with tracing enabled and
+        render its plan annotated with per-operator actuals (elapsed, rows,
+        roundtrips, retries, cache hits, degradations).  The installed
+        tracer is restored afterwards, so profiling composes with an
+        explicitly enabled (or disabled) tracing mode."""
+        previous = self.ctx.tracer
+        tracer = QueryTracer(self.clock, self.ctx.metrics)
+        self.ctx.set_tracer(tracer)
+        start = self.clock.now_ms()
+        try:
+            items = list(self.stream(query, variables, user))
+        finally:
+            self.ctx.set_tracer(previous)
+        elapsed = self.clock.now_ms() - start
+        plan = self.prepare(query, variables)
+        text, aggregates = profile_render(plan.expr, tracer)
+        return QueryProfile(text=text, root=tracer.last_root, tracer=tracer,
+                            items=len(items), elapsed_ms=elapsed,
+                            aggregates=aggregates)
+
+    def metrics_snapshot(self) -> dict:
+        """Every metrics series — runtime, per-source, cache, group,
+        plan-cache, resilience, trace histograms — sorted by name."""
+        return self.ctx.metrics.snapshot()
+
+    def _collect_metrics(self) -> dict:
+        """Snapshot-time bridge from the legacy stats objects to the
+        unified metrics plane (nothing is double-counted: these series
+        exist only here)."""
+        import dataclasses
+
+        series: dict = {}
+        for field in dataclasses.fields(self.ctx.stats):
+            series[f"runtime.{field.name}"] = getattr(self.ctx.stats, field.name)
+        cache = self.cache.stats
+        series["cache.hits"] = cache.hits
+        series["cache.misses"] = cache.misses
+        series["cache.expirations"] = cache.expirations
+        group = self.evaluator.group_stats
+        series["group.peak_resident"] = group.peak_resident
+        series["group.groups_emitted"] = group.groups_emitted
+        series["plan_cache.hits"] = self.plan_cache.hits
+        series["plan_cache.misses"] = self.plan_cache.misses
+        series["plan_cache.size"] = len(self.plan_cache)
+        series["async.groups_run"] = self.ctx.async_exec.groups_run
+        series["async.branches_run"] = self.ctx.async_exec.branches_run
+        series["resilience.degradations"] = len(self.ctx.resilience.degradations)
+        source_fields = ("roundtrips", "rows_shipped", "parses",
+                         "stmt_cache_hits", "stmt_cache_misses",
+                         "stmt_cache_evictions", "attempts", "retries",
+                         "failures", "breaker_trips", "degraded")
+        for name, database in self.ctx.databases.items():
+            for field_name in source_fields:
+                series[series_name(f"source.{field_name}", {"source": name})] = \
+                    getattr(database.stats, field_name)
+        seen = set(self.ctx.databases)
+        for definition in self.registry.functions():
+            adaptor = definition.adaptor
+            if adaptor is None or adaptor.name in seen:
+                continue
+            seen.add(adaptor.name)
+            for field_name in source_fields:
+                series[series_name(f"source.{field_name}",
+                                   {"source": adaptor.name})] = \
+                    getattr(adaptor.stats, field_name)
+        return series
+
     def reset_stats(self) -> None:
-        """Zero every runtime/source counter (keeps caches and plans)."""
+        """Zero every runtime/source counter — RuntimeStats, per-source
+        SourceStats (including adaptors), cache, group, async, plan-cache
+        and resilience counters, and the metrics instruments — in one call
+        (keeps caches, plans and breaker state)."""
         self.ctx.stats.reset()
         self.cache.stats.reset()
+        self.evaluator.group_stats.reset()
         for database in self.ctx.databases.values():
             database.stats.reset()
         for definition in self.registry.functions():
             if definition.adaptor is not None:
                 definition.adaptor.stats.reset()
         self.ctx.resilience.reset_stats()
+        self.ctx.async_exec.groups_run = 0
+        self.ctx.async_exec.branches_run = 0
+        self.plan_cache.hits = 0
+        self.plan_cache.misses = 0
+        self.ctx.metrics.reset()
 
     def close(self) -> None:
         """Release runtime resources (async worker threads).  Safe to call
@@ -365,9 +483,14 @@ class Platform:
         plan = self.prepare(query, variables)
         self.ctx.external_variables = dict(variables or {})
         self.ctx.resilience.begin_query()
-        for item in self.evaluator.iter_eval(plan.expr, {}):
-            filtered = self.security.filter_items([item], user)
-            yield from filtered
+        with self.ctx.tracer.start("query", query) as span:
+            count = 0
+            for item in self.evaluator.iter_eval(plan.expr, {}):
+                filtered = self.security.filter_items([item], user)
+                for out in filtered:
+                    count += 1
+                    yield out
+            span.set(items=count)
 
     def explain(self, query: str,
                 variables: dict[str, list[Item]] | None = None) -> str:
@@ -437,7 +560,9 @@ class Platform:
             f"__arg{i}": list(arg) for i, arg in enumerate(args)
         }
         self.ctx.resilience.begin_query()
-        result = self.evaluator.eval(plan.expr, {})
+        with self.ctx.tracer.start("query", function_name) as span:
+            result = self.evaluator.eval(plan.expr, {})
+            span.set(items=len(result))
         return self.security.filter_items(result, user)
 
     def call_python(self, function_name: str, *args, user: User = ADMIN) -> list[Item]:
@@ -490,7 +615,7 @@ class Platform:
         """Propagate SDO changes back to the affected sources atomically."""
         engine = SubmitEngine(
             self.ctx.databases, self.inverses.inverse_of, self._apply_inverse,
-            resilience=self.ctx.resilience,
+            resilience=self.ctx.resilience, tracer=self.ctx.tracer,
         )
         objects = graph.objects if isinstance(graph, DataGraph) else [graph]
         override = None

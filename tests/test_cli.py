@@ -60,6 +60,60 @@ class TestCLI:
             build_parser().parse_args([])
 
 
+class TestTraceCommand:
+    def test_trace_emits_valid_chrome_trace_json(self):
+        import json
+
+        result = run_cli("--customers", "2", "trace",
+                         "for $c in CUSTOMER() return $c/CID")
+        assert result.returncode == 0
+        doc = json.loads(result.stdout)
+        assert doc["displayTimeUnit"] == "ms"
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans
+        for event in spans:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+        assert any(e["cat"] == "source.roundtrip" for e in spans)
+
+    def test_trace_tree(self):
+        result = run_cli("--customers", "2", "trace", "--tree",
+                         "for $c in CUSTOMER() return $c/CID")
+        assert result.returncode == 0
+        assert result.stdout.startswith("query ")
+        assert "pushed-sql custdb" in result.stdout
+
+    def test_trace_profile(self):
+        result = run_cli("--customers", "2", "trace", "--profile",
+                         'getProfileByID("C1")')
+        assert result.returncode == 0
+        assert "actual:" in result.stdout and "roundtrips=" in result.stdout
+
+    def test_trace_error_exit_code(self):
+        result = run_cli("trace", "for $c in NO_SUCH() return $c")
+        assert result.returncode == 1
+        assert "error:" in result.stderr
+
+
+class TestStatsCommand:
+    def test_stats_renders_unified_snapshot(self):
+        result = run_cli("--customers", "2", "stats")
+        assert result.returncode == 0
+        for series in ("runtime.pushed_queries", "source.roundtrips{source=custdb}",
+                       "source.attempts{source=ccdb}", "cache.hits",
+                       "resilience.degradations", "trace.span_ms{kind=query}"):
+            assert series in result.stdout
+
+    def test_stats_json_with_query(self):
+        import json
+
+        result = run_cli("--customers", "2", "stats", "--json",
+                         "for $c in CUSTOMER() return $c/CID")
+        assert result.returncode == 0
+        snapshot = json.loads(result.stdout)
+        assert snapshot["runtime.pushed_queries"] == 1
+        assert snapshot["source.roundtrips{source=custdb}"] == 1
+
+
 class TestHealthCommand:
     def test_health_with_dead_database(self):
         result = run_cli("--customers", "2", "health", "--kill", "ccdb",

@@ -1,0 +1,471 @@
+"""Observability plane tests (O-OBS): tracer, metrics, profile, exports.
+
+Covers the tentpole contracts — span trees mirroring the executed plan,
+``Platform.profile`` actuals joined to the plan render by stable operator
+ids, the unified metrics snapshot — and the satellite guarantees: the
+observed-cost model only learns from *successful* attempts, a one-call
+``reset_stats``, async branch spans nesting under the query span on pool
+threads, and byte-identical Chrome trace exports under the virtual clock.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro import Platform
+from repro.clock import VirtualClock, WallClock
+from repro.observability import (
+    NOOP_SPAN,
+    MetricsRegistry,
+    NoopTracer,
+    QueryTracer,
+    chrome_trace,
+    chrome_trace_json,
+    render_metrics,
+    render_span_tree,
+    series_name,
+)
+from repro.resilience import FaultInjector, RetryPolicy
+from tests.conftest import build_custdb, build_platform, rating_service
+
+# PP-k over two databases plus two overlapped web-service calls: the
+# acceptance query shape (PP-k + async, two sources).
+PPK_ASYNC_QUERY = '''
+for $c in CUSTOMER()
+return <R>{ $c/CID,
+    <CARDS>{ for $cc in CREDIT_CARD() where $cc/CID eq $c/CID
+             return $cc/NUMBER }</CARDS>,
+    fn-bea:async(data(getRating(
+        <getRating><lName>{data($c/LAST_NAME)}</lName>
+        <ssn>{data($c/SSN)}</ssn></getRating>)/getRatingResult)),
+    fn-bea:async(data(getRating(
+        <getRating><lName>{data($c/LAST_NAME)}</lName>
+        <ssn>{data($c/SSN)}</ssn></getRating>)/getRatingResult))
+}</R>
+'''
+
+
+# ---------------------------------------------------------------------------
+# Tracer unit behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestQueryTracer:
+    def test_span_tree_follows_nesting(self):
+        clock = VirtualClock()
+        tracer = QueryTracer(clock)
+        with tracer.start("query", "q") as root:
+            with tracer.start("pushed-sql", "custdb") as inner:
+                clock.charge_ms(5)
+                inner.set(rows=3)
+        assert tracer.roots == [root]
+        assert [s.kind for s in root.walk()] == ["query", "pushed-sql"]
+        assert root.children[0].parent is root
+        assert root.children[0].elapsed_ms == 5
+        assert root.children[0].attrs["rows"] == 3
+
+    def test_timestamps_come_from_the_clock(self):
+        clock = VirtualClock()
+        clock.charge_ms(100)
+        tracer = QueryTracer(clock)
+        span = tracer.start("x")
+        clock.charge_ms(7)
+        span.end()
+        assert span.start_ms == 100 and span.end_ms == 107
+
+    def test_none_attrs_are_dropped(self):
+        tracer = QueryTracer(VirtualClock())
+        span = tracer.start("x", op=None, rows=2)
+        assert span.attrs == {"rows": 2}
+
+    def test_explicit_parent_overrides_cursor(self):
+        tracer = QueryTracer(VirtualClock())
+        root = tracer.start("query")
+        other = tracer.start("op")
+        branch = tracer.start("async.branch", parent=root)
+        assert branch.parent is root and branch in root.children
+        assert branch not in other.children
+
+    def test_out_of_order_close_keeps_tree_intact(self):
+        tracer = QueryTracer(VirtualClock())
+        a = tracer.start("a")
+        b = tracer.start("b")
+        a.end()  # closes before its child-cursor sibling
+        b.end()
+        assert a.end_ms is not None and b.end_ms is not None
+        assert b.parent is a
+
+    def test_exception_marks_span_and_closes_it(self):
+        tracer = QueryTracer(VirtualClock())
+        with pytest.raises(ValueError):
+            with tracer.start("x"):
+                raise ValueError("boom")
+        [root] = tracer.roots
+        assert root.attrs["error"] == "ValueError"
+        assert root.end_ms is not None
+
+    def test_spans_feed_metrics_histograms(self):
+        metrics = MetricsRegistry()
+        tracer = QueryTracer(VirtualClock(), metrics)
+        with tracer.start("pushed-sql"):
+            pass
+        snap = metrics.snapshot()
+        assert snap["trace.span_ms{kind=pushed-sql}"]["count"] == 1
+
+    def test_instant_is_a_closed_zero_duration_span(self):
+        tracer = QueryTracer(VirtualClock())
+        span = tracer.instant("breaker.rejected", "ccdb")
+        assert span.elapsed_ms == 0 and span.end_ms is not None
+
+
+class TestNoopTracer:
+    def test_disabled_contract_counts_calls_allocates_nothing(self):
+        tracer = NoopTracer()
+        assert tracer.enabled is False
+        with tracer.start("pushed-sql", "custdb", rows=1) as span:
+            span.set(rows=2).add("n")
+        tracer.instant("breaker.rejected")
+        assert tracer.calls == 2
+        assert tracer.spans_allocated == 0
+        assert tracer.start("x") is NOOP_SPAN  # the shared singleton
+        assert tracer.current() is None and tracer.roots == []
+
+
+# ---------------------------------------------------------------------------
+# Metrics registry
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_series_name_sorts_labels(self):
+        assert series_name("source.roundtrips", {"b": 1, "a": "x"}) == \
+            "source.roundtrips{a=x,b=1}"
+        assert series_name("runtime.tuples", {}) == "runtime.tuples"
+
+    def test_instruments_snapshot_and_reset(self):
+        metrics = MetricsRegistry()
+        metrics.counter("c").inc(3)
+        metrics.gauge("g", source="db").set(7)
+        h = metrics.histogram("h")
+        h.observe(1.0)
+        h.observe(3.0)
+        snap = metrics.snapshot()
+        assert snap["c"] == 3 and snap["g{source=db}"] == 7
+        assert snap["h"]["count"] == 2 and snap["h"]["avg"] == 2.0
+        metrics.reset()
+        snap = metrics.snapshot()
+        assert snap["c"] == 0 and snap["h"]["count"] == 0
+
+    def test_collectors_merge_into_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.counter("a").inc()
+        metrics.add_collector(lambda: {"legacy.counter": 42})
+        snap = metrics.snapshot()
+        assert snap["legacy.counter"] == 42 and snap["a"] == 1
+        assert list(snap) == sorted(snap)
+
+    def test_render_metrics_dashboard(self):
+        text = render_metrics({"a.long.name": 3, "h": {"count": 1, "sum": 2.0,
+                                                       "avg": 2.0, "min": 2.0,
+                                                       "max": 2.0}})
+        assert "a.long.name" in text and "count=1" in text
+
+
+# ---------------------------------------------------------------------------
+# Platform integration: tracing toggle, spans, unified snapshot
+# ---------------------------------------------------------------------------
+
+
+class TestPlatformTracing:
+    def test_tracing_off_by_default_and_counts_crossings(self):
+        platform = build_platform()
+        assert platform.tracer.enabled is False
+        platform.call("getProfile")
+        # the hot path crossed instrumentation points without allocating
+        assert platform.tracer.calls > 0
+        assert platform.tracer.spans_allocated == 0
+        assert platform.last_trace is None
+
+    def test_enabled_tracing_records_operator_spans(self):
+        platform = build_platform()
+        platform.set_tracing(True)
+        items = platform.call("getProfile")
+        root = platform.last_trace
+        assert root.kind == "query" and root.attrs["items"] == len(items)
+        kinds = {span.kind for span in root.walk()}
+        assert {"pushed-sql", "ppk.fetch", "ppk.join", "source-call",
+                "source.roundtrip"} <= kinds
+        # every source roundtrip is a child span of some operator span
+        for rt in root.find("source.roundtrip"):
+            assert rt.parent is not None and rt.parent.kind != "query"
+
+    def test_unified_snapshot_covers_every_stats_family(self):
+        platform = build_platform()
+        platform.set_tracing(True)
+        platform.call("getProfile")
+        snap = platform.metrics_snapshot()
+        assert snap["runtime.pushed_queries"] > 0
+        assert snap["runtime.ppk_blocks"] > 0
+        assert snap[series_name("source.roundtrips", {"source": "custdb"})] > 0
+        assert series_name("source.attempts", {"source": "ccdb"}) in snap
+        # resilience + cache + plan-cache + trace series are all present
+        assert "resilience.degradations" in snap
+        assert "cache.hits" in snap and "plan_cache.misses" in snap
+        assert any(name.startswith("trace.span_ms") for name in snap)
+
+    def test_tracer_swap_reaches_connections_and_pools(self):
+        platform = build_platform()
+        platform.set_tracing(True)
+        tracer = platform.tracer
+        assert platform.ctx.async_exec.tracer is tracer
+        assert platform.ctx.resilience.tracer is tracer
+        for name in platform.ctx.databases:
+            assert platform.ctx.connection(name).tracer is tracer
+        platform.set_tracing(False)
+        assert platform.ctx.async_exec.tracer.enabled is False
+
+
+# ---------------------------------------------------------------------------
+# Platform.profile (explain analyze)
+# ---------------------------------------------------------------------------
+
+
+class TestProfile:
+    def test_profile_annotates_plan_with_actuals(self):
+        platform = build_platform()
+        profile = platform.profile(PPK_ASYNC_QUERY)
+        assert profile.items == 2
+        text = str(profile)
+        # PP-k clause annotated with its fetch/join split and row counts
+        assert re.search(r"PP-\d+ JOIN.*\[#\d+ actual: .*rows=", text)
+        assert "ppk.fetch" in text and "roundtrips=" in text
+        # the async service calls are attributed to the source-call operator
+        assert re.search(r"SOURCE CALL getRating.*actual: \d+ span", text)
+
+    def test_annotations_ride_on_the_explain_render(self):
+        """Stripping the actuals suffix recovers ``explain`` byte-for-byte:
+        one renderer, stable operator ids across explain and profile."""
+        platform = build_platform()
+        profile = platform.profile(PPK_ASYNC_QUERY)
+        stripped = re.sub(r"  \[#\d+ actual: [^\]]*\]", "", profile.text)
+        plain = platform.explain(PPK_ASYNC_QUERY).split("\nDIAGNOSTICS")[0]
+        assert stripped == plain
+
+    def test_virtual_clock_span_consistency(self):
+        """Exact timing identities under the virtual clock: the root span
+        equals the measured elapsed time, children sit inside their
+        parents, and an async group's elapsed is the max of its branches."""
+        platform = build_platform()
+        profile = platform.profile(PPK_ASYNC_QUERY)
+        root = profile.root
+        assert root.kind == "query"
+        assert root.elapsed_ms == profile.elapsed_ms
+        for span in root.walk():
+            for child in span.children:
+                assert child.start_ms >= span.start_ms
+                assert child.end_ms <= span.end_ms
+        groups = root.find("async.group")
+        assert groups, "PP-k + async query must run async groups"
+        for group in groups:
+            branches = [c for c in group.children if c.kind == "async.branch"]
+            assert len(branches) == 2
+            # overlap: both branches start at the group's base time and the
+            # group closes exactly when the slowest branch does
+            assert branches[0].start_ms == branches[1].start_ms
+            assert group.elapsed_ms == max(b.elapsed_ms for b in branches)
+
+    def test_profile_restores_the_installed_tracer(self):
+        platform = build_platform()
+        platform.set_tracing(False)
+        before = platform.tracer
+        platform.profile("1 + 1")
+        assert platform.tracer is before
+        platform.set_tracing(True)
+        enabled = platform.tracer
+        platform.profile("1 + 1")
+        assert platform.tracer is enabled
+
+    def test_group_by_actuals_report_groups(self):
+        platform = build_platform()
+        # literal input keeps the group-by mid-tier (nothing to push)
+        profile = platform.profile('''
+            for $x in (1, 2, 3, 4, 5)
+            group $x as $g by $x mod 2 as $k
+            return <G>{$k}</G>
+        ''')
+        assert re.search(r"group by.*actual:.*groups=2", profile.text)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: observed cost model learns only from successes
+# ---------------------------------------------------------------------------
+
+
+class TestObservedCostSuccessOnly:
+    def test_failed_attempts_and_backoff_never_pollute_samples(self):
+        platform = build_platform()
+        platform.set_source_policy("custdb", retry=RetryPolicy(
+            max_attempts=3, backoff_ms=500.0, multiplier=2.0))
+        FaultInjector().fail_first(2).attach(platform.ctx.databases["custdb"])
+        platform.execute("for $c in CUSTOMER() return $c/CID")
+        stats = platform.ctx.databases["custdb"].stats
+        assert stats.attempts == 3 and stats.retries == 2  # the plan fired
+        samples = platform.ctx.observed._samples["custdb"]
+        # exactly one sample: the successful third attempt — and its elapsed
+        # is the single-roundtrip cost, not attempts + retry backoff
+        assert len(samples) == stats.roundtrips == 1
+        assert samples[0].elapsed_ms < 100  # backoff alone would be >= 500
+        estimate = platform.ctx.observed.estimate("custdb")
+        assert estimate.roundtrip_ms < 100
+
+
+# ---------------------------------------------------------------------------
+# Satellite: one-call reset
+# ---------------------------------------------------------------------------
+
+
+class TestResetStats:
+    def test_reset_zeroes_every_series_in_one_call(self):
+        platform = build_platform()
+        platform.set_tracing(True)
+        platform.call("getProfile")
+        platform.call("getProfile")
+        before = platform.metrics_snapshot()
+        assert before["runtime.pushed_queries"] > 0
+        assert before["plan_cache.hits"] > 0
+        assert before[series_name("source.attempts", {"source": "ccdb"})] > 0
+        platform.reset_stats()
+        after = platform.metrics_snapshot()
+        for name, value in after.items():
+            if name == "plan_cache.size":  # plans are kept, counters zeroed
+                continue
+            if isinstance(value, dict):
+                assert value["count"] == 0, name
+            else:
+                assert value == 0, name
+
+
+# ---------------------------------------------------------------------------
+# Satellite: async branch spans nest under the query span on pool threads
+# ---------------------------------------------------------------------------
+
+
+def _async_group(root):
+    groups = root.find("async.group")
+    assert groups
+    return groups[0]
+
+
+class TestAsyncSpanNesting:
+    def test_virtual_clock_branches_nest_and_overlap(self):
+        platform = build_platform()
+        platform.set_tracing(True)
+        platform.execute(PPK_ASYNC_QUERY)
+        root = platform.last_trace
+        group = _async_group(root)
+        branches = [c for c in group.children if c.kind == "async.branch"]
+        assert len(branches) == 2
+        for branch in branches:
+            # the service call the branch ran nests below the branch span
+            assert branch.find("source-call")
+        assert group.elapsed_ms == max(b.elapsed_ms for b in branches)
+
+    def test_wall_clock_pool_threads_still_parent_to_the_query(self):
+        clock = WallClock()
+        platform = Platform(clock=clock)
+        platform.register_database(build_custdb(clock))
+        platform.register_web_service(rating_service(latency_ms=5.0))
+        platform.set_tracing(True)
+        platform.execute('''
+            for $c in CUSTOMER() where $c/CID eq "C1"
+            return <R>{
+                fn-bea:async(getRating(<getRating>
+                    <lName>{data($c/LAST_NAME)}</lName>
+                    <ssn>{data($c/SSN)}</ssn></getRating>)),
+                fn-bea:async(getRating(<getRating>
+                    <lName>{data($c/LAST_NAME)}</lName>
+                    <ssn>{data($c/SSN)}</ssn></getRating>))
+            }</R>
+        ''')
+        root = platform.last_trace
+        assert root.kind == "query"
+        group = _async_group(root)
+        branches = [c for c in group.children if c.kind == "async.branch"]
+        assert len(branches) == 2
+        for branch in branches:
+            assert branch.parent is group  # explicit handoff, not ambient
+            assert branch.find("source-call")
+            assert branch.elapsed_ms > 0
+        # both web-service calls slept 5ms; overlap means the group is
+        # well under the 10ms serial cost
+        assert group.elapsed_ms < 9.5
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace export + determinism
+# ---------------------------------------------------------------------------
+
+
+def _traced_chrome_json(seed: int) -> str:
+    platform = build_platform()
+    platform.set_partial_results(True)
+    platform.set_source_policy("ccdb", retry=RetryPolicy(
+        max_attempts=2, backoff_ms=5.0))
+    FaultInjector(seed=seed).fail_with_probability(0.4).attach(
+        platform.ctx.databases["ccdb"])
+    platform.set_tracing(True)
+    platform.execute(PPK_ASYNC_QUERY)
+    return chrome_trace_json(platform.tracer.roots)
+
+
+class TestChromeExport:
+    def test_schema_of_emitted_events(self):
+        platform = build_platform()
+        platform.set_tracing(True)
+        platform.execute(PPK_ASYNC_QUERY)
+        doc = chrome_trace(platform.tracer.roots)
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert events[0]["ph"] == "M"  # process-name metadata record
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans, "no complete events emitted"
+        for event in spans:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                    "args"} <= set(event)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert "sid" in event["args"]
+        # overlapping async branches get their own deterministic lanes
+        branch_lanes = [e["tid"] for e in spans if e["cat"] == "async.branch"]
+        assert len(branch_lanes) == len(set(branch_lanes)) >= 2
+
+    def test_round_trips_through_json(self):
+        platform = build_platform()
+        platform.set_tracing(True)
+        platform.execute("for $c in CUSTOMER() return $c/CID")
+        doc = json.loads(chrome_trace_json(platform.tracer.roots))
+        assert any(e.get("cat") == "query" for e in doc["traceEvents"])
+
+    def test_trace_is_byte_identical_across_runs(self):
+        """Satellite: virtual clock + seeded faults => deterministic export."""
+        first = _traced_chrome_json(seed=3)
+        second = _traced_chrome_json(seed=3)
+        assert first == second
+        assert len(json.loads(first)["traceEvents"]) > 5
+        # the seed actually fired a fault: the trace records a retry
+        assert '"attempt":2' in first
+        # and the determinism is real, not vacuous: a fault-free seed
+        # produces a different trace
+        assert _traced_chrome_json(seed=5) != first
+
+    def test_span_tree_rendering(self):
+        platform = build_platform()
+        platform.set_tracing(True)
+        platform.call("getProfile")
+        text = render_span_tree(platform.last_trace)
+        lines = text.splitlines()
+        assert lines[0].startswith("query getProfile")
+        assert any(line.startswith("  pushed-sql") for line in lines)
+        assert any("source.roundtrip" in line for line in lines)
