@@ -23,11 +23,20 @@ from .xml import serialize
 
 
 def _build(args) -> object:
-    return build_demo_platform(
+    platform = build_demo_platform(
         customers=args.customers,
         orders_per_customer=args.orders,
         ws_latency_ms=args.ws_latency,
     )
+    if args.async_workers:
+        platform.set_async_workers(args.async_workers)
+    if args.ppk_window != 1:
+        platform.set_ppk_prefetch_window(args.ppk_window)
+    if args.adaptive_ppk:
+        platform.set_adaptive_ppk(True)
+    if args.no_parallel_regions:
+        platform.set_parallel_regions(False)
+    return platform
 
 
 def _cmd_demo(args) -> int:
@@ -241,6 +250,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="orders per customer")
     parser.add_argument("--ws-latency", type=float, default=30.0,
                         help="web-service latency in simulated ms")
+    parser.add_argument("--async-workers", type=int, default=0,
+                        help="async executor worker-pool size (0 = default)")
+    parser.add_argument("--ppk-window", type=int, default=1,
+                        help="PP-k prefetch window W (block fetches in flight)")
+    parser.add_argument("--adaptive-ppk", action="store_true",
+                        help="re-size PP-k blocks from observed source costs")
+    parser.add_argument("--no-parallel-regions", action="store_true",
+                        help="disable scatter execution of independent regions")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("demo", help="run the Figure-3 running example") \

@@ -177,7 +177,9 @@ def _clause_lines(clause: ast.Clause, depth: int,
         lines.extend(_lines(clause.expr, depth + 1, annotate))
         return lines
     if isinstance(clause, ast.LetClause):
-        lines = [f"{pad}let ${clause.var} :="]
+        group = getattr(clause, "scatter_group", None)
+        suffix = f" [scatter group {group}]" if group is not None else ""
+        lines = [f"{pad}let ${clause.var} :={suffix}"]
         lines.extend(_lines(clause.expr, depth + 1, annotate))
         return lines
     if isinstance(clause, ast.WhereClause):

@@ -125,6 +125,9 @@ class Compiler:
         from ..sql.rewriter import push_sql
 
         expr = push_sql(expr, self.options.push, bound=frozenset(env))
+        from .scatter import stamp_scatter_groups
+
+        stamp_scatter_groups(expr)
         from .explain import assign_operator_ids
 
         # Stable operator identity: explain, profile and the tracer all

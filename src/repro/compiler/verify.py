@@ -405,6 +405,7 @@ class PlanVerifier:
         for node, path in iter_with_path(expr):
             if isinstance(node, ast.FLWOR):
                 self._lint_flwor(node, path)
+                self._lint_scatter(node, path)
             if isinstance(node, PPkLetClause):
                 self._lint_ppk(node, path)
             if isinstance(node, PushedSQL):
@@ -487,6 +488,29 @@ class PlanVerifier:
                 continue  # keeps scan adjacency
             else:
                 previous_db = None
+
+    def _lint_scatter(self, flwor: ast.FLWOR, path: str) -> None:
+        """Re-prove the scatter-group independence rule (P-ADAPT): members
+        of one group run concurrently, so no member's expression may read a
+        variable bound by another member of the same group."""
+        groups: dict[int, list[tuple[int, ast.LetClause]]] = {}
+        for index, clause in enumerate(flwor.clauses):
+            group = getattr(clause, "scatter_group", None)
+            if group is not None and isinstance(clause, ast.LetClause):
+                groups.setdefault(group, []).append((index, clause))
+        for group, members in groups.items():
+            bound = {clause.var for _i, clause in members}
+            for index, clause in members:
+                overlap = free_vars(clause.expr) & (bound - {clause.var})
+                if overlap:
+                    names = ", ".join(f"${name}" for name in sorted(overlap))
+                    self._emit(
+                        "ALDSP-E309",
+                        f"scatter group {group} member ${clause.var} depends on "
+                        f"sibling binding(s) {names}",
+                        f"{path}/clause[{index}]", group=group,
+                        variable=clause.var, depends_on=sorted(overlap),
+                    )
 
     def _lint_dead_projection(self, pushed: PushedSQL, path: str) -> None:
         if pushed.select.distinct:

@@ -83,6 +83,7 @@ CODE_REGISTRY: dict[str, str] = {
     "ALDSP-W306": "table scan left in the middleware although pushdown is enabled",
     "ALDSP-W307": "middleware join between regions of the same database",
     "ALDSP-I308": "source call has no timeout or fail-over configuration",
+    "ALDSP-E309": "scatter group members are not data independent",
 }
 
 

@@ -41,7 +41,7 @@ class OperatorActuals:
 
 
 #: span attrs that aggregate into ``facts`` when present
-_FACT_ATTRS = ("groups", "tuples", "index_size", "blocks", "branches")
+_FACT_ATTRS = ("groups", "tuples", "index_size", "blocks", "branches", "k")
 
 
 def aggregate_operators(roots: list[Span]) -> dict[int, OperatorActuals]:

@@ -49,6 +49,8 @@ class SourceStats:
     stmt_cache_hits: int = 0
     stmt_cache_misses: int = 0
     stmt_cache_evictions: int = 0
+    #: adaptive PP-k re-sized a block against this source (P-ADAPT)
+    ppk_k_adjustments: int = 0
     # -- resilience counters (R-RESIL; maintained by the ResilienceManager) --
     #: invocation attempts, including retries
     attempts: int = 0
@@ -69,6 +71,7 @@ class SourceStats:
         self.stmt_cache_hits = 0
         self.stmt_cache_misses = 0
         self.stmt_cache_evictions = 0
+        self.ppk_k_adjustments = 0
         self.attempts = 0
         self.retries = 0
         self.failures = 0

@@ -37,6 +37,18 @@ class AsyncExecutor:
         #: query tracer (DynamicContext.set_tracer installs the real one)
         self.tracer = NoopTracer()
 
+    def set_max_workers(self, max_workers: int) -> None:
+        """Re-size the worker pool.  The existing pool (if any) is joined
+        and discarded so the next parallel group runs at the new width."""
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if max_workers == self.max_workers:
+            return
+        self.max_workers = max_workers
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
     def run_parallel(self, thunks: list[Callable[[], T]]) -> list[T]:
         """Evaluate the thunks 'concurrently' and return results in order.
 

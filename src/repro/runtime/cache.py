@@ -15,6 +15,7 @@ shared across users; nothing user-specific may be stored here.
 from __future__ import annotations
 
 import json
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..clock import Clock, VirtualClock
@@ -22,26 +23,38 @@ from ..relational.database import Database
 from ..xml.items import AtomicValue, Item
 from ..xml.serialize import serialize
 
+#: default LRU bound for the in-memory entry map
+DEFAULT_FUNCTION_CACHE_CAPACITY = 512
+
 
 @dataclass
 class CacheStats:
     hits: int = 0
     misses: int = 0
     expirations: int = 0
+    #: entries dropped by the LRU bound (never by TTL — those are expirations)
+    evictions: int = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
         self.expirations = 0
+        self.evictions = 0
 
 
 class FunctionCache:
-    """TTL cache over (function name, argument values)."""
+    """TTL cache over (function name, argument values), bounded by a
+    least-recently-used entry limit (the production cache was backed by a
+    database; the in-memory map must not grow without limit)."""
 
-    def __init__(self, clock: Clock | None = None, backing: Database | None = None):
+    def __init__(self, clock: Clock | None = None, backing: Database | None = None,
+                 max_entries: int = DEFAULT_FUNCTION_CACHE_CAPACITY):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
         self.clock = clock or VirtualClock()
+        self.max_entries = max_entries
         self._ttl_ms: dict[str, float] = {}
-        self._entries: dict[tuple[str, str], tuple[list[Item], float]] = {}
+        self._entries: OrderedDict[tuple[str, str], tuple[list[Item], float]] = OrderedDict()
         self.stats = CacheStats()
         self._backing = backing
         if backing is not None and "FN_CACHE" not in backing.tables:
@@ -67,6 +80,24 @@ class FunctionCache:
     def is_enabled(self, function_name: str) -> bool:
         return function_name in self._ttl_ms
 
+    def set_capacity(self, max_entries: int) -> None:
+        """Re-bound the in-memory map, evicting LRU entries if it shrank."""
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._evict_over_capacity()
+
+    def snapshot(self) -> dict:
+        """Size, capacity and counters in one dict (``Platform.function_cache_stats``)."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.max_entries,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "expirations": self.stats.expirations,
+            "evictions": self.stats.evictions,
+        }
+
     # -- lookup / store ------------------------------------------------------------
 
     @staticmethod
@@ -78,6 +109,8 @@ class FunctionCache:
 
     def get(self, function_name: str, arg_key: str) -> list[Item] | None:
         entry = self._entries.get((function_name, arg_key))
+        if entry is not None:
+            self._entries.move_to_end((function_name, arg_key))
         if entry is None and self._backing is not None:
             entry = self._backing_get(function_name, arg_key)
         if entry is None:
@@ -98,8 +131,15 @@ class FunctionCache:
             return
         expiry = self.clock.now_ms() + ttl
         self._entries[(function_name, arg_key)] = (list(value), expiry)
+        self._entries.move_to_end((function_name, arg_key))
+        self._evict_over_capacity()
         if self._backing is not None:
             self._backing_put(function_name, arg_key, value, expiry)
+
+    def _evict_over_capacity(self) -> None:
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
 
     def clear(self) -> None:
         self._entries.clear()

@@ -45,6 +45,25 @@ class RuntimeStats:
 
 
 @dataclass
+class AdaptivePPkConfig:
+    """Closed-loop PP-k block sizing (P-ADAPT).
+
+    When enabled, :func:`~repro.runtime.operators.ppk.ppk_extend` re-sizes
+    each block from :meth:`ObservedCostModel.recommend_ppk` as roundtrip
+    observations accumulate — the compiler's static k is only the
+    cold-start value.  ``overhead_target`` is the share of the per-tuple
+    cost allowed to go to roundtrip overhead; the default is far stricter
+    than the diagnostic default (0.5) because the adaptive loop *acts* on
+    the recommendation rather than merely reporting it.
+    """
+
+    enabled: bool = False
+    k_min: int = 1
+    k_max: int = 200
+    overhead_target: float = 0.05
+
+
+@dataclass
 class MiddlewareCostModel:
     """CPU cost of mid-tier operator work, charged to the clock.
 
@@ -80,6 +99,13 @@ class DynamicContext:
         self.middleware = MiddlewareCostModel()
         #: prefetch block N+1 while block N joins (section 5.4 overlap)
         self.ppk_pipeline = True
+        #: PP-k prefetch depth: W block fetches in flight while the pending
+        #: window joins; clamped to the async worker pool size at execution
+        self.ppk_prefetch_window = 1
+        #: closed-loop PP-k block sizing from observed source behaviour
+        self.adaptive_ppk = AdaptivePPkConfig()
+        #: scatter-execute compiler-stamped independent let-bound regions
+        self.parallel_regions = True
         #: default for the per-database prepared-statement caches
         self.statement_cache_enabled = True
         #: observed per-source cost samples (section 9's future-work

@@ -52,6 +52,22 @@ from .operators.pushedsql import apply_template, execute_pushed
 Env = dict
 
 
+def _clause_groups(clauses: list[ast.Clause],
+                   parallel_regions: bool) -> list[list[ast.Clause]]:
+    """Partition a FLWOR's clauses into singleton groups plus runs of
+    consecutive clauses sharing a compiler-stamped ``scatter_group`` id
+    (empty when scatter execution is administratively disabled)."""
+    groups: list[list[ast.Clause]] = []
+    for clause in clauses:
+        group_id = getattr(clause, "scatter_group", None) if parallel_regions else None
+        if (group_id is not None and groups
+                and getattr(groups[-1][0], "scatter_group", None) == group_id):
+            groups[-1].append(clause)
+        else:
+            groups.append([clause])
+    return groups
+
+
 class Evaluator:
     def __init__(self, ctx: DynamicContext):
         self.ctx = ctx
@@ -576,11 +592,30 @@ class Evaluator:
 
     def _eval_flwor(self, node: ast.FLWOR, env: Env) -> Iterator[Item]:
         tuples: Iterator[Env] = iter([env])
-        for clause in node.clauses:
-            tuples = self._apply_clause(clause, tuples)
+        for group in _clause_groups(node.clauses, self.ctx.parallel_regions):
+            if len(group) == 1:
+                tuples = self._apply_clause(group[0], tuples)
+            else:
+                tuples = self._scatter_tuples(group, tuples)
         for tuple_env in tuples:
             self.ctx.stats.tuples_flowed += 1
             yield from self.iter_eval(node.return_expr, tuple_env)
+
+    def _scatter_tuples(self, clauses: list[ast.LetClause],
+                        tuples: Iterator[Env]) -> Iterator[Env]:
+        """Evaluate a compiler-stamped scatter group (P-ADAPT): the lets are
+        data independent, so their source fetches run as one parallel group
+        — the virtual clock charges the max of the branches, not the sum.
+        Per-source errors degrade inside each branch exactly as they would
+        serially (``execute_pushed`` / table scans absorb their own faults)."""
+        for env in tuples:
+            values = self.ctx.async_exec.run_parallel(
+                [lambda c=clause: self.eval(c.expr, env) for clause in clauses]
+            )
+            extended = dict(env)
+            for clause, value in zip(clauses, values):
+                extended[clause.var] = value
+            yield extended
 
     def _apply_clause(self, clause: ast.Clause, tuples: Iterator[Env]) -> Iterator[Env]:
         if isinstance(clause, ast.ForClause):

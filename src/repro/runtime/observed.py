@@ -16,6 +16,7 @@ roundtrip overhead stops dominating the row-shipping cost.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 
@@ -104,4 +105,4 @@ class ObservedCostModel:
         ideal = estimate.roundtrip_ms * (1 - overhead_target) / (
             overhead_target * estimate.per_row_ms
         )
-        return max(k_min, min(k_max, int(-(-ideal // 1))))
+        return max(k_min, min(k_max, math.ceil(ideal)))

@@ -28,6 +28,25 @@ Two roundtrip-path optimizations ride on top of the paper's operator:
   middleware joins block N: physically overlapped under a wall clock, and
   accounted as overlap (the join advances by the *maximum* branch charge)
   under the virtual clock, so benchmarks show the win deterministically.
+
+Two adaptive behaviours generalize that further (P-ADAPT):
+
+* **Adaptive block sizing** — when ``ctx.adaptive_ppk`` is enabled, each
+  block's capacity is re-derived from
+  :meth:`~repro.runtime.observed.ObservedCostModel.recommend_ppk` as
+  roundtrip observations accumulate: each block's elapsed feeds the model
+  that sizes the next, with the compiler's static ``k`` as the cold-start
+  value.  The chosen capacity is recorded per block as a tracer span fact
+  (``k=``) and in the ``ppk.chosen_k`` histogram; re-sizes count on the
+  source's ``ppk_k_adjustments``.
+* **Deep prefetch window** — ``ctx.ppk_prefetch_window`` (W, clamped to
+  the executor's worker pool) keeps W block fetches in flight while the
+  pending window joins.  Rounds execute as one parallel group — one
+  branch joining the W pending blocks, W branches fetching the next
+  window — so the virtual clock charges ``max(W·join, fetch)`` per round
+  (per block: ``max(join, fetch/W)``) and blocks still yield strictly in
+  arrival order, degraded blocks included (left-outer semantics).
+  ``W == 1`` is exactly the single-block pipelining above.
 """
 
 from __future__ import annotations
@@ -54,42 +73,113 @@ def ppk_extend(
     """Extend each incoming tuple with ``clause.var`` bound via PP-k."""
     assert clause.pushed.correlation is not None
     ctx = evaluator.ctx
-    blocks = _blocks(tuples, clause.k)
+    blocks = _blocks(tuples, _block_sizer(clause, ctx))
     if not ctx.ppk_pipeline:
-        for block in blocks:
-            fetched = _fetch_block(clause, block, evaluator)
+        for block, capacity in blocks:
+            fetched = _fetch_block(clause, block, capacity, evaluator)
             yield from _join_block(clause, block, fetched, evaluator)
         return
 
-    # Pipelined: while block N's rows are hash-joined in the middleware,
-    # block N+1's disjunctive query is already in flight.
-    try:
-        current = next(blocks)
-    except StopIteration:
+    # Pipelined: while the pending window's rows are hash-joined in the
+    # middleware, the next W disjunctive queries are already in flight.
+    window = max(1, min(ctx.ppk_prefetch_window, ctx.async_exec.max_workers))
+    pending = _take(blocks, window)
+    if not pending:
         return
-    fetched = _fetch_block(clause, current, evaluator)
-    for upcoming in blocks:
-        joined, next_fetched = ctx.async_exec.run_parallel([
-            lambda b=current, f=fetched: list(_join_block(clause, b, f, evaluator)),
-            lambda b=upcoming: _fetch_block(clause, b, evaluator),
-        ])
-        yield from joined
-        current, fetched = upcoming, next_fetched
-    yield from _join_block(clause, current, fetched, evaluator)
+    fetched = ctx.async_exec.run_parallel(
+        [_fetch_thunk(clause, block, capacity, evaluator)
+         for block, capacity in pending]
+    )
+    while True:
+        upcoming = _take(blocks, window)
+        if not upcoming:
+            break
+        outcomes = ctx.async_exec.run_parallel(
+            [_join_thunk(clause, pending, fetched, evaluator)]
+            + [_fetch_thunk(clause, block, capacity, evaluator)
+               for block, capacity in upcoming]
+        )
+        yield from outcomes[0]
+        pending, fetched = upcoming, outcomes[1:]
+    for (block, _capacity), fetch in zip(pending, fetched):
+        yield from _join_block(clause, block, fetch, evaluator)
 
 
-def _blocks(tuples: Iterator[dict], k: int) -> Iterator[list[dict]]:
+def _block_sizer(clause: PPkLetClause, ctx):
+    """``next_k()`` callback deciding the next block's capacity.
+
+    With adaptation off this is the compiler's static ``clause.k``.  With
+    it on, each call consults the observed cost model — by construction
+    *after* the previous round's fetches were recorded, which closes the
+    observe→decide loop at block granularity."""
+    config = ctx.adaptive_ppk
+    if not config.enabled:
+        return lambda: clause.k
+    pushed = clause.pushed
+    state = {"last": None}
+
+    def next_k() -> int:
+        recommended = ctx.observed.recommend_ppk(
+            pushed.database, k_min=config.k_min, k_max=config.k_max,
+            overhead_target=config.overhead_target,
+        )
+        chosen = recommended if recommended is not None else clause.k
+        chosen = max(config.k_min, min(config.k_max, chosen))
+        if state["last"] is not None and chosen != state["last"]:
+            database = ctx.databases.get(pushed.database)
+            if database is not None:
+                database.stats.ppk_k_adjustments += 1
+        state["last"] = chosen
+        ctx.metrics.histogram("ppk.chosen_k", source=pushed.database).observe(chosen)
+        return chosen
+
+    return next_k
+
+
+def _blocks(tuples: Iterator[dict], next_k) -> Iterator[tuple[list[dict], int]]:
+    """Chop the tuple stream into ``(block, capacity)`` pairs, asking
+    ``next_k`` for each new block's capacity as the previous one closes."""
     block: list[dict] = []
+    capacity = next_k()
     for env in tuples:
         block.append(env)
-        if len(block) >= k:
-            yield block
+        if len(block) >= capacity:
+            yield block, capacity
             block = []
+            capacity = next_k()
     if block:
-        yield block
+        yield block, capacity
 
 
-def _fetch_block(clause: PPkLetClause, block: list[dict],
+def _take(blocks: Iterator[tuple[list[dict], int]], n: int) -> list[tuple[list[dict], int]]:
+    taken: list[tuple[list[dict], int]] = []
+    for entry in blocks:
+        taken.append(entry)
+        if len(taken) >= n:
+            break
+    return taken
+
+
+def _fetch_thunk(clause: PPkLetClause, block: list[dict], capacity: int,
+                 evaluator: "Evaluator"):
+    return lambda: _fetch_block(clause, block, capacity, evaluator)
+
+
+def _join_thunk(clause: PPkLetClause, pending: list[tuple[list[dict], int]],
+                fetched: list, evaluator: "Evaluator"):
+    """One branch joining the whole pending window in block order, so the
+    round's virtual-clock charge is max(sum-of-joins, slowest fetch)."""
+
+    def join_all() -> list[dict]:
+        joined: list[dict] = []
+        for (block, _capacity), fetch in zip(pending, fetched):
+            joined.extend(_join_block(clause, block, fetch, evaluator))
+        return joined
+
+    return join_all
+
+
+def _fetch_block(clause: PPkLetClause, block: list[dict], capacity: int,
                  evaluator: "Evaluator") -> tuple[list, dict]:
     """Issue the block's disjunctive query; returns the per-tuple join keys
     and the fetched rows hash-partitioned by the correlation column."""
@@ -102,7 +192,7 @@ def _fetch_block(clause: PPkLetClause, block: list[dict],
 
     with ctx.tracer.start("ppk.fetch", pushed.database,
                           op=getattr(clause, "op_id", None),
-                          tuples=len(block)) as span:
+                          tuples=len(block), k=capacity) as span:
         # Compute each tuple's join key in the middleware.
         keys = []
         for env in block:
@@ -112,7 +202,7 @@ def _fetch_block(clause: PPkLetClause, block: list[dict],
         distinct_keys = [key for key in dict.fromkeys(keys) if key is not None]
         rows_by_key: dict[object, list[dict]] = {}
         if distinct_keys:
-            bucket = _bucket_size(len(distinct_keys), clause.k)
+            bucket = _bucket_size(len(distinct_keys), capacity)
             sql, order = _bucketed_sql(pushed, correlation, bucket, evaluator)
             # Non-correlation parameters are constant across the block
             # (otherwise the rewriter forced k=1); pad the key list with NULLs

@@ -198,6 +198,53 @@ class Platform:
         compiled plans are unaffected."""
         self.ctx.ppk_pipeline = enabled
 
+    def set_adaptive_ppk(self, enabled: bool = True, k_min: int | None = None,
+                         k_max: int | None = None,
+                         overhead_target: float | None = None) -> None:
+        """Enable/disable closed-loop PP-k block sizing (P-ADAPT): each
+        block's capacity is re-derived per source from the observed cost
+        model, within ``[k_min, k_max]``, with the compiler's static k as
+        the cold-start value.  A runtime knob: compiled plans keep their
+        static k and are unaffected when this is off."""
+        config = self.ctx.adaptive_ppk
+        config.enabled = enabled
+        if k_min is not None:
+            config.k_min = k_min
+        if k_max is not None:
+            config.k_max = k_max
+        if overhead_target is not None:
+            config.overhead_target = overhead_target
+        if config.k_min < 1 or config.k_max < config.k_min:
+            raise ValueError("need 1 <= k_min <= k_max")
+
+    def set_ppk_prefetch_window(self, window: int) -> None:
+        """How many PP-k block fetches stay in flight while the pending
+        window joins (W).  Clamped to the async worker pool size at
+        execution; ``1`` is the classic one-block prefetch."""
+        if window < 1:
+            raise ValueError("prefetch window must be >= 1")
+        self.ctx.ppk_prefetch_window = window
+
+    def set_parallel_regions(self, enabled: bool) -> None:
+        """Toggle scatter execution of compiler-stamped independent
+        let-bound source regions (on by default).  A runtime knob: the
+        stamps stay on the plan and are simply ignored when off."""
+        self.ctx.parallel_regions = enabled
+
+    def set_async_workers(self, max_workers: int) -> None:
+        """Re-size the async executor's worker pool (wall-clock branch
+        parallelism; also the clamp on the PP-k prefetch window)."""
+        self.ctx.async_exec.set_max_workers(max_workers)
+
+    def set_function_cache_capacity(self, max_entries: int) -> None:
+        """Bound the mid-tier function cache's in-memory entry map (LRU)."""
+        self.cache.set_capacity(max_entries)
+
+    def function_cache_stats(self) -> dict:
+        """Function-cache introspection: size, capacity and the
+        hit/miss/expiration/eviction counters."""
+        return self.cache.snapshot()
+
     def set_statement_cache_enabled(self, enabled: bool) -> None:
         """Toggle the per-database prepared-statement caches (every
         registered source, and the default for sources registered later)."""
@@ -376,6 +423,7 @@ class Platform:
         series["cache.hits"] = cache.hits
         series["cache.misses"] = cache.misses
         series["cache.expirations"] = cache.expirations
+        series["cache.evictions"] = cache.evictions
         group = self.evaluator.group_stats
         series["group.peak_resident"] = group.peak_resident
         series["group.groups_emitted"] = group.groups_emitted
@@ -387,8 +435,9 @@ class Platform:
         series["resilience.degradations"] = len(self.ctx.resilience.degradations)
         source_fields = ("roundtrips", "rows_shipped", "parses",
                          "stmt_cache_hits", "stmt_cache_misses",
-                         "stmt_cache_evictions", "attempts", "retries",
-                         "failures", "breaker_trips", "degraded")
+                         "stmt_cache_evictions", "ppk_k_adjustments",
+                         "attempts", "retries", "failures", "breaker_trips",
+                         "degraded")
         for name, database in self.ctx.databases.items():
             for field_name in source_fields:
                 series[series_name(f"source.{field_name}", {"source": name})] = \
