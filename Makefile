@@ -8,9 +8,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: ci lint typecheck test bench-smoke chaos
+.PHONY: ci lint lint-concurrency typecheck test bench-smoke chaos test-threaded
 
-ci: lint typecheck test bench-smoke
+ci: lint lint-concurrency typecheck test bench-smoke test-threaded
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -40,3 +40,13 @@ bench-smoke:
 # (deterministic under the virtual clock — same seed, same run).
 chaos:
 	$(PYTHON) -m pytest -x -q -m chaos tests benchmarks
+
+# The concurrency lint (A-CONC): the engine's own source is checked for
+# unguarded shared-state mutations (ALDSP-C4xx).  Must stay clean.
+lint-concurrency:
+	$(PYTHON) -m repro lint --concurrency
+
+# Real-thread stress runs with the lockset race detector enabled.  Set
+# STRESS_RUNS=20 for the soak configuration.
+test-threaded:
+	$(PYTHON) -m pytest -x -q -m threaded tests

@@ -1,0 +1,228 @@
+"""Runtime lockset race detection (A-CONC), after Eraser.
+
+The classic lockset algorithm (Savage et al., "Eraser: A Dynamic Data Race
+Detector for Multithreaded Programs", 1997): for every shared field keep a
+*candidate lockset* — the locks consistently held at every access.  While
+only one thread has touched the field the candidate simply tracks the
+current held set (initialization is exempt); once a second thread appears,
+every access intersects the candidate with the locks that thread holds.  A
+field whose candidate set goes **empty** while at least one access was a
+write has no consistent guard — that is a data race, reported with the
+stacks of both sides.
+
+Unlike a happens-before detector, locksets do not depend on the observed
+interleaving: if two threads ever touch a written field without a common
+lock, the race is reported no matter how the schedule fell.  That is what
+makes the reports *deterministic* — the multi-threaded stress harness
+asserts zero races on every run, and the seeded-interleaving tests assert
+byte-identical reports run over run.
+
+Instrumentation comes from :mod:`repro.concurrency`:
+:class:`~repro.concurrency.TrackedRLock` feeds :meth:`on_acquire` /
+:meth:`on_release`, and guarded classes call :meth:`on_access` at each
+mutation/read site.  Virtual thread ids (:meth:`as_thread`) let the
+:class:`~repro.analysis.interleave.SeededInterleaver` simulate N threads
+on one real thread, fully deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AccessSite:
+    """One side of a race: who accessed the field, how, holding what."""
+
+    tid: int
+    write: bool
+    locks: tuple[str, ...]
+    stack: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        kind = "write" if self.write else "read"
+        held = ", ".join(self.locks) if self.locks else "no locks"
+        lines = [f"  thread {self.tid}: {kind} holding {held}"]
+        lines.extend(f"    {line}" for line in self.stack)
+        return "\n".join(lines)
+
+
+@dataclass
+class RaceReport:
+    """A shared field whose candidate lockset went empty."""
+
+    owner: str
+    fieldname: str
+    first: AccessSite
+    second: AccessSite
+
+    def render(self) -> str:
+        return (
+            f"RACE on {self.owner}.{self.fieldname}: candidate lockset is "
+            f"empty across threads {self.first.tid} and {self.second.tid}\n"
+            f"{self.first.render()}\n{self.second.render()}"
+        )
+
+
+class _FieldState:
+    """Per-(object, field) lockset bookkeeping."""
+
+    __slots__ = ("lockset", "tids", "written", "last_by_tid", "reported")
+
+    def __init__(self, lockset: frozenset, tid: int):
+        self.lockset = lockset
+        self.tids = {tid}
+        self.written = False
+        #: most recent AccessSite per thread (the "other stack" of a report)
+        self.last_by_tid: dict[int, AccessSite] = {}
+        self.reported = False
+
+
+class LocksetDetector:
+    """Eraser-style lockset tracking over the engine's guarded state.
+
+    Opt-in debug mode (``Platform.set_race_detector(True)``): every
+    guarded access captures the caller's stack, so overhead is real and
+    deliberate.  The detector's own bookkeeping uses a plain RLock — a
+    :class:`~repro.concurrency.TrackedRLock` here would recurse into the
+    hooks it serves.
+    """
+
+    enabled = True
+
+    def __init__(self, capture_stacks: bool = True, stack_limit: int = 16):
+        self.capture_stacks = capture_stacks
+        self.stack_limit = stack_limit
+        self.races: list[RaceReport] = []
+        self.calls = 0
+        self.guarded_accesses = 0
+        self.lock_acquisitions = 0
+        self._internal = threading.RLock()
+        self._held: dict[int, dict[int, int]] = {}
+        self._lock_names: dict[int, str] = {}
+        self._state: dict[tuple[int, str], _FieldState] = {}
+        self._vtid = threading.local()
+
+    # -- thread identity -----------------------------------------------------
+
+    def _tid(self) -> int:
+        return getattr(self._vtid, "value", None) or threading.get_ident()
+
+    def as_thread(self, vtid: int):
+        """Context manager: attribute accesses on this (real) thread to the
+        virtual thread ``vtid`` — the SeededInterleaver's determinism hook."""
+        return _VirtualThread(self._vtid, vtid)
+
+    # -- hooks (called by TrackedRLock and guarded classes) ------------------
+
+    def on_acquire(self, lock) -> None:
+        with self._internal:
+            self.calls += 1
+            self.lock_acquisitions += 1
+            held = self._held.setdefault(self._tid(), {})
+            held[id(lock)] = held.get(id(lock), 0) + 1
+            self._lock_names[id(lock)] = getattr(lock, "name", "") or repr(lock)
+
+    def on_release(self, lock) -> None:
+        with self._internal:
+            self.calls += 1
+            held = self._held.get(self._tid())
+            if held is None:
+                return
+            count = held.get(id(lock), 0)
+            if count <= 1:
+                held.pop(id(lock), None)
+            else:
+                held[id(lock)] = count - 1
+
+    def on_access(self, owner, fieldname: str, write: bool = True) -> None:
+        with self._internal:
+            self.calls += 1
+            self.guarded_accesses += 1
+            tid = self._tid()
+            held = frozenset(self._held.get(tid) or ())
+            site = AccessSite(
+                tid=tid,
+                write=write,
+                locks=tuple(sorted(self._lock_names[h] for h in held)),
+                stack=self._stack(),
+            )
+            key = (id(owner), fieldname)
+            state = self._state.get(key)
+            if state is None:
+                state = _FieldState(held, tid)
+                self._state[key] = state
+            elif len(state.tids) == 1 and tid in state.tids:
+                # still exclusive: initialization/warm-up is exempt, the
+                # candidate set simply follows the owning thread's held set
+                state.lockset = held
+            else:
+                state.tids.add(tid)
+                state.lockset = state.lockset & held
+            state.written = state.written or write
+            if (len(state.tids) > 1 and state.written and not state.lockset
+                    and not state.reported):
+                other = self._other_site(state, tid) or site
+                state.reported = True
+                self.races.append(RaceReport(
+                    owner=type(owner).__name__, fieldname=fieldname,
+                    first=other, second=site,
+                ))
+            state.last_by_tid[tid] = site
+
+    @staticmethod
+    def _other_site(state: _FieldState, tid: int) -> AccessSite | None:
+        for other_tid, site in state.last_by_tid.items():
+            if other_tid != tid:
+                return site
+        return None
+
+    def _stack(self) -> list[str]:
+        if not self.capture_stacks:
+            return []
+        frames = traceback.extract_stack(limit=self.stack_limit)
+        lines = [
+            f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno} in {frame.name}"
+            for frame in frames
+        ]
+        # drop the detector's own frames (on_access/_stack) from the tail
+        while lines and (" in on_access" in lines[-1] or " in _stack" in lines[-1]):
+            lines.pop()
+        return lines
+
+    # -- reporting -----------------------------------------------------------
+
+    def report_text(self) -> str:
+        if not self.races:
+            return "no races detected"
+        return "\n\n".join(race.render() for race in self.races)
+
+    def reset(self) -> None:
+        """Forget accumulated state and reports (held locks survive — a
+        reset must not orphan a lock some thread is inside)."""
+        with self._internal:
+            self._state.clear()
+            self.races.clear()
+            self.guarded_accesses = 0
+            self.lock_acquisitions = 0
+
+
+class _VirtualThread:
+    """Scoped override of the detector's thread identity."""
+
+    __slots__ = ("_slot", "_vtid", "_previous")
+
+    def __init__(self, slot, vtid: int):
+        self._slot = slot
+        self._vtid = vtid
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = getattr(self._slot, "value", None)
+        self._slot.value = self._vtid
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._slot.value = self._previous

@@ -4,6 +4,7 @@
     python -m repro query  "<xquery>"    # execute against the demo platform
     python -m repro explain "<xquery>"   # show the distributed plan
     python -m repro lint "<xquery>"      # static analysis: all diagnostics
+    python -m repro lint --concurrency   # lint engine source for races
     python -m repro sql "<xquery>"       # show the SQL shipped to sources
     python -m repro trace "<xquery>"     # Chrome trace JSON for a query
     python -m repro stats ["<xquery>"]   # unified metrics snapshot
@@ -76,11 +77,22 @@ def _cmd_explain(args) -> int:
 def _cmd_lint(args) -> int:
     """Run every plan-verifier pass and print the diagnostics.
 
-    Exit status is 1 iff any error-severity diagnostic was found
-    (warnings and notes are informational).
+    With ``--concurrency`` the engine's own source is linted instead
+    (ALDSP-C4xx: unguarded shared-state mutations); no query or demo
+    platform is involved.  Exit status is 1 iff any error-severity
+    diagnostic was found (warnings and notes are informational).
     """
-    platform = _build(args)
-    report = platform.lint(args.xquery)
+    if args.concurrency:
+        from .analysis import run_concurrency_lint
+
+        report = run_concurrency_lint(strict=args.strict)
+    elif args.xquery is None:
+        print("error: provide an XQuery to lint, or --concurrency "
+              "to lint the engine source", file=sys.stderr)
+        return 2
+    else:
+        platform = _build(args)
+        report = platform.lint(args.xquery)
     if args.json:
         print(report.render_json())
     elif len(report):
@@ -270,7 +282,13 @@ def build_parser() -> argparse.ArgumentParser:
     explain.set_defaults(fn=_cmd_explain)
     lint = commands.add_parser(
         "lint", help="run the plan verifier and print all diagnostics")
-    lint.add_argument("xquery")
+    lint.add_argument("xquery", nargs="?", default=None,
+                      help="query to lint (omit with --concurrency)")
+    lint.add_argument("--concurrency", action="store_true",
+                      help="lint the engine source for unguarded shared-state "
+                           "mutations (ALDSP-C4xx) instead of a query")
+    lint.add_argument("--strict", action="store_true",
+                      help="with --concurrency, also flag unguarded reads")
     lint.add_argument("--json", action="store_true",
                       help="render the diagnostic report as JSON")
     lint.set_defaults(fn=_cmd_lint)

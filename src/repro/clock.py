@@ -9,8 +9,9 @@ the asynchronous-execution machinery (section 5.4) can use
 
 from __future__ import annotations
 
-import threading
 import time
+
+from .concurrency import TrackedRLock, guarded_by
 
 
 class Clock:
@@ -24,6 +25,7 @@ class Clock:
         raise NotImplementedError
 
 
+@guarded_by("_lock")
 class VirtualClock(Clock):
     """Deterministic clock: ``charge_ms`` advances simulated time.
 
@@ -32,12 +34,17 @@ class VirtualClock(Clock):
     main clock; when a parallel group of branches joins, the main clock
     advances by the **maximum** branch total — the latency-overlap
     semantics of asynchronous execution (section 5.4).
+
+    Field access is lock-disciplined, but the branch *stack* makes this
+    clock single-query by design: concurrent queries would interleave
+    their branch accounting.  Multi-threaded work uses :class:`WallClock`
+    (the threaded stress harness does).
     """
 
     def __init__(self):
         self._now = 0.0
         self._branches: list[float] = []
-        self._lock = threading.RLock()
+        self._lock = TrackedRLock("VirtualClock")
 
     def now_ms(self) -> float:
         with self._lock:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..concurrency import RACE, TrackedRLock, guarded_by
 from ..xquery import ast_nodes as ast
 from ..xquery.normalize import normalize, normalize_module
 from ..xquery.parser import Parser
@@ -162,31 +163,49 @@ class Compiler:
         return FunctionTable(module, self.registry.signatures())
 
 
+@guarded_by("_lock")
 class PlanCache:
-    """LRU cache of compiled query plans keyed by source text."""
+    """LRU cache of compiled query plans keyed by source text.
+
+    Thread-safety (A-CONC): ``_lock`` guards the LRU map and the hit/miss
+    counters — every request thread goes through :meth:`get` before
+    compiling."""
 
     def __init__(self, capacity: int = 256):
         self.capacity = capacity
+        self._lock = TrackedRLock("PlanCache")
         self._plans: "OrderedDict[str, CompiledPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: str) -> CompiledPlan | None:
-        if key in self._plans:
-            self._plans.move_to_end(key)
-            self.hits += 1
-            return self._plans[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._plans:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                RACE.detector.on_access(self, "_plans", True)
+                return self._plans[key]
+            self.misses += 1
+            return None
 
     def put(self, key: str, plan: CompiledPlan) -> None:
-        self._plans[key] = plan
-        self._plans.move_to_end(key)
-        while len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+            RACE.detector.on_access(self, "_plans", True)
 
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
+            RACE.detector.on_access(self, "_plans", True)
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)

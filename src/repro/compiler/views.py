@@ -11,17 +11,23 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from ..concurrency import RACE, TrackedRLock, guarded_by
 from ..xquery import ast_nodes as ast
 
 
+@guarded_by("_lock")
 class ViewPlanCache:
     """LRU cache mapping (function name, arity) to a partially optimized
-    body.  Stats are exposed for the view-unfolding benchmark."""
+    body.  Stats are exposed for the view-unfolding benchmark.
+
+    Thread-safety (A-CONC): compilation runs on request threads, so the
+    LRU map and counters are guarded like :class:`PlanCache`."""
 
     def __init__(self, capacity: int = 128):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
+        self._lock = TrackedRLock("ViewPlanCache")
         self._entries: "OrderedDict[tuple[str, int], ast.AstNode]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -29,26 +35,35 @@ class ViewPlanCache:
 
     def get(self, name: str, arity: int) -> ast.AstNode | None:
         key = (name, arity)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                RACE.detector.on_access(self, "_entries", True)
+                return self._entries[key]
+            self.misses += 1
+            return None
 
     def put(self, name: str, arity: int, body: ast.AstNode) -> None:
         key = (name, arity)
-        self._entries[key] = body
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = body
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            RACE.detector.on_access(self, "_entries", True)
 
     def invalidate(self, name: str, arity: int) -> None:
-        self._entries.pop((name, arity), None)
+        with self._lock:
+            self._entries.pop((name, arity), None)
+            RACE.detector.on_access(self, "_entries", True)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            RACE.detector.on_access(self, "_entries", True)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

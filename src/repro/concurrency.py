@@ -1,0 +1,163 @@
+"""Concurrency primitives and the race-detector hook (A-CONC).
+
+The mid-tier is one server shared by many sessions (section 2): its caches,
+statistics and breakers are crossed by every request thread, so each piece
+of shared mutable engine state is guarded by a lock and *declared* as such.
+This module holds the three primitives that make the discipline checkable
+instead of hoped-for:
+
+* :class:`TrackedRLock` — a reentrant lock that reports every acquire and
+  release to the active race detector.  With the detector off (the
+  default), the report is a :class:`NoopRaceDetector` counter bump — no
+  allocation, no tracking — the same unconditional-callsite contract the
+  tracer established (O-OBS).
+* :func:`guarded_by` — a class decorator declaring which lock guards a
+  class's shared mutable attributes.  The static concurrency lint
+  (:mod:`repro.analysis.static`) reads the declaration and verifies every
+  mutation site lexically holds that lock.
+* :class:`SyncCounters` — a mixin giving the stats dataclasses
+  (``SourceStats``, ``RuntimeStats``, ``CacheStats``, ``GroupStats``) one
+  synchronized :meth:`~SyncCounters.bump` write path.  Raw ``stats.x += 1``
+  from outside the owning class is a lint error (``ALDSP-C407``): the
+  read-modify-write would race, and did — PR 6 found lost updates on
+  exactly these counters.
+
+The active detector is a **process-wide** slot (:data:`RACE`), mirroring
+how eraser-style tools instrument a whole process; install one with
+``Platform.set_race_detector(True)`` (debug mode only — lockset tracking
+captures stacks and is deliberately not cheap).
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class NoopRaceDetector:
+    """Race detection disabled: every hook is a counter bump.
+
+    ``calls`` counts how many times the engine crossed an instrumentation
+    point (lock acquire/release, guarded access); paired with the class
+    attributes below — no races, no tracked accesses — it makes the
+    detector-off contract checkable the way ``NoopTracer.calls`` does for
+    tracing.  The counter is deliberately a plain int: it is approximate
+    under threads and exists only to prove the callsites are unconditional.
+    """
+
+    __slots__ = ("calls",)
+
+    enabled = False
+    races: tuple = ()
+    guarded_accesses = 0
+    lock_acquisitions = 0
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def on_acquire(self, lock) -> None:
+        self.calls += 1
+
+    def on_release(self, lock) -> None:
+        self.calls += 1
+
+    def on_access(self, owner, field: str, write: bool = True) -> None:
+        self.calls += 1
+
+
+#: the shared disabled detector (never replaced, only un-installed to)
+NOOP_DETECTOR = NoopRaceDetector()
+
+
+class _DetectorSlot:
+    """Holder for the active detector so rebinding is one attribute write."""
+
+    __slots__ = ("detector",)
+
+    def __init__(self) -> None:
+        self.detector = NOOP_DETECTOR
+
+
+#: the process-wide active race detector; hot paths read ``RACE.detector``
+RACE = _DetectorSlot()
+
+
+def set_race_detector(detector) -> object:
+    """Install ``detector`` (or :data:`NOOP_DETECTOR`) process-wide and
+    return the previously active one (for restore-in-finally)."""
+    previous = RACE.detector
+    RACE.detector = detector if detector is not None else NOOP_DETECTOR
+    return previous
+
+
+def race_detector():
+    """The active detector (a :class:`NoopRaceDetector` unless enabled)."""
+    return RACE.detector
+
+
+class TrackedRLock:
+    """A reentrant lock whose acquires/releases the race detector can see.
+
+    The detector is notified *after* a successful acquire and *before* the
+    release, so its view of the held-lock set is consistent at every
+    guarded-access hook in between.
+    """
+
+    __slots__ = ("name", "_lock")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._lock = threading.RLock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            RACE.detector.on_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        RACE.detector.on_release(self)
+        self._lock.release()
+
+    def __enter__(self) -> "TrackedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"TrackedRLock({self.name!r})"
+
+
+def guarded_by(lock_attr: str):
+    """Class decorator: ``self.<lock_attr>`` guards the class's shared
+    mutable attributes.  Runtime effect is only a marker attribute; the
+    static lint enforces the declaration (``ALDSP-C401``/``C404``)."""
+
+    def mark(cls):
+        cls.__guarded_by__ = lock_attr
+        return cls
+
+    return mark
+
+
+@guarded_by("_lock")
+class SyncCounters:
+    """Mixin: a tracked lock plus one synchronized counter write path.
+
+    Subclasses (typically dataclasses) call :meth:`_init_lock` from
+    ``__init__``/``__post_init__``; every external counter update goes
+    through :meth:`bump`, which holds the lock across the read-modify-write
+    and reports each field to the race detector.  A misspelled field raises
+    ``AttributeError`` — silent new-counter creation would hide typos.
+    """
+
+    def _init_lock(self, name: str) -> None:
+        self._lock = TrackedRLock(name)
+
+    def bump(self, **deltas) -> None:
+        detector = RACE.detector
+        with self._lock:
+            for field, delta in deltas.items():
+                setattr(self, field, getattr(self, field) + delta)
+                detector.on_access(self, field, True)

@@ -42,7 +42,11 @@ class Severity(enum.IntEnum):
     @classmethod
     def from_code(cls, code: str) -> "Severity":
         """Severity encoded in a diagnostic code (``ALDSP-E101`` -> ERROR)."""
-        letter = code.split("-")[-1][:1]
+        tail = code.split("-")[-1]
+        letter = tail[:1]
+        if letter == "C":
+            # concurrency family: ERROR by default, per-code overrides
+            return C_CODE_SEVERITY.get(code, cls.ERROR)
         try:
             return {"E": cls.ERROR, "W": cls.WARNING, "I": cls.INFO}[letter]
         except KeyError:
@@ -84,6 +88,21 @@ CODE_REGISTRY: dict[str, str] = {
     "ALDSP-W307": "middleware join between regions of the same database",
     "ALDSP-I308": "source call has no timeout or fail-over configuration",
     "ALDSP-E309": "scatter group members are not data independent",
+    # -- concurrency lint (repro.analysis.static, ``repro lint --concurrency``) --
+    "ALDSP-C401": "shared mutable attribute written without holding its lock",
+    "ALDSP-C402": "guarded-by declaration names a lock the class does not define",
+    "ALDSP-C403": "engine class mutates shared state but defines no lock",
+    "ALDSP-C404": "mutation holds a different lock than the declared guard",
+    "ALDSP-C405": "guarded attribute read without the lock (strict mode)",
+    "ALDSP-C406": "concurrency finding suppressed by a race-ok justification",
+    "ALDSP-C407": "counter mutated directly instead of through bump()",
+}
+
+#: severity of the ALDSP-C4xx concurrency family (default ERROR)
+C_CODE_SEVERITY: dict[str, Severity] = {
+    "ALDSP-C403": Severity.WARNING,
+    "ALDSP-C405": Severity.WARNING,
+    "ALDSP-C406": Severity.INFO,
 }
 
 

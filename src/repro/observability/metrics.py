@@ -18,11 +18,21 @@ Two kinds of series co-exist:
 Series names are flattened Prometheus-style: ``name{label=value,...}``
 with labels sorted, and the whole snapshot is returned sorted by series
 name, so renderings and JSON exports are deterministic.
+
+Thread-safety (A-CONC): the registry and every instrument it creates
+share one lock — get-or-create and instrument updates arrive from
+request threads, pool threads and the tracer concurrently.  Snapshot
+copies the instrument/collector maps under the lock, then reads them
+*outside* it: a collector is arbitrary code (it may itself take stats
+locks), and calling it while holding the registry lock invites lock-order
+cycles.
 """
 
 from __future__ import annotations
 
 from typing import Callable
+
+from ..concurrency import RACE, TrackedRLock, guarded_by
 
 
 def series_name(name: str, labels: dict[str, str]) -> str:
@@ -32,81 +42,99 @@ def series_name(name: str, labels: dict[str, str]) -> str:
     return f"{name}{{{inner}}}"
 
 
+@guarded_by("_lock")
 class Counter:
     """A monotonically increasing count."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: TrackedRLock | None = None) -> None:
+        self._lock = lock if lock is not None else TrackedRLock("Counter")
         self.value = 0
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
+            RACE.detector.on_access(self, "value", True)
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def snapshot(self):
         return self.value
 
 
+@guarded_by("_lock")
 class Gauge:
     """A point-in-time value."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: TrackedRLock | None = None) -> None:
+        self._lock = lock if lock is not None else TrackedRLock("Gauge")
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+            RACE.detector.on_access(self, "value", True)
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
     def snapshot(self):
         return round(self.value, 3) if isinstance(self.value, float) else self.value
 
 
+@guarded_by("_lock")
 class Histogram:
     """Count/sum/min/max/avg over observed values (span durations)."""
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_lock")
 
-    def __init__(self) -> None:
+    def __init__(self, lock: TrackedRLock | None = None) -> None:
+        self._lock = lock if lock is not None else TrackedRLock("Histogram")
         self.count = 0
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            RACE.detector.on_access(self, "count", True)
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min = None
-        self.max = None
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
 
     def snapshot(self) -> dict:
-        return {
-            "count": self.count,
-            "sum": round(self.total, 3),
-            "min": round(self.min, 3) if self.min is not None else None,
-            "max": round(self.max, 3) if self.max is not None else None,
-            "avg": round(self.total / self.count, 3) if self.count else None,
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": round(self.total, 3),
+                "min": round(self.min, 3) if self.min is not None else None,
+                "max": round(self.max, 3) if self.max is not None else None,
+                "avg": round(self.total / self.count, 3) if self.count else None,
+            }
 
 
+@guarded_by("_lock")
 class MetricsRegistry:
     """Labeled counters/gauges/histograms plus snapshot-time collectors."""
 
     def __init__(self) -> None:
+        self._lock = TrackedRLock("MetricsRegistry")
         self._instruments: dict[str, object] = {}
         self._collectors: list[Callable[[], dict]] = []
 
@@ -114,11 +142,15 @@ class MetricsRegistry:
 
     def _instrument(self, factory, name: str, labels: dict[str, str]):
         key = series_name(name, labels)
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[key] = instrument
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                # instruments share the registry lock: one acquisition
+                # covers get-or-create and the first update
+                instrument = factory(self._lock)
+                self._instruments[key] = instrument
+                RACE.detector.on_access(self, "_instruments", True)
+            return instrument
 
     def counter(self, name: str, **labels) -> Counter:
         return self._instrument(Counter, name, labels)
@@ -134,21 +166,27 @@ class MetricsRegistry:
     def add_collector(self, collect: Callable[[], dict]) -> None:
         """Register a callback returning ``{series_name: value}`` read at
         snapshot time (the bridge from the legacy stats objects)."""
-        self._collectors.append(collect)
+        with self._lock:
+            self._collectors.append(collect)
 
     # -- the one read surface ------------------------------------------------
 
     def snapshot(self) -> dict:
         """Every series — instruments and collected — sorted by name."""
+        with self._lock:
+            instruments = dict(self._instruments)
+            collectors = list(self._collectors)
         merged: dict[str, object] = {}
-        for key, instrument in self._instruments.items():
+        for key, instrument in instruments.items():
             merged[key] = instrument.snapshot()
-        for collect in self._collectors:
+        for collect in collectors:
             merged.update(collect())
         return dict(sorted(merged.items()))
 
     def reset(self) -> None:
         """Zero the instruments (collector-backed series reset with their
         owning stats objects — ``Platform.reset_stats`` does both)."""
-        for instrument in self._instruments.values():
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
             instrument.reset()

@@ -63,7 +63,7 @@ def _fold(span: Span, enclosing: int | None, out: dict[int, OperatorActuals]) ->
         entry[1] += span.elapsed_ms
         acts.rows += span.attrs.get("rows", 0)
         if span.attrs.get("degraded"):
-            acts.degraded += 1
+            acts.degraded += 1  # race-ok: OperatorActuals is a snapshot-time local accumulator
         if span.attrs.get("hit") is True:
             acts.cache_hits += 1
         elif span.attrs.get("hit") is False:
@@ -76,9 +76,9 @@ def _fold(span: Span, enclosing: int | None, out: dict[int, OperatorActuals]) ->
     elif enclosing is not None:
         acts = out[enclosing]
         if span.kind == "source.roundtrip":
-            acts.roundtrips += 1
+            acts.roundtrips += 1  # race-ok: OperatorActuals is a snapshot-time local accumulator
         elif span.kind == "source.attempt" and span.attrs.get("attempt", 1) > 1:
-            acts.retries += 1
+            acts.retries += 1  # race-ok: OperatorActuals is a snapshot-time local accumulator
         elif span.kind == "breaker.rejected":
             acts.breaker_rejections += 1
     for child in span.children:

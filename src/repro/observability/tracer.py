@@ -40,6 +40,7 @@ import threading
 from typing import TYPE_CHECKING, Optional
 
 from ..clock import Clock
+from ..concurrency import TrackedRLock, guarded_by
 
 if TYPE_CHECKING:
     from .metrics import MetricsRegistry
@@ -175,6 +176,7 @@ class NoopTracer:
         return None
 
 
+@guarded_by("_lock")
 class QueryTracer:
     """Tracing enabled: records a span tree per query.
 
@@ -195,7 +197,7 @@ class QueryTracer:
         self.spans_allocated = 0
         self._next_id = 1
         self._cursors: dict[int, list[Span]] = {}
-        self._lock = threading.RLock()
+        self._lock = TrackedRLock("QueryTracer")
 
     # -- span lifecycle ------------------------------------------------------
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..clock import Clock, VirtualClock
+from ..concurrency import RACE, SyncCounters
 from ..errors import SQLError, SourceError
 from .table import Column, ForeignKey, Table
 
@@ -38,8 +39,12 @@ class LatencyModel:
 
 
 @dataclass
-class SourceStats:
-    """Counters a benchmark reads after a run."""
+class SourceStats(SyncCounters):
+    """Counters a benchmark reads after a run.
+
+    Updated concurrently by every request thread touching the source, so
+    all writes go through the synchronized :meth:`~SyncCounters.bump` /
+    :meth:`note_statement` paths (A-CONC)."""
 
     roundtrips: int = 0
     rows_shipped: int = 0
@@ -63,30 +68,41 @@ class SourceStats:
     #: failures absorbed as empty results in partial-results mode
     degraded: int = 0
 
+    def __post_init__(self) -> None:
+        self._init_lock("SourceStats")
+
+    def note_statement(self, statement: str) -> None:
+        """Record a shipped statement text (synchronized list append)."""
+        with self._lock:
+            self.statements.append(statement)
+            RACE.detector.on_access(self, "statements", True)
+
     def reset(self) -> None:
-        self.roundtrips = 0
-        self.rows_shipped = 0
-        self.statements.clear()
-        self.parses = 0
-        self.stmt_cache_hits = 0
-        self.stmt_cache_misses = 0
-        self.stmt_cache_evictions = 0
-        self.ppk_k_adjustments = 0
-        self.attempts = 0
-        self.retries = 0
-        self.failures = 0
-        self.breaker_trips = 0
-        self.degraded = 0
+        with self._lock:
+            self.roundtrips = 0
+            self.rows_shipped = 0
+            self.statements.clear()
+            self.parses = 0
+            self.stmt_cache_hits = 0
+            self.stmt_cache_misses = 0
+            self.stmt_cache_evictions = 0
+            self.ppk_k_adjustments = 0
+            self.attempts = 0
+            self.retries = 0
+            self.failures = 0
+            self.breaker_trips = 0
+            self.degraded = 0
 
     def resilience_snapshot(self) -> dict:
         """The R-RESIL counters as a dict (``Platform.source_health()``)."""
-        return {
-            "attempts": self.attempts,
-            "retries": self.retries,
-            "failures": self.failures,
-            "breaker_trips": self.breaker_trips,
-            "degraded": self.degraded,
-        }
+        with self._lock:
+            return {
+                "attempts": self.attempts,
+                "retries": self.retries,
+                "failures": self.failures,
+                "breaker_trips": self.breaker_trips,
+                "degraded": self.degraded,
+            }
 
 
 class Database:
@@ -171,9 +187,8 @@ class Database:
     # -- latency accounting ---------------------------------------------------
 
     def charge_roundtrip(self, rows_shipped: int, statement: str) -> None:
-        self.stats.roundtrips += 1
-        self.stats.rows_shipped += rows_shipped
-        self.stats.statements.append(statement)
+        self.stats.bump(roundtrips=1, rows_shipped=rows_shipped)
+        self.stats.note_statement(statement)
         self.clock.charge_ms(
             self.latency.roundtrip_ms + rows_shipped * self.latency.per_row_ms
         )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from ..concurrency import RACE, TrackedRLock, guarded_by
 from ..sql.ast_nodes import (
     Delete,
     FromItem,
@@ -63,8 +64,16 @@ class PreparedStatement:
         return f"PreparedStatement({kind}, {self.sql[:40]!r}...)"
 
 
+@guarded_by("_lock")
 class StatementCache:
-    """Per-database LRU of :class:`PreparedStatement`, keyed by SQL text."""
+    """Per-database LRU of :class:`PreparedStatement`, keyed by SQL text.
+
+    Thread-safety (A-CONC): ``_lock`` guards the LRU map and the toggle /
+    invalidation fields.  :meth:`_build` — the actual parse, which charges
+    simulated latency — runs *outside* the lock: two threads missing on the
+    same SQL may both parse (real drivers allow the same), but the first
+    insert wins and the map is never corrupted.
+    """
 
     def __init__(self, database: "Database",
                  capacity: int = DEFAULT_STATEMENT_CACHE_CAPACITY):
@@ -74,28 +83,42 @@ class StatementCache:
         #: cleared-by-DDL count (not a per-roundtrip counter, so it lives
         #: here rather than on SourceStats and survives ``reset_stats``)
         self.invalidations = 0
+        self._lock = TrackedRLock("StatementCache")
         self._entries: OrderedDict[str, PreparedStatement] = OrderedDict()
 
     def prepare(self, sql: str) -> PreparedStatement:
         stats = self.db.stats
         if not self.enabled:
             return self._build(sql)
-        entry = self._entries.get(sql)
+        with self._lock:
+            entry = self._entries.get(sql)
+            if entry is not None:
+                self._entries.move_to_end(sql)
+                RACE.detector.on_access(self, "_entries", True)
         if entry is not None:
-            self._entries.move_to_end(sql)
-            stats.stmt_cache_hits += 1
+            stats.bump(stmt_cache_hits=1)
             return entry
-        stats.stmt_cache_misses += 1
+        stats.bump(stmt_cache_misses=1)
         entry = self._build(sql)
-        self._entries[sql] = entry
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            stats.stmt_cache_evictions += 1
+        evicted = 0
+        with self._lock:
+            existing = self._entries.get(sql)
+            if existing is not None:
+                entry = existing  # a concurrent miss built it first
+                self._entries.move_to_end(sql)
+            else:
+                self._entries[sql] = entry
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    evicted += 1
+            RACE.detector.on_access(self, "_entries", True)
+        if evicted:
+            stats.bump(stmt_cache_evictions=evicted)
         return entry
 
     def _build(self, sql: str) -> PreparedStatement:
         stmt = parse_sql(sql)
-        self.db.stats.parses += 1
+        self.db.stats.bump(parses=1)
         if self.db.latency.parse_ms:
             self.db.clock.charge_ms(self.db.latency.parse_ms)
         tables = {
@@ -107,35 +130,43 @@ class StatementCache:
 
     def invalidate(self) -> None:
         """DDL happened: every cached resolution may be stale."""
-        if self._entries:
-            self.invalidations += 1
-        self._entries.clear()
+        with self._lock:
+            if self._entries:
+                self.invalidations += 1
+            self._entries.clear()
+            RACE.detector.on_access(self, "_entries", True)
 
     def clear(self) -> None:
         """Drop entries without recording an invalidation (admin toggle)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            RACE.detector.on_access(self, "_entries", True)
 
     # -- introspection --------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def cached_sql(self) -> list[str]:
         """Cached statement texts in LRU order (oldest first)."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def snapshot(self) -> dict:
         stats = self.db.stats
-        return {
-            "enabled": self.enabled,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": stats.stmt_cache_hits,
-            "misses": stats.stmt_cache_misses,
-            "evictions": stats.stmt_cache_evictions,
-            "invalidations": self.invalidations,
-            "parses": stats.parses,
-        }
+        with self._lock:
+            size = len(self._entries)
+            return {
+                "enabled": self.enabled,
+                "size": size,
+                "capacity": self.capacity,
+                "hits": stats.stmt_cache_hits,
+                "misses": stats.stmt_cache_misses,
+                "evictions": stats.stmt_cache_evictions,
+                "invalidations": self.invalidations,
+                "parses": stats.parses,
+            }
 
 
 def _referenced_tables(stmt) -> set[str]:

@@ -23,11 +23,11 @@ aborting (section 5.6's middleware-keeps-answering story).
 from __future__ import annotations
 
 import random
-import threading
 from dataclasses import dataclass
 from typing import Callable
 
 from ..clock import Clock, VirtualClock
+from ..concurrency import TrackedRLock, guarded_by
 from ..errors import CircuitOpenError, SourceError, SourceTimeoutError
 from ..observability.tracer import NoopTracer
 from .policy import CircuitBreaker, SourcePolicy
@@ -51,8 +51,12 @@ class DegradationRecord:
         }
 
 
+@guarded_by("_lock")
 class SourceGuard:
-    """Per-source runtime state: breaker, retry RNG, counters."""
+    """Per-source runtime state: breaker, retry RNG, counters.
+
+    Thread-safety (A-CONC): breaker decisions run under ``_lock``;
+    counter updates go through the stats object's synchronized ``bump``."""
 
     def __init__(self, name: str, policy: SourcePolicy, clock: Clock, stats,
                  tracer=None):
@@ -64,7 +68,7 @@ class SourceGuard:
         self.rng = random.Random(policy.retry.seed if policy.retry else 0)
         self.breaker = (CircuitBreaker(policy.breaker, clock)
                         if policy.breaker else None)
-        self._lock = threading.RLock()
+        self._lock = TrackedRLock("SourceGuard")
 
     def call(self, thunk: Callable[[], object]):
         retry = self.policy.retry
@@ -81,7 +85,7 @@ class SourceGuard:
                         raise
             attempts += 1
             if self.stats is not None:
-                self.stats.attempts += 1
+                self.stats.bump(attempts=1)
             try:
                 with self.tracer.start("source.attempt", self.name,
                                        attempt=attempts):
@@ -91,20 +95,20 @@ class SourceGuard:
             except SourceError as exc:
                 with self._lock:
                     if self.stats is not None:
-                        self.stats.failures += 1
+                        self.stats.bump(failures=1)
                     if self.breaker is not None:
                         was_open = self.breaker.state == "open"
                         self.breaker.record_failure()
                         if self.breaker.state == "open" and not was_open \
                                 and self.stats is not None:
-                            self.stats.breaker_trips += 1
+                            self.stats.bump(breaker_trips=1)
                 if attempts >= max_attempts:
                     # Annotate for DegradationRecord construction upstream.
                     exc.resilience_attempts = attempts
                     exc.resilience_elapsed_ms = self.clock.now_ms() - start
                     raise
                 if self.stats is not None:
-                    self.stats.retries += 1
+                    self.stats.bump(retries=1)
                 self.clock.charge_ms(retry.delay_ms(attempts, self.rng))
             else:
                 with self._lock:
@@ -155,8 +159,13 @@ class SourceGuard:
         return result
 
 
+@guarded_by("_lock")
 class ResilienceManager:
-    """Source policies, guards and degradation records for one server."""
+    """Source policies, guards and degradation records for one server.
+
+    Thread-safety (A-CONC): ``_lock`` guards the policy/guard/stats maps
+    and the degradation list; counters land on each source's synchronized
+    :class:`~repro.relational.database.SourceStats`."""
 
     #: policy key applying to every source without an explicit policy
     DEFAULT = "*"
@@ -167,7 +176,7 @@ class ResilienceManager:
         self._policies: dict[str, SourcePolicy] = {}
         self._guards: dict[str, SourceGuard] = {}
         self._stats: dict[str, object] = {}
-        self._lock = threading.RLock()
+        self._lock = TrackedRLock("ResilienceManager")
         #: records absorbed during the current query (partial-results mode)
         self.degradations: list[DegradationRecord] = []
         #: query tracer, propagated to every guard (DynamicContext.set_tracer)
@@ -193,7 +202,8 @@ class ResilienceManager:
 
     def register_stats(self, name: str, stats) -> None:
         """Bind the SourceStats object resilience counters land on."""
-        self._stats[name] = stats
+        with self._lock:
+            self._stats[name] = stats
 
     # -- invocation path -----------------------------------------------------
 
@@ -205,7 +215,7 @@ class ResilienceManager:
         if guard is None:
             bound = stats if stats is not None else self._stats.get(name)
             if bound is not None:
-                bound.attempts += 1
+                bound.bump(attempts=1)
             return thunk()
         return guard.call(thunk)
 
@@ -227,7 +237,8 @@ class ResilienceManager:
     # -- graceful degradation ------------------------------------------------
 
     def begin_query(self) -> None:
-        self.degradations = []
+        with self._lock:
+            self.degradations = []
 
     def absorb(self, source: str, exc: SourceError) -> bool:
         """In partial-results mode, record the failure and report True (the
@@ -243,8 +254,8 @@ class ResilienceManager:
         with self._lock:
             self.degradations.append(record)
             stats = self._stats.get(source)
-            if stats is not None:
-                stats.degraded += 1
+        if stats is not None:
+            stats.bump(degraded=1)
         return True
 
     # -- observability -------------------------------------------------------
@@ -272,4 +283,5 @@ class ResilienceManager:
 
     def reset_stats(self) -> None:
         """Clear degradation records (breaker state is live and survives)."""
-        self.degradations = []
+        with self._lock:
+            self.degradations = []

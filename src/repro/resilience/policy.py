@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..clock import Clock
+from ..concurrency import TrackedRLock, guarded_by
 from ..errors import CircuitOpenError
 
 
@@ -80,6 +81,7 @@ class SourcePolicy:
         }
 
 
+@guarded_by("_lock")
 class CircuitBreaker:
     """Closed -> open -> half-open state machine for one source.
 
@@ -87,41 +89,49 @@ class CircuitBreaker:
     raises :class:`CircuitOpenError` at zero simulated cost, which is the
     fast-fail economics the R-RESIL benchmark measures.  Transitions are
     recorded (time, from, to) for tests and ``source_health()``.
+
+    Thread-safety (A-CONC): the state machine has its own lock — callers
+    (``SourceGuard``) already serialize decisions, but the breaker must
+    stay consistent even when probed directly (``breaker_state()``).
     """
 
     def __init__(self, config: CircuitBreakerConfig, clock: Clock):
         self.config = config
         self.clock = clock
+        self._lock = TrackedRLock("CircuitBreaker")
         self.state = "closed"
         self.consecutive_failures = 0
         self.opened_at_ms: float | None = None
         self.transitions: list[tuple[float, str, str]] = []
 
-    def _move(self, to: str) -> None:
+    def _move(self, to: str) -> None:  # caller-holds: _lock
         self.transitions.append((self.clock.now_ms(), self.state, to))
         self.state = to
         if to == "open":
             self.opened_at_ms = self.clock.now_ms()
 
     def before_call(self, source: str) -> None:
-        if self.state == "open":
-            assert self.opened_at_ms is not None
-            if self.clock.now_ms() - self.opened_at_ms >= self.config.cooldown_ms:
-                self._move("half-open")  # cooled down: admit one probe
-            else:
-                raise CircuitOpenError(
-                    f"circuit breaker for source {source} is open"
-                )
+        with self._lock:
+            if self.state == "open":
+                assert self.opened_at_ms is not None
+                if self.clock.now_ms() - self.opened_at_ms >= self.config.cooldown_ms:
+                    self._move("half-open")  # cooled down: admit one probe
+                else:
+                    raise CircuitOpenError(
+                        f"circuit breaker for source {source} is open"
+                    )
 
     def record_success(self) -> None:
-        self.consecutive_failures = 0
-        if self.state == "half-open":
-            self._move("closed")
+        with self._lock:
+            self.consecutive_failures = 0
+            if self.state == "half-open":
+                self._move("closed")
 
     def record_failure(self) -> None:
-        self.consecutive_failures += 1
-        if self.state == "half-open":
-            self._move("open")  # probe failed: back to shedding
-        elif (self.state == "closed"
-              and self.consecutive_failures >= self.config.failure_threshold):
-            self._move("open")
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == "half-open":
+                self._move("open")  # probe failed: back to shedding
+            elif (self.state == "closed"
+                  and self.consecutive_failures >= self.config.failure_threshold):
+                self._move("open")

@@ -12,24 +12,51 @@ Two execution modes:
   accounting, and the join advances the clock by the *maximum* branch
   charge, which is the defining property of overlap.  Deterministic, so
   benchmarks are stable.
+
+Thread-ownership contract (A-CONC)
+----------------------------------
+Branch thunks run on pool threads.  A pool thread may *use* shared engine
+services that are themselves synchronized (charge roundtrips, record cost
+observations, hit the caches) but must **not** mutate context-level
+topology — attaching databases, swapping tracers, invalidating plan caches.
+Those operations belong to the thread that owns the ``DynamicContext``;
+they iterate structures a branch may be reading.  The contract is
+enforceable: code inside a branch can test :meth:`AsyncExecutor.in_branch`
+and context-mutating entry points call :meth:`AsyncExecutor.assert_owner`,
+which raises ``RuntimeError`` from a branch.  Updates a branch *does* need
+to make (cost observations, stats counters) are merged through the
+synchronized ``bump()`` / ``record()`` paths instead.
 """
 
 from __future__ import annotations
 
+import contextvars
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Callable, TypeVar
 
 from ..clock import Clock, VirtualClock
+from ..concurrency import TrackedRLock, guarded_by
 from ..observability.tracer import NoopTracer
 
 T = TypeVar("T")
 
+#: thread-local marker: depth of async-branch nesting on this thread
+_BRANCH = threading.local()
 
+
+@guarded_by("_lock")
 class AsyncExecutor:
+    """Thread-safety (A-CONC): ``_lock`` guards the counters, the pool
+    reference and the worker-count bound.  Pool shutdown happens *outside*
+    the lock — a worker draining its queue may re-enter the executor, and
+    joining it while holding ``_lock`` would deadlock."""
+
     def __init__(self, clock: Clock, max_workers: int = 8):
         self.clock = clock
         self.max_workers = max_workers
+        self._lock = TrackedRLock("AsyncExecutor")
         self._pool: ThreadPoolExecutor | None = None
         #: how many parallel groups were executed (bench observability)
         self.groups_run = 0
@@ -37,17 +64,40 @@ class AsyncExecutor:
         #: query tracer (DynamicContext.set_tracer installs the real one)
         self.tracer = NoopTracer()
 
+    # -- thread-ownership contract -------------------------------------------
+
+    @staticmethod
+    def in_branch() -> bool:
+        """True when the calling thread is executing an async branch."""
+        return getattr(_BRANCH, "depth", 0) > 0
+
+    @staticmethod
+    def assert_owner(what: str) -> None:
+        """Guard for context-topology mutations: raises from a branch."""
+        if AsyncExecutor.in_branch():
+            raise RuntimeError(
+                f"{what} must not be called from an async branch thread; "
+                f"context-level topology belongs to the owning thread "
+                f"(see AsyncExecutor thread-ownership contract)"
+            )
+
+    def reset_counters(self) -> None:
+        with self._lock:
+            self.groups_run = 0
+            self.branches_run = 0
+
     def set_max_workers(self, max_workers: int) -> None:
         """Re-size the worker pool.  The existing pool (if any) is joined
         and discarded so the next parallel group runs at the new width."""
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
-        if max_workers == self.max_workers:
-            return
-        self.max_workers = max_workers
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._lock:
+            if max_workers == self.max_workers:
+                return
+            self.max_workers = max_workers
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def run_parallel(self, thunks: list[Callable[[], T]]) -> list[T]:
         """Evaluate the thunks 'concurrently' and return results in order.
@@ -63,11 +113,12 @@ class AsyncExecutor:
         """
         if not thunks:
             return []
-        self.groups_run += 1
-        self.branches_run += len(thunks)
+        with self._lock:
+            self.groups_run += 1
+            self.branches_run += len(thunks)
         if len(thunks) == 1:
             with self.tracer.start("async.branch", "branch-0"):
-                return [thunks[0]()]
+                return [self._in_branch(thunks[0])]
         group = self.tracer.start("async.group", branches=len(thunks))
         try:
             wrapped = [self._traced(thunk, i, group)
@@ -80,12 +131,21 @@ class AsyncExecutor:
             # so the group's elapsed time is the overlapped total.
             group.end()
 
+    @staticmethod
+    def _in_branch(thunk: Callable[[], T]) -> T:
+        """Run a thunk with the branch marker set on the current thread."""
+        _BRANCH.depth = getattr(_BRANCH, "depth", 0) + 1
+        try:
+            return thunk()
+        finally:
+            _BRANCH.depth -= 1
+
     def _traced(self, thunk: Callable[[], T], index: int, group) -> Callable[[], T]:
         tracer = self.tracer
 
         def run() -> T:
             with tracer.start("async.branch", f"branch-{index}", parent=group):
-                return thunk()
+                return AsyncExecutor._in_branch(thunk)
 
         return run
 
@@ -109,10 +169,19 @@ class AsyncExecutor:
                 raise error
         return results  # type: ignore[return-value]
 
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            return self._pool
+
     def _run_threads(self, thunks: list[Callable[[], T]]) -> list[T]:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
-        futures = [self._pool.submit(thunk) for thunk in thunks]
+        pool = self._ensure_pool()
+        # Each branch runs inside a copy of the submitting thread's
+        # contextvars context, so per-execution state (the context's
+        # external-variable bindings) is visible on the pool thread.
+        futures = [pool.submit(contextvars.copy_context().run, thunk)
+                   for thunk in thunks]
         # Same contract as _run_virtual: every branch runs to completion
         # before the first exception (in branch order) propagates, so a
         # failing branch cannot leave siblings half-accounted.
@@ -149,9 +218,8 @@ class AsyncExecutor:
             return result, elapsed, failed
         start = self.clock.now_ms()
         if limit_ms is not None:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
-            future = self._pool.submit(thunk)
+            pool = self._ensure_pool()
+            future = pool.submit(contextvars.copy_context().run, thunk)
             try:
                 result = future.result(timeout=limit_ms / 1000.0)
                 failed = False
@@ -173,6 +241,7 @@ class AsyncExecutor:
     def shutdown(self, wait: bool = True) -> None:
         """Stop the worker pool.  Waits for workers by default — a
         fire-and-forget shutdown leaks threads across Platform resets."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=wait)
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)

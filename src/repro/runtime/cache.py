@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..clock import Clock, VirtualClock
+from ..concurrency import RACE, SyncCounters, TrackedRLock, guarded_by
 from ..relational.database import Database
 from ..xml.items import AtomicValue, Item
 from ..xml.serialize import serialize
@@ -28,24 +29,34 @@ DEFAULT_FUNCTION_CACHE_CAPACITY = 512
 
 
 @dataclass
-class CacheStats:
+class CacheStats(SyncCounters):
     hits: int = 0
     misses: int = 0
     expirations: int = 0
     #: entries dropped by the LRU bound (never by TTL — those are expirations)
     evictions: int = 0
 
+    def __post_init__(self) -> None:
+        self._init_lock("CacheStats")
+
     def reset(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.expirations = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.expirations = 0
+            self.evictions = 0
 
 
+@guarded_by("_lock")
 class FunctionCache:
     """TTL cache over (function name, argument values), bounded by a
     least-recently-used entry limit (the production cache was backed by a
-    database; the in-memory map must not grow without limit)."""
+    database; the in-memory map must not grow without limit).
+
+    Thread-safety (A-CONC): ``_lock`` guards the entry map, the TTL map and
+    the capacity bound.  Backing-store roundtrips run *outside* the lock —
+    a cache probe against the persistence database must not serialize every
+    other thread's in-memory hits behind simulated I/O."""
 
     def __init__(self, clock: Clock | None = None, backing: Database | None = None,
                  max_entries: int = DEFAULT_FUNCTION_CACHE_CAPACITY):
@@ -53,6 +64,7 @@ class FunctionCache:
             raise ValueError("max_entries must be >= 1")
         self.clock = clock or VirtualClock()
         self.max_entries = max_entries
+        self._lock = TrackedRLock("FunctionCache")
         self._ttl_ms: dict[str, float] = {}
         self._entries: OrderedDict[tuple[str, str], tuple[list[Item], float]] = OrderedDict()
         self.stats = CacheStats()
@@ -69,13 +81,17 @@ class FunctionCache:
 
     def enable(self, function_name: str, ttl_ms: float) -> None:
         """Administratively enable caching for a function with a TTL."""
-        self._ttl_ms[function_name] = ttl_ms
+        with self._lock:
+            self._ttl_ms[function_name] = ttl_ms
 
     def disable(self, function_name: str) -> None:
-        self._ttl_ms.pop(function_name, None)
-        stale = [key for key in self._entries if key[0] == function_name]
-        for key in stale:
-            del self._entries[key]
+        with self._lock:
+            self._ttl_ms.pop(function_name, None)
+            stale = [key for key in self._entries if key[0] == function_name]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                RACE.detector.on_access(self, "_entries", True)
 
     def is_enabled(self, function_name: str) -> bool:
         return function_name in self._ttl_ms
@@ -84,14 +100,18 @@ class FunctionCache:
         """Re-bound the in-memory map, evicting LRU entries if it shrank."""
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
-        self.max_entries = max_entries
-        self._evict_over_capacity()
+        with self._lock:
+            self.max_entries = max_entries
+            self._evict_over_capacity()
 
     def snapshot(self) -> dict:
         """Size, capacity and counters in one dict (``Platform.function_cache_stats``)."""
+        with self._lock:
+            size = len(self._entries)
+            capacity = self.max_entries
         return {
-            "size": len(self._entries),
-            "capacity": self.max_entries,
+            "size": size,
+            "capacity": capacity,
             "hits": self.stats.hits,
             "misses": self.stats.misses,
             "expirations": self.stats.expirations,
@@ -108,21 +128,25 @@ class FunctionCache:
         return json.dumps(parts)
 
     def get(self, function_name: str, arg_key: str) -> list[Item] | None:
-        entry = self._entries.get((function_name, arg_key))
-        if entry is not None:
-            self._entries.move_to_end((function_name, arg_key))
+        key = (function_name, arg_key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                RACE.detector.on_access(self, "_entries", True)
         if entry is None and self._backing is not None:
             entry = self._backing_get(function_name, arg_key)
         if entry is None:
-            self.stats.misses += 1
+            self.stats.bump(misses=1)
             return None
         value, expiry = entry
         if self.clock.now_ms() >= expiry:
-            self.stats.expirations += 1
-            self.stats.misses += 1
-            self._entries.pop((function_name, arg_key), None)
+            self.stats.bump(expirations=1, misses=1)
+            with self._lock:
+                self._entries.pop(key, None)
+                RACE.detector.on_access(self, "_entries", True)
             return None
-        self.stats.hits += 1
+        self.stats.bump(hits=1)
         return list(value)
 
     def put(self, function_name: str, arg_key: str, value: list[Item]) -> None:
@@ -130,19 +154,28 @@ class FunctionCache:
         if ttl is None:
             return
         expiry = self.clock.now_ms() + ttl
-        self._entries[(function_name, arg_key)] = (list(value), expiry)
-        self._entries.move_to_end((function_name, arg_key))
-        self._evict_over_capacity()
+        stored = list(value)
+        with self._lock:
+            self._entries[(function_name, arg_key)] = (stored, expiry)
+            self._entries.move_to_end((function_name, arg_key))
+            RACE.detector.on_access(self, "_entries", True)
+            self._evict_over_capacity()
         if self._backing is not None:
             self._backing_put(function_name, arg_key, value, expiry)
 
-    def _evict_over_capacity(self) -> None:
+    def _evict_over_capacity(self) -> None:  # caller-holds: _lock
+        evicted = 0
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            evicted += 1
+        if evicted:
+            RACE.detector.on_access(self, "_entries", True)
+            self.stats.bump(evictions=evicted)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+            RACE.detector.on_access(self, "_entries", True)
 
     # -- optional relational backing (the paper's persistence strategy) -------------
 

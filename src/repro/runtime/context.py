@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import contextvars
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..clock import Clock, VirtualClock
+from ..concurrency import SyncCounters
 from ..errors import SourceError
 from ..observability import MetricsRegistry, NoopTracer
 from ..relational.connection import Connection
@@ -22,9 +24,12 @@ if TYPE_CHECKING:
 
 
 @dataclass
-class RuntimeStats:
+class RuntimeStats(SyncCounters):
     """Middleware-side counters (source-side counters live on each
-    database's :class:`~repro.relational.database.SourceStats`)."""
+    database's :class:`~repro.relational.database.SourceStats`).
+
+    Shared by every request thread on the context, so all updates go
+    through the synchronized :meth:`~SyncCounters.bump` path (A-CONC)."""
 
     pushed_queries: int = 0
     ppk_blocks: int = 0
@@ -34,14 +39,18 @@ class RuntimeStats:
     service_calls: int = 0
     tuples_flowed: int = 0
 
+    def __post_init__(self) -> None:
+        self._init_lock("RuntimeStats")
+
     def reset(self) -> None:
-        self.pushed_queries = 0
-        self.ppk_blocks = 0
-        self.ppk_tuples = 0
-        self.middleware_join_probes = 0
-        self.index_joins_built = 0
-        self.service_calls = 0
-        self.tuples_flowed = 0
+        with self._lock:
+            self.pushed_queries = 0
+            self.ppk_blocks = 0
+            self.ppk_tuples = 0
+            self.middleware_join_probes = 0
+            self.index_joins_built = 0
+            self.service_calls = 0
+            self.tuples_flowed = 0
 
 
 @dataclass
@@ -111,8 +120,13 @@ class DynamicContext:
         #: observed per-source cost samples (section 9's future-work
         #: optimizer — populated by the connections' instrumentation hook)
         self.observed = ObservedCostModel()
-        #: bound external variables for the current execution
-        self.external_variables: dict[str, list] = {}
+        #: bound external variables for the current execution — stored in a
+        #: ContextVar so concurrent request threads each see their own
+        #: bindings (A-CONC); the async executor copies the caller's
+        #: context into pool threads, so branches inherit the bindings
+        self._externals: contextvars.ContextVar = contextvars.ContextVar(
+            "repro.external_variables", default=None
+        )
         #: per-source retry/breaker/timeout policies + partial-results mode
         self.resilience = ResilienceManager(self.clock)
         #: functions for which caching is administratively enabled
@@ -126,9 +140,30 @@ class DynamicContext:
         self.async_exec.tracer = self.tracer
         self.resilience.tracer = self.tracer
 
+    # -- per-execution bindings -----------------------------------------------
+
+    @property
+    def external_variables(self) -> dict[str, list]:
+        """External-variable bindings for the *calling thread's* execution.
+
+        Each request thread (strictly: each ``contextvars`` context) sees
+        only the bindings it set — concurrent queries on one shared context
+        cannot clobber each other's parameters.  Async branch threads
+        inherit the submitting thread's bindings because
+        :class:`AsyncExecutor` runs every pool thunk inside a copy of the
+        caller's context.
+        """
+        value = self._externals.get()
+        return value if value is not None else {}
+
+    @external_variables.setter
+    def external_variables(self, value: dict[str, list]) -> None:
+        self._externals.set(dict(value))
+
     # -- databases ----------------------------------------------------------------
 
     def attach_database(self, database: Database) -> None:
+        AsyncExecutor.assert_owner("DynamicContext.attach_database")
         database.clock = self.clock
         database.statements.enabled = self.statement_cache_enabled
         self.databases[database.name] = database
@@ -143,6 +178,7 @@ class DynamicContext:
         """Install a tracer on every instrumentation point in one step —
         the async executor, the resilience guards and each connection hold
         their own reference (no thread-local ambient state)."""
+        AsyncExecutor.assert_owner("DynamicContext.set_tracer")
         self.tracer = tracer
         self.async_exec.tracer = tracer
         self.resilience.tracer = tracer

@@ -548,7 +548,7 @@ class Evaluator:
             if hit is not None:
                 return hit
         assert definition.invoke is not None
-        self.ctx.stats.service_calls += 1
+        self.ctx.stats.bump(service_calls=1)
         resilience = self.ctx.resilience
         adaptor = definition.adaptor
         source = adaptor.name if adaptor is not None else node.name
@@ -598,7 +598,7 @@ class Evaluator:
             else:
                 tuples = self._scatter_tuples(group, tuples)
         for tuple_env in tuples:
-            self.ctx.stats.tuples_flowed += 1
+            self.ctx.stats.bump(tuples_flowed=1)
             yield from self.iter_eval(node.return_expr, tuple_env)
 
     def _scatter_tuples(self, clauses: list[ast.LetClause],
@@ -644,7 +644,7 @@ class Evaluator:
         for env in tuples:
             if index is None:
                 index = {}
-                self.ctx.stats.index_joins_built += 1
+                self.ctx.stats.bump(index_joins_built=1)
                 with self.ctx.tracer.start(
                         "index-join.build", clause.var,
                         op=getattr(clause, "op_id", None)) as span:
@@ -654,7 +654,7 @@ class Evaluator:
                             continue  # empty/multi keys never equi-join
                         index.setdefault(key_atoms[0].value, []).append(item)
                     span.set(index_size=sum(len(v) for v in index.values()))
-            self.ctx.stats.middleware_join_probes += 1
+            self.ctx.stats.bump(middleware_join_probes=1)
             probe_atoms = atomize(self.eval(clause.outer_key, env))
             if len(probe_atoms) != 1:
                 continue
@@ -771,7 +771,7 @@ class Evaluator:
                         continue  # degraded: this outer tuple joins to nothing
                     raise
                 span.set(rows=len(rows))
-            self.ctx.stats.pushed_queries += 1
+            self.ctx.stats.bump(pushed_queries=1)
             for row in rows:
                 extended = dict(env)
                 for var, template in clause.var_templates:

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..concurrency import RACE, TrackedRLock, guarded_by
+
 
 @dataclass
 class Observation:
@@ -39,27 +41,39 @@ class CostEstimate:
         return blocks * self.roundtrip_ms + n_tuples * self.per_row_ms
 
 
+@guarded_by("_lock")
 class ObservedCostModel:
-    """Per-source observations and fits."""
+    """Per-source observations and fits.
+
+    Thread-safety (A-CONC): :meth:`record` is called from async-executor
+    pool threads (the connection observer fires inside parallel branches),
+    while :meth:`estimate` runs on request threads — both the sample map
+    and the per-source lists are guarded by ``_lock``."""
 
     def __init__(self, max_samples: int = 256):
         self.max_samples = max_samples
+        self._lock = TrackedRLock("ObservedCostModel")
         self._samples: dict[str, list[Observation]] = {}
 
     # -- instrumentation -----------------------------------------------------
 
     def record(self, source: str, rows: int, elapsed_ms: float) -> None:
-        samples = self._samples.setdefault(source, [])
-        samples.append(Observation(rows, elapsed_ms))
-        if len(samples) > self.max_samples:
-            del samples[: len(samples) - self.max_samples]
+        with self._lock:
+            samples = self._samples.setdefault(source, [])
+            samples.append(Observation(rows, elapsed_ms))
+            if len(samples) > self.max_samples:
+                del samples[: len(samples) - self.max_samples]
+            RACE.detector.on_access(self, "_samples", True)
 
     def sources(self) -> list[str]:
-        return sorted(self._samples)
+        with self._lock:
+            return sorted(self._samples)
 
     def clear(self) -> None:
         """Drop all observations (e.g. after a latency-regime change)."""
-        self._samples.clear()
+        with self._lock:
+            self._samples.clear()
+            RACE.detector.on_access(self, "_samples", True)
 
     # -- fitting ---------------------------------------------------------------
 
@@ -70,7 +84,8 @@ class ObservedCostModel:
         row counts the whole cost is attributed to the roundtrip (the
         conservative reading).
         """
-        samples = self._samples.get(source)
+        with self._lock:
+            samples = list(self._samples.get(source) or ())
         if not samples:
             return None
         n = len(samples)

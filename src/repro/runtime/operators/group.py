@@ -16,22 +16,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, TypeVar
 
+from ...concurrency import SyncCounters
+
 T = TypeVar("T")
 Key = tuple
 
 
 @dataclass
-class GroupStats:
+class GroupStats(SyncCounters):
     peak_resident: int = 0
     groups_emitted: int = 0
 
+    def __post_init__(self) -> None:
+        self._init_lock("GroupStats")
+
     def observe(self, resident: int) -> None:
-        if resident > self.peak_resident:
-            self.peak_resident = resident
+        with self._lock:
+            if resident > self.peak_resident:
+                self.peak_resident = resident
 
     def reset(self) -> None:
-        self.peak_resident = 0
-        self.groups_emitted = 0
+        with self._lock:
+            self.peak_resident = 0
+            self.groups_emitted = 0
 
 
 def clustered_groups(
@@ -48,7 +55,7 @@ def clustered_groups(
         key = key_of(item)
         if started and key != current_key:
             if stats is not None:
-                stats.groups_emitted += 1
+                stats.bump(groups_emitted=1)
             yield current_key, current  # type: ignore[misc]
             current = []
         current_key = key
@@ -58,7 +65,7 @@ def clustered_groups(
             stats.observe(len(current))
     if started:
         if stats is not None:
-            stats.groups_emitted += 1
+            stats.bump(groups_emitted=1)
         yield current_key, current  # type: ignore[misc]
 
 

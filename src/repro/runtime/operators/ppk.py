@@ -128,7 +128,7 @@ def _block_sizer(clause: PPkLetClause, ctx):
         if state["last"] is not None and chosen != state["last"]:
             database = ctx.databases.get(pushed.database)
             if database is not None:
-                database.stats.ppk_k_adjustments += 1
+                database.stats.bump(ppk_k_adjustments=1)
         state["last"] = chosen
         ctx.metrics.histogram("ppk.chosen_k", source=pushed.database).observe(chosen)
         return chosen
@@ -187,8 +187,7 @@ def _fetch_block(clause: PPkLetClause, block: list[dict], capacity: int,
     correlation = pushed.correlation
     assert correlation is not None
     ctx = evaluator.ctx
-    ctx.stats.ppk_blocks += 1
-    ctx.stats.ppk_tuples += len(block)
+    ctx.stats.bump(ppk_blocks=1, ppk_tuples=len(block))
 
     with ctx.tracer.start("ppk.fetch", pushed.database,
                           op=getattr(clause, "op_id", None),
@@ -219,7 +218,7 @@ def _fetch_block(clause: PPkLetClause, block: list[dict], capacity: int,
                     span.set(degraded=True)
                     return keys, rows_by_key
                 raise
-            ctx.stats.pushed_queries += 1
+            ctx.stats.bump(pushed_queries=1)
             span.set(rows=len(rows))
             # Hash join: partition the fetched rows by the correlation column.
             for row in rows:

@@ -42,7 +42,7 @@ def execute_pushed(pushed: PushedSQL, env: dict, evaluator: "Evaluator") -> Iter
                 return  # degraded: the region contributes no items
             raise
         span.set(rows=len(rows))
-    ctx.stats.pushed_queries += 1
+    ctx.stats.bump(pushed_queries=1)
     yield from rebuild(pushed, rows, evaluator)
 
 

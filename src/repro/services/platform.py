@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, Iterator
 
 from ..clock import Clock, VirtualClock
 from ..compiler.inverse import InverseRegistry
+from ..concurrency import NOOP_DETECTOR, RACE, set_race_detector
 from ..compiler.pipeline import CompiledPlan, Compiler, CompilerOptions, PlanCache
 from ..compiler.views import ViewPlanCache
 from ..errors import StaticError, UpdateError
@@ -31,6 +32,7 @@ from ..resilience import (
     RetryPolicy,
     SourcePolicy,
 )
+from ..runtime.asyncexec import AsyncExecutor
 from ..runtime.cache import FunctionCache
 from ..runtime.context import DynamicContext
 from ..runtime.evaluate import Evaluator
@@ -410,6 +412,47 @@ class Platform:
         plan-cache, resilience, trace histograms — sorted by name."""
         return self.ctx.metrics.snapshot()
 
+    # -- concurrency analysis (A-CONC) ------------------------------------------
+
+    def set_race_detector(self, enabled: bool = True,
+                          capture_stacks: bool = True):
+        """Toggle the runtime lockset race detector (opt-in debug mode).
+
+        On: installs an eraser-style
+        :class:`~repro.analysis.lockset.LocksetDetector` that tracks the
+        locks held at every guarded access; a shared field whose candidate
+        lockset goes empty across threads is reported as a race with both
+        stack traces (:meth:`race_report`).  Off (the default): the
+        :data:`~repro.concurrency.NOOP_DETECTOR` — every instrumentation
+        point is an unconditional counter bump, allocating nothing (the
+        tracer's Noop contract, O-OBS).
+
+        The detector slot is **process-wide** (lock instrumentation has no
+        per-platform scope, mirroring how eraser-style tools instrument a
+        whole process); tests enabling it should restore the previous
+        detector in a ``finally``.  Returns the installed detector.
+        """
+        if enabled:
+            from ..analysis.lockset import LocksetDetector
+
+            detector = LocksetDetector(capture_stacks=capture_stacks)
+        else:
+            detector = NOOP_DETECTOR
+        set_race_detector(detector)
+        return detector
+
+    @property
+    def race_detector(self):
+        """The active race detector (a no-op unless enabled)."""
+        return RACE.detector
+
+    def race_report(self) -> str:
+        """Human-readable report of every detected race (both stacks)."""
+        detector = RACE.detector
+        if hasattr(detector, "report_text"):
+            return detector.report_text()
+        return "race detector is not enabled"
+
     def _collect_metrics(self) -> dict:
         """Snapshot-time bridge from the legacy stats objects to the
         unified metrics plane (nothing is double-counted: these series
@@ -433,6 +476,11 @@ class Platform:
         series["async.groups_run"] = self.ctx.async_exec.groups_run
         series["async.branches_run"] = self.ctx.async_exec.branches_run
         series["resilience.degradations"] = len(self.ctx.resilience.degradations)
+        detector = RACE.detector
+        series["concurrency.races"] = len(detector.races)
+        series["concurrency.guarded_accesses"] = detector.guarded_accesses
+        series["concurrency.lock_acquisitions"] = detector.lock_acquisitions
+        series["concurrency.detector_enabled"] = 1 if detector.enabled else 0
         source_fields = ("roundtrips", "rows_shipped", "parses",
                          "stmt_cache_hits", "stmt_cache_misses",
                          "stmt_cache_evictions", "ppk_k_adjustments",
@@ -468,10 +516,8 @@ class Platform:
             if definition.adaptor is not None:
                 definition.adaptor.stats.reset()
         self.ctx.resilience.reset_stats()
-        self.ctx.async_exec.groups_run = 0
-        self.ctx.async_exec.branches_run = 0
-        self.plan_cache.hits = 0
-        self.plan_cache.misses = 0
+        self.ctx.async_exec.reset_counters()
+        self.plan_cache.reset_counters()
         self.ctx.metrics.reset()
 
     def close(self) -> None:
@@ -486,6 +532,7 @@ class Platform:
         self.close()
 
     def _invalidate_plans(self) -> None:
+        AsyncExecutor.assert_owner("Platform._invalidate_plans")
         self.plan_cache.clear()
         self.view_cache.clear()
         self._lineage_cache.clear()

@@ -1,0 +1,236 @@
+"""Lockset race detector (A-CONC): eraser-style detection, deterministic
+reports under seeded interleaving, and the zero-overhead Noop contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import VTID_BASE, LocksetDetector, SeededInterleaver
+from repro.concurrency import (
+    NOOP_DETECTOR,
+    RACE,
+    NoopRaceDetector,
+    TrackedRLock,
+    race_detector,
+    set_race_detector,
+)
+
+
+@pytest.fixture
+def detector():
+    """A LocksetDetector installed process-wide, restored afterwards."""
+    installed = LocksetDetector()
+    previous = set_race_detector(installed)
+    try:
+        yield installed
+    finally:
+        set_race_detector(previous)
+
+
+class RacyBox:
+    """Toy shared object: ``unguarded`` has no lock, ``guarded`` does."""
+
+    def __init__(self):
+        self._lock = TrackedRLock("RacyBox")
+        self.unguarded = 0
+        self.guarded = 0
+
+    def bump_unguarded(self):
+        self.unguarded += 1
+        RACE.detector.on_access(self, "unguarded", True)
+
+    def bump_guarded(self):
+        with self._lock:
+            self.guarded += 1
+            RACE.detector.on_access(self, "guarded", True)
+
+    def read_unguarded(self):
+        RACE.detector.on_access(self, "unguarded", False)
+        return self.unguarded
+
+
+def _hammer(box: RacyBox, method: str, steps: int = 4, threads: int = 2,
+            seed: int = 7) -> list[int]:
+    programs = [[getattr(box, method)] * steps for _ in range(threads)]
+    return SeededInterleaver(seed).run(programs)
+
+
+class TestRaceDetection:
+    def test_unguarded_write_reported(self, detector):
+        box = RacyBox()
+        _hammer(box, "bump_unguarded")
+        assert len(detector.races) == 1
+        race = detector.races[0]
+        assert race.owner == "RacyBox"
+        assert race.fieldname == "unguarded"
+        assert {race.first.tid, race.second.tid} == {VTID_BASE, VTID_BASE + 1}
+
+    def test_report_carries_both_stacks(self, detector):
+        box = RacyBox()
+        _hammer(box, "bump_unguarded")
+        report = detector.report_text()
+        assert "RACE on RacyBox.unguarded" in report
+        assert report.count("bump_unguarded") >= 2  # one stack per side
+        assert f"thread {VTID_BASE}" in report
+        assert f"thread {VTID_BASE + 1}" in report
+
+    def test_report_is_deterministic_for_a_seed(self):
+        texts = []
+        for _ in range(2):
+            installed = LocksetDetector()
+            previous = set_race_detector(installed)
+            try:
+                _hammer(RacyBox(), "bump_unguarded", seed=42)
+            finally:
+                set_race_detector(previous)
+            texts.append(installed.report_text())
+        assert texts[0] == texts[1]
+        assert "RACE on" in texts[0]
+
+    def test_schedule_is_a_function_of_the_seed(self, detector):
+        box = RacyBox()
+        first = _hammer(box, "bump_guarded", seed=3)
+        second = _hammer(box, "bump_guarded", seed=3)
+        third = _hammer(box, "bump_guarded", seed=4)
+        assert first == second
+        assert first != third
+
+    def test_locked_class_not_reported(self, detector):
+        box = RacyBox()
+        _hammer(box, "bump_guarded", steps=8, threads=3)
+        assert detector.races == []
+        assert box.guarded == 24
+
+    def test_read_only_sharing_not_reported(self, detector):
+        box = RacyBox()
+        _hammer(box, "read_unguarded", steps=4, threads=3)
+        assert detector.races == []
+
+    def test_each_racy_field_reported_once(self, detector):
+        box = RacyBox()
+        _hammer(box, "bump_unguarded", steps=16, threads=4)
+        assert len(detector.races) == 1
+
+    def test_single_thread_never_races(self, detector):
+        box = RacyBox()
+        for _ in range(10):
+            box.bump_unguarded()
+        assert detector.races == []
+
+    def test_reset_clears_reports_but_not_held_locks(self, detector):
+        box = RacyBox()
+        _hammer(box, "bump_unguarded")
+        assert detector.races
+        lock = TrackedRLock("held-across-reset")
+        with lock:
+            detector.reset()
+            assert detector.races == []
+            assert detector.guarded_accesses == 0
+            box2 = RacyBox()
+            box2.bump_guarded()
+        # the post-reset access saw the still-held lock: no KeyError, no race
+        assert detector.races == []
+
+
+class TestMutationIsCaught:
+    def test_removing_the_lock_from_function_cache_is_detected(self, detector):
+        """Seeded runtime mutation: neutralize FunctionCache._lock and the
+        detector must flag the now-unguarded entry map."""
+        from repro.runtime.cache import FunctionCache
+
+        class _NoLock:
+            name = "disabled"
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return None
+
+        cache = FunctionCache()
+        cache.enable("f", ttl_ms=10_000.0)
+        cache._lock = _NoLock()  # the "mutation": put/get no longer lock
+        programs = [
+            [lambda i=i: cache.put("f", f"k{i}", []) for i in range(4)]
+            for _ in range(2)
+        ]
+        SeededInterleaver(seed=1).run(programs)
+        assert any(r.fieldname == "_entries" for r in detector.races), \
+            detector.report_text()
+
+    def test_intact_function_cache_is_race_free(self, detector):
+        from repro.runtime.cache import FunctionCache
+
+        cache = FunctionCache()
+        cache.enable("f", ttl_ms=10_000.0)
+        programs = [
+            [lambda i=i: cache.put("f", f"k{i}", []) for i in range(4)]
+            + [lambda i=i: cache.get("f", f"k{i}") for i in range(4)]
+            for _ in range(2)
+        ]
+        SeededInterleaver(seed=1).run(programs)
+        assert detector.races == [], detector.report_text()
+
+
+class TestNoopContract:
+    def test_default_detector_is_the_noop(self):
+        assert race_detector() is NOOP_DETECTOR
+        assert RACE.detector.enabled is False
+
+    def test_noop_exposes_the_full_reporting_surface(self):
+        noop = NoopRaceDetector()
+        assert noop.races == ()
+        assert noop.guarded_accesses == 0
+        assert noop.lock_acquisitions == 0
+
+    def test_callsites_are_unconditional(self):
+        noop = NoopRaceDetector()
+        previous = set_race_detector(noop)
+        try:
+            before = noop.calls
+            lock = TrackedRLock("noop-counted")
+            with lock:
+                RACE.detector.on_access(object(), "field", True)
+            assert noop.calls == before + 3  # acquire + access + release
+        finally:
+            set_race_detector(previous)
+
+    def test_noop_allocates_no_tracking_state(self):
+        noop = NoopRaceDetector()
+        assert noop.__slots__ == ("calls",)
+        # races/guarded_accesses/lock_acquisitions are class attributes:
+        # shared, immutable, never grown per-instance
+        assert "races" not in NoopRaceDetector.__slots__
+
+    def test_set_race_detector_returns_previous(self):
+        first = LocksetDetector(capture_stacks=False)
+        previous = set_race_detector(first)
+        try:
+            assert race_detector() is first
+            second = LocksetDetector(capture_stacks=False)
+            returned = set_race_detector(second)
+            assert returned is first
+            assert set_race_detector(None) is second
+            assert race_detector() is NOOP_DETECTOR
+        finally:
+            set_race_detector(previous)
+
+
+class TestPlatformIntegration:
+    def test_platform_toggle_and_metrics(self):
+        from tests.conftest import build_platform
+
+        platform = build_platform()
+        detector = platform.set_race_detector(True)
+        try:
+            assert platform.race_detector is detector
+            platform.call("getProfile")
+            snapshot = platform.metrics_snapshot()
+            assert snapshot["concurrency.detector_enabled"] == 1
+            assert snapshot["concurrency.races"] == 0
+            assert snapshot["concurrency.guarded_accesses"] > 0
+            assert snapshot["concurrency.lock_acquisitions"] > 0
+            assert platform.race_report() == "no races detected"
+        finally:
+            platform.set_race_detector(False)
+        assert platform.metrics_snapshot()["concurrency.detector_enabled"] == 0

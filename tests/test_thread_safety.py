@@ -1,0 +1,288 @@
+"""Thread-safety regression tests (A-CONC): the shared engine objects the
+stress harness surfaced races in — hammered by real threads with the
+lockset detector on — plus the AsyncExecutor thread-ownership contract."""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+import pytest
+
+from repro.analysis import LocksetDetector
+from repro.clock import WallClock
+from repro.concurrency import set_race_detector
+from repro.relational.database import Database, LatencyModel, SourceStats
+from repro.runtime.asyncexec import AsyncExecutor
+from repro.runtime.cache import FunctionCache
+from repro.runtime.observed import ObservedCostModel
+
+FAST_LATENCY = LatencyModel(roundtrip_ms=0.0, per_row_ms=0.0, parse_ms=0.0,
+                            connect_timeout_ms=0.0)
+
+
+@pytest.fixture
+def detector():
+    """Lockset detector on (stackless, for speed) with a tight GIL switch
+    interval so threads interleave aggressively; everything restored."""
+    installed = LocksetDetector(capture_stacks=False)
+    previous = set_race_detector(installed)
+    interval = sys.getswitchinterval()
+    sys.setswitchinterval(5e-6)
+    try:
+        yield installed
+    finally:
+        sys.setswitchinterval(interval)
+        set_race_detector(previous)
+
+
+def run_threads(worker, count: int = 6):
+    """Run ``worker(index)`` on ``count`` threads; re-raise the first error."""
+    errors = []
+
+    def wrapped(index):
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - reported to the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,), name=f"hammer-{i}")
+               for i in range(count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def _fast_db(name: str = "db") -> Database:
+    db = Database(name, clock=WallClock(), latency=FAST_LATENCY)
+    db.create_table("T", [("ID", "VARCHAR", False), ("N", "INTEGER")],
+                    primary_key=["ID"])
+    return db
+
+
+class TestFunctionCache:
+    def test_concurrent_get_put_is_race_free_and_consistent(self, detector):
+        cache = FunctionCache(clock=WallClock(), max_entries=8)
+        cache.enable("f", ttl_ms=60_000.0)
+        gets_per_thread = 40
+
+        def worker(index):
+            for i in range(gets_per_thread):
+                key = f"k{(index + i) % 12}"
+                if cache.get("f", key) is None:
+                    cache.put("f", key, [])
+
+        run_threads(worker)
+        assert detector.races == [], detector.report_text()
+        stats = cache.stats
+        assert stats.hits + stats.misses == 6 * gets_per_thread
+        assert len(cache._entries) <= 8  # capacity honored under contention
+
+    def test_concurrent_resize_and_clear(self, detector):
+        cache = FunctionCache(clock=WallClock(), max_entries=64)
+        cache.enable("f", ttl_ms=60_000.0)
+
+        def worker(index):
+            for i in range(30):
+                if index == 0 and i % 10 == 0:
+                    cache.set_capacity(4 + i)
+                elif index == 1 and i % 10 == 5:
+                    cache.clear()
+                else:
+                    cache.put("f", f"k{i}", [])
+                    cache.get("f", f"k{i}")
+
+        run_threads(worker)
+        assert detector.races == [], detector.report_text()
+
+
+class TestStatementCache:
+    def test_concurrent_prepare_is_race_free(self, detector):
+        db = _fast_db()
+        statements = [f"SELECT ID, N FROM T WHERE N = {i}" for i in range(10)]
+
+        def worker(index):
+            for i in range(30):
+                prepared = db.statements.prepare(statements[(index + i) % 10])
+                assert prepared.is_query
+
+        run_threads(worker)
+        assert detector.races == [], detector.report_text()
+        stats = db.stats
+        assert stats.stmt_cache_hits + stats.stmt_cache_misses == 6 * 30
+        # double-parse on a concurrent miss is allowed; losing an insert
+        # or a counter update is not
+        assert stats.parses >= 10
+        assert len(db.statements) == 10
+
+    def test_prepare_races_invalidate(self, detector):
+        db = _fast_db()
+
+        def worker(index):
+            for i in range(20):
+                if index == 0:
+                    db.statements.invalidate()
+                else:
+                    db.statements.prepare("SELECT ID FROM T")
+
+        run_threads(worker, count=4)
+        assert detector.races == [], detector.report_text()
+
+
+class TestSourceStats:
+    def test_bump_has_no_lost_updates(self, detector):
+        stats = SourceStats()
+        bumps = 200
+
+        def worker(index):
+            for _ in range(bumps):
+                stats.bump(roundtrips=1, rows_shipped=2)
+
+        run_threads(worker)
+        assert detector.races == [], detector.report_text()
+        assert stats.roundtrips == 6 * bumps
+        assert stats.rows_shipped == 12 * bumps
+
+    def test_note_statement_is_synchronized(self, detector):
+        stats = SourceStats()
+
+        def worker(index):
+            for i in range(100):
+                stats.note_statement(f"S{index}-{i}")
+
+        run_threads(worker)
+        assert detector.races == [], detector.report_text()
+        assert len(stats.statements) == 600
+
+    def test_misspelled_counter_raises(self):
+        stats = SourceStats()
+        with pytest.raises(AttributeError):
+            stats.bump(roundtrip=1)  # typo must not mint a new counter
+
+
+class TestObservedCostModel:
+    def test_concurrent_record_and_estimate(self, detector):
+        model = ObservedCostModel(max_samples=64)
+
+        def worker(index):
+            source = f"src{index % 2}"
+            for i in range(50):
+                model.record(source, rows=i % 7, elapsed_ms=1.0 + i % 3)
+                model.estimate(source)
+                model.recommend_ppk(source)
+
+        run_threads(worker)
+        assert detector.races == [], detector.report_text()
+        assert model.sources() == ["src0", "src1"]
+
+
+class TestAsyncExecutorContract:
+    def test_in_branch_is_false_on_the_owning_thread(self):
+        assert AsyncExecutor.in_branch() is False
+        AsyncExecutor.assert_owner("test")  # must not raise
+
+    def test_in_branch_is_true_inside_a_branch(self):
+        executor = AsyncExecutor(WallClock(), max_workers=2)
+        try:
+            seen = executor.run_parallel(
+                [AsyncExecutor.in_branch, AsyncExecutor.in_branch])
+            assert seen == [True, True]
+            assert AsyncExecutor.in_branch() is False
+        finally:
+            executor.shutdown()
+
+    def test_assert_owner_raises_from_a_branch(self):
+        executor = AsyncExecutor(WallClock(), max_workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="thread-ownership"):
+                executor.run_parallel(
+                    [lambda: AsyncExecutor.assert_owner("topology-mutation"),
+                     lambda: None])
+        finally:
+            executor.shutdown()
+
+    def test_context_topology_mutations_refuse_branch_threads(self):
+        from tests.conftest import build_platform
+
+        platform = build_platform(deploy_profile=False)
+        executor = AsyncExecutor(WallClock(), max_workers=2)
+        try:
+            with pytest.raises(RuntimeError, match="set_tracer"):
+                executor.run_parallel(
+                    [lambda: platform.ctx.set_tracer(None), lambda: None])
+            with pytest.raises(RuntimeError, match="attach_database"):
+                executor.run_parallel(
+                    [lambda: platform.ctx.attach_database(_fast_db("x")),
+                     lambda: None])
+        finally:
+            executor.shutdown()
+
+    def test_branch_flag_cleared_after_failure(self):
+        executor = AsyncExecutor(WallClock(), max_workers=2)
+        try:
+            with pytest.raises(ValueError):
+                executor.run_parallel(
+                    [lambda: (_ for _ in ()).throw(ValueError("boom")),
+                     lambda: None])
+            assert AsyncExecutor.in_branch() is False
+        finally:
+            executor.shutdown()
+
+    def test_counters_survive_concurrent_groups(self, detector):
+        executor = AsyncExecutor(WallClock(), max_workers=4)
+        try:
+            def worker(index):
+                for _ in range(20):
+                    executor.run_parallel([lambda: 1, lambda: 2])
+
+            run_threads(worker, count=4)
+            assert detector.races == [], detector.report_text()
+            assert executor.groups_run == 80
+            assert executor.branches_run == 160
+        finally:
+            executor.shutdown()
+
+
+class TestExternalVariableIsolation:
+    def test_concurrent_bindings_do_not_clobber_each_other(self):
+        """Two request threads running the same parameterized query with
+        different bindings must each see their own results."""
+        from tests.conftest import build_platform
+
+        platform = build_platform(customers=3, ws_latency_ms=0.0)
+        barrier = threading.Barrier(2)
+        results = {}
+
+        def worker(index):
+            cid = f"C{index + 1}"
+            for _ in range(25):
+                barrier.wait()
+                out = platform.call_python("getProfileByID", cid)
+                values = {child.string_value()
+                          for item in out
+                          for child in item.child_elements()
+                          if child.name.local == "CID"}
+                assert values == {cid}, (cid, values)
+            results[index] = True
+
+        run_threads(worker, count=2)
+        assert results == {0: True, 1: True}
+
+    def test_branch_threads_inherit_the_callers_bindings(self):
+        from repro.clock import WallClock as WC
+
+        from tests.conftest import build_platform
+
+        platform = build_platform(customers=2, ws_latency_ms=0.0)
+        platform.ctx.external_variables = {"x": [1, 2, 3]}
+        executor = AsyncExecutor(WC(), max_workers=2)
+        try:
+            seen = executor.run_parallel(
+                [lambda: platform.ctx.external_variables.get("x"),
+                 lambda: platform.ctx.external_variables.get("x")])
+            assert seen == [[1, 2, 3], [1, 2, 3]]
+        finally:
+            executor.shutdown()
