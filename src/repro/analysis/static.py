@@ -51,6 +51,7 @@ REGISTRY: dict[str, tuple[str, ...]] = {
     "resilience/manager.py": ("ResilienceManager", "SourceGuard"),
     "resilience/policy.py": ("CircuitBreaker",),
     "runtime/asyncexec.py": ("AsyncExecutor",),
+    "runtime/batchexec.py": ("BatchProbe",),
     "runtime/cache.py": ("FunctionCache", "CacheStats"),
     "runtime/context.py": ("RuntimeStats",),
     "runtime/observed.py": ("ObservedCostModel",),

@@ -37,6 +37,8 @@ def _build(args) -> object:
         platform.set_adaptive_ppk(True)
     if args.no_parallel_regions:
         platform.set_parallel_regions(False)
+    if args.batch_size:
+        platform.set_batch_size(args.batch_size)
     return platform
 
 
@@ -270,6 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="re-size PP-k blocks from observed source costs")
     parser.add_argument("--no-parallel-regions", action="store_true",
                         help="disable scatter execution of independent regions")
+    parser.add_argument("--batch-size", type=int, default=0,
+                        help="rows per batch for the batch engine "
+                             "(1 = tuple-at-a-time, 0 = default 256)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("demo", help="run the Figure-3 running example") \

@@ -1,0 +1,44 @@
+"""Batch-capability stamping (P-BATCH).
+
+A FLWOR node runs under the batch protocol only when every one of its
+clauses has a batch operator.  The set below is exhaustive today, so the
+stamp is effectively always true for compiler-produced pipelines — but
+the gate keeps the runtime honest if a future clause type lands before
+its batch twin does, and gives tests a per-node switch to poke.
+
+The stamp is runtime-only metadata, like ``op_id``: it is **not**
+rendered in ``explain`` output (explain must stay byte-identical across
+batch sizes).  Bodies of non-inlined user functions never pass through
+this stage, carry no stamp, and therefore run on the tuple engine —
+correct, just unaccelerated (most calls are unfolded into the main
+expression by the optimizer and get stamped there).
+"""
+
+from __future__ import annotations
+
+from ..xquery import ast_nodes as ast
+from .algebra import IndexJoinForClause, PPkLetClause, PushedTupleForClause
+
+#: clause types the batch engine (runtime/batchexec.py) can execute
+_BATCH_CLAUSES = (
+    ast.ForClause,
+    ast.LetClause,
+    ast.WhereClause,
+    ast.OrderByClause,
+    ast.GroupByClause,
+    PPkLetClause,
+    PushedTupleForClause,
+    IndexJoinForClause,
+)
+
+
+def stamp_batch_capability(expr: ast.AstNode) -> None:
+    """Mark every FLWOR in ``expr`` (and each clause) batch-capable or not."""
+    for node in expr.walk():
+        if isinstance(node, ast.FLWOR):
+            capable = True
+            for clause in node.clauses:
+                supported = isinstance(clause, _BATCH_CLAUSES)
+                clause.batch_supported = supported
+                capable = capable and supported
+            node.batch_capable = capable

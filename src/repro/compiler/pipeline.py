@@ -134,6 +134,9 @@ class Compiler:
         # Stable operator identity: explain, profile and the tracer all
         # join on these ids, and cached plans keep them across executions.
         assign_operator_ids(expr)
+        from .batching import stamp_batch_capability
+
+        stamp_batch_capability(expr)
         plan = CompiledPlan(expr, self.module, list(checker.errors), source)
         if self.options.verify and not plan.errors:
             from .verify import verify_plan

@@ -144,6 +144,9 @@ class QueryProfile:
     items: int
     elapsed_ms: float
     aggregates: dict[int, OperatorActuals]
+    #: rows-per-batch by operator label (P-BATCH) — kept out of ``text``
+    #: so the rendered plan stays byte-identical across batch sizes
+    batches: dict = field(default_factory=dict)
 
     def __str__(self) -> str:
         return self.text

@@ -16,6 +16,7 @@ from ..resilience import ResilienceManager
 from ..services.metadata import MetadataRegistry
 from ..sql.dialects import SqlRenderer, capabilities_for
 from .asyncexec import AsyncExecutor
+from .batch import DEFAULT_BATCH_SIZE
 from .cache import FunctionCache
 from .observed import ObservedCostModel
 
@@ -127,6 +128,15 @@ class DynamicContext:
         self._externals: contextvars.ContextVar = contextvars.ContextVar(
             "repro.external_variables", default=None
         )
+        #: rows per batch for the batch-at-a-time engine (P-BATCH); 1
+        #: disables batching and runs the tuple-at-a-time pipeline
+        self.batch_size = DEFAULT_BATCH_SIZE
+        #: rows-per-batch probe installed by ``Platform.profile`` — a
+        #: ContextVar so a profiling run never sees batches of a query
+        #: racing on another thread
+        self._batch_probe: contextvars.ContextVar = contextvars.ContextVar(
+            "repro.batch_probe", default=None
+        )
         #: per-source retry/breaker/timeout policies + partial-results mode
         self.resilience = ResilienceManager(self.clock)
         #: functions for which caching is administratively enabled
@@ -159,6 +169,17 @@ class DynamicContext:
     @external_variables.setter
     def external_variables(self, value: dict[str, list]) -> None:
         self._externals.set(dict(value))
+
+    def batch_probe(self):
+        """The calling context's rows-per-batch probe, if one is installed."""
+        return self._batch_probe.get()
+
+    def set_batch_probe(self, probe) -> object:
+        """Install ``probe`` for this context; returns a reset token."""
+        return self._batch_probe.set(probe)
+
+    def reset_batch_probe(self, token) -> None:
+        self._batch_probe.reset(token)
 
     # -- databases ----------------------------------------------------------------
 

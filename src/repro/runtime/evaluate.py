@@ -591,6 +591,11 @@ class Evaluator:
     # -- FLWOR pipeline -------------------------------------------------------------------------
 
     def _eval_flwor(self, node: ast.FLWOR, env: Env) -> Iterator[Item]:
+        if self.ctx.batch_size > 1 and getattr(node, "batch_capable", False):
+            from .batchexec import eval_flwor_batched
+
+            yield from eval_flwor_batched(self, node, env)
+            return
         tuples: Iterator[Env] = iter([env])
         for group in _clause_groups(node.clauses, self.ctx.parallel_regions):
             if len(group) == 1:
@@ -736,17 +741,20 @@ class Evaluator:
             result: Env = {}
             for (_expr, var), value in zip(clause.keys, key):
                 result[var] = [] if value is None else [_as_atomic_value(value)]
+            # Single pass over the members: hoist the annotated-pair
+            # unpacking out of the per-variable loops.
+            envs = [env for env, _k in members]
             for source, target in clause.grouped:
                 collected: list[Item] = []
-                for env, _k in members:
+                for env in envs:
                     collected.extend(env.get(source, []))
                 result[target] = collected
             # Variables not re-exposed by the group clause go out of scope;
             # outer bindings shared by every member survive.
-            base = members[0][0]
+            base = envs[0]
             for name, value in base.items():
                 if name not in result and all(
-                    member.get(name) is value for member, _k in members
+                    env.get(name) is value for env in envs
                 ):
                     result[name] = value
             yield result

@@ -125,6 +125,15 @@ def _block_sizer(clause: PPkLetClause, ctx):
         )
         chosen = recommended if recommended is not None else clause.k
         chosen = max(config.k_min, min(config.k_max, chosen))
+        if ctx.batch_size > 1:
+            # Batching delivers tuples upstream in batch_size chunks.  An
+            # adaptive block larger than one batch cannot fill without
+            # draining several upstream batches first, which stalls the
+            # prefetch pipeline and defeats batch-granularity laziness —
+            # the two knobs fight.  Cap k at the batch size (never below
+            # the configured floor); with the default batch of 256 and
+            # k_max 200 the cap is inert.
+            chosen = min(chosen, max(config.k_min, ctx.batch_size))
         if state["last"] is not None and chosen != state["last"]:
             database = ctx.databases.get(pushed.database)
             if database is not None:
@@ -192,11 +201,23 @@ def _fetch_block(clause: PPkLetClause, block: list[dict], capacity: int,
     with ctx.tracer.start("ppk.fetch", pushed.database,
                           op=getattr(clause, "op_id", None),
                           tuples=len(block), k=capacity) as span:
-        # Compute each tuple's join key in the middleware.
-        keys = []
-        for env in block:
-            atoms = atomize(evaluator.eval(correlation.outer_key, env))
-            keys.append(atoms[0].value if atoms else None)
+        # Compute each tuple's join key in the middleware.  Under the
+        # batch engine the key expression is row-compiled once and swept
+        # over the block in one pass (identical values: the compiled
+        # closure bridges to the interpreter for anything non-trivial).
+        if ctx.batch_size > 1:
+            from ..rowcompile import rowfn  # function-level: avoids an
+            # import cycle (evaluate -> ppk at module load)
+
+            key_fn = rowfn(correlation.outer_key)
+            keys = [atoms[0].value if atoms else None
+                    for atoms in (atomize(key_fn(evaluator, env))
+                                  for env in block)]
+        else:
+            keys = []
+            for env in block:
+                atoms = atomize(evaluator.eval(correlation.outer_key, env))
+                keys.append(atoms[0].value if atoms else None)
 
         distinct_keys = [key for key in dict.fromkeys(keys) if key is not None]
         rows_by_key: dict[object, list[dict]] = {}

@@ -80,8 +80,20 @@ def render_pushed(pushed: PushedSQL, evaluator: "Evaluator") -> str:
 def rebuild(pushed: PushedSQL, rows: list[dict], evaluator: "Evaluator") -> Iterator[Item]:
     """Apply the reconstruction template to the fetched rows."""
     if pushed.regroup is None:
+        template = pushed.template
+        size = evaluator.ctx.batch_size
+        if size > 1 and len(rows) > 1:
+            # Batch-protocol materialization: rebuild batch_size rows per
+            # pull into one flat item list (identical stream, one
+            # generator resumption per batch instead of per row).
+            for start in range(0, len(rows), size):
+                items: list[Item] = []
+                for row in rows[start:start + size]:
+                    items.extend(apply_template(template, row, [row], evaluator))
+                yield from items
+            return
         for row in rows:
-            yield from apply_template(pushed.template, row, [row], evaluator)
+            yield from apply_template(template, row, [row], evaluator)
         return
     keys = pushed.regroup
     for _key, group in clustered_groups(rows, lambda r: tuple(r[a] for a in keys)):

@@ -227,6 +227,17 @@ class Platform:
             raise ValueError("prefetch window must be >= 1")
         self.ctx.ppk_prefetch_window = window
 
+    def set_batch_size(self, n: int) -> None:
+        """Rows per batch for the batch-at-a-time engine (P-BATCH,
+        default 256).  ``n=1`` disables batching entirely and runs the
+        original tuple-at-a-time pipeline — the A/B ablation baseline;
+        results, explain, profile trees and virtual-clock charges are
+        byte-identical either way.  A runtime knob: compiled plans carry
+        only a batch-capability stamp and are unaffected."""
+        if n < 1:
+            raise ValueError("batch size must be >= 1")
+        self.ctx.batch_size = n
+
     def set_parallel_regions(self, enabled: bool) -> None:
         """Toggle scatter execution of compiler-stamped independent
         let-bound source regions (on by default).  A runtime knob: the
@@ -392,20 +403,25 @@ class Platform:
         roundtrips, retries, cache hits, degradations).  The installed
         tracer is restored afterwards, so profiling composes with an
         explicitly enabled (or disabled) tracing mode."""
+        from ..runtime.batchexec import BatchProbe
+
         previous = self.ctx.tracer
         tracer = QueryTracer(self.clock, self.ctx.metrics)
         self.ctx.set_tracer(tracer)
+        probe = BatchProbe()
+        token = self.ctx.set_batch_probe(probe)
         start = self.clock.now_ms()
         try:
             items = list(self.stream(query, variables, user))
         finally:
             self.ctx.set_tracer(previous)
+            self.ctx.reset_batch_probe(token)
         elapsed = self.clock.now_ms() - start
         plan = self.prepare(query, variables)
         text, aggregates = profile_render(plan.expr, tracer)
         return QueryProfile(text=text, root=tracer.last_root, tracer=tracer,
                             items=len(items), elapsed_ms=elapsed,
-                            aggregates=aggregates)
+                            aggregates=aggregates, batches=probe.snapshot())
 
     def metrics_snapshot(self) -> dict:
         """Every metrics series — runtime, per-source, cache, group,
@@ -632,16 +648,12 @@ class Platform:
                         indent: int | None = None) -> int:
         """Server-side API: stream results straight to a file without
         materializing them first (section 2.2).  Returns the item count."""
-        from ..xml.serialize import serialize_item
+        from ..xml.serialize import serialize_to_sink
 
-        count = 0
         with open(path, "w") as sink:
-            for item in self.stream(query, variables, user):
-                if count:
-                    sink.write("\n")
-                sink.write(serialize_item(item, indent))
-                count += 1
-        return count
+            return serialize_to_sink(self.stream(query, variables, user),
+                                     sink, indent,
+                                     batch_size=self.ctx.batch_size)
 
     def call(self, function_name: str, *args: list[Item], user: User = ADMIN) -> list[Item]:
         """Invoke a data-service method (the mediator's method-call path)."""

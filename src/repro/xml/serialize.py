@@ -54,6 +54,31 @@ def serialize_item(item: Item, indent: int | None = None, _level: int = 0) -> st
     raise TypeError(f"cannot serialize {type(item).__name__}")
 
 
+def serialize_to_sink(items: Iterable[Item], sink, indent: int | None = None,
+                      separator: str = "\n", batch_size: int = 1) -> int:
+    """Stream ``items`` into ``sink`` (a writable text file object),
+    ``separator`` between items; returns the item count.
+
+    ``batch_size > 1`` is the batch engine's token-serialization path: it
+    buffers that many serialized fragments and flushes them with a single
+    ``"".join`` + ``write`` per batch, amortizing the per-token sink call.
+    The bytes produced are identical for every batch size.
+    """
+    count = 0
+    buffer: list[str] = []
+    for item in items:
+        if count:
+            buffer.append(separator)
+        buffer.append(serialize_item(item, indent))
+        count += 1
+        if len(buffer) >= 2 * batch_size:
+            sink.write("".join(buffer))
+            buffer.clear()
+    if buffer:
+        sink.write("".join(buffer))
+    return count
+
+
 def serialize(items: Item | Iterable[Item], indent: int | None = None) -> str:
     """Serialize an item or sequence of items.
 

@@ -1,0 +1,144 @@
+"""Batch engine equivalence suite (P-BATCH acceptance).
+
+Every scenario runs under batch sizes {1, 2, 7, 256} — ``1`` being the
+untouched tuple-at-a-time pipeline — and the suite asserts the batch
+engine is observationally *byte-identical*: serialized results, explain
+plans, profile span trees (per-operator actuals included), runtime stats
+and virtual-clock totals all match the n=1 baseline exactly.
+
+The only normalization applied is gensym numbering: the compiler's
+fresh-variable counter is process-global, so two *identically
+configured* platforms already render ``$#ppk3`` vs ``$#ppk17`` in plan
+text regardless of batching.  ``_canon`` folds those counters; nothing
+else is rewritten.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro import serialize
+from repro.demo import build_demo_platform
+from repro.relational import LatencyModel
+
+from .test_composite_scenario import build_scenario
+
+BATCH_SIZES = [1, 2, 7, 256]
+
+
+def _canon(text: str) -> str:
+    """Fold process-global gensym counters out of rendered plan text."""
+    return re.sub(r"\$#([A-Za-z_]*)\d+", r"$#\1N", text)
+
+
+def _profile_text(profile) -> str:
+    return _canon(profile.text)
+
+
+def observe_composite(tmp_path, batch_size: int) -> dict:
+    """The composite-application scenario: four source kinds, layered
+    services, group-less joins, PP-k, order-by, fail-over."""
+    platform, _invdb, _salesdb = build_scenario(tmp_path)
+    platform.set_batch_size(batch_size)
+    out = {}
+    out["productInfo"] = serialize(platform.call("productInfo"))
+    out["replenishment"] = serialize(platform.call("replenishmentReport"))
+    velocity = '''
+        for $p in PRODUCT()
+        let $sold := sum(for $s in SALE() where $s/SKU eq $p/SKU
+                         return $s/UNITS)
+        order by $sold descending
+        return <VELOCITY>{ data($p/SKU), $sold }</VELOCITY>
+    '''
+    out["velocity"] = serialize(platform.execute(velocity))
+    out["velocity_explain"] = _canon(platform.explain(velocity))
+    out["velocity_profile"] = _profile_text(platform.profile(velocity))
+    out["report_explain"] = _canon(platform.explain("replenishmentReport()"))
+    out["clock_ms"] = round(platform.clock.now_ms(), 6)
+    out["ppk_blocks"] = platform.ctx.stats.ppk_blocks
+    out["pushed_queries"] = platform.ctx.stats.pushed_queries
+    out["tuples_flowed"] = platform.ctx.stats.tuples_flowed
+    return out
+
+
+def observe_running_example(batch_size: int) -> dict:
+    """The Figure-3 running example: PP-k middleware joins, a Web
+    service, nested reconstruction — the paper's own workload."""
+    platform = build_demo_platform(
+        customers=20, orders_per_customer=3, ws_latency_ms=15.0,
+        db_latency=LatencyModel(roundtrip_ms=5.0, per_row_ms=0.05),
+    )
+    platform.set_batch_size(batch_size)
+    start = platform.clock.now_ms()
+    profiles = platform.call("getProfile")
+    out = {
+        "profiles": serialize(profiles),
+        "elapsed_ms": round(platform.clock.now_ms() - start, 6),
+        "explain": _canon(platform.explain("getProfile()")),
+        "profile": _profile_text(platform.profile("getProfile()")),
+        "ppk_blocks": platform.ctx.stats.ppk_blocks,
+        "ws_calls": platform.ctx.stats.service_calls,
+        "pushed_queries": platform.ctx.stats.pushed_queries,
+        "tuples_flowed": platform.ctx.stats.tuples_flowed,
+    }
+    return out
+
+
+def observe_operator_zoo(batch_size: int) -> dict:
+    """Pure mid-tier operator coverage: where/let chains, group-by
+    (clustered and hashed), order-by, positional vars, nested FLWORs,
+    constructors — everything the batch clauses reimplement."""
+    platform = build_demo_platform(customers=6, orders_per_customer=2)
+    platform.set_batch_size(batch_size)
+    queries = {
+        "scan": "for $i in (1 to 500) where ($i mod 7) eq 3 return $i",
+        "group": ("for $i in (1 to 300) let $k := $i mod 7 "
+                  "group $i as $is by $k as $g order by $g descending "
+                  "return <G>{$g}{fn:count($is)}{fn:sum($is)}</G>"),
+        "position": ("for $x at $p in (10, 20, 30, 40) "
+                     "where $p mod 2 eq 0 return $x + $p"),
+        "nested": ("for $c in CUSTOMER() "
+                   "return <P>{$c/LAST_NAME}<O>{ for $o in ORDER() "
+                   "where $o/CID eq $c/CID return $o/AMOUNT }</O></P>"),
+        "orderby": ("for $c in CUSTOMER() order by $c/LAST_NAME descending "
+                    "return $c/CID"),
+    }
+    out = {}
+    for name, query in queries.items():
+        out[name] = serialize(platform.execute(query))
+        out[f"{name}_explain"] = _canon(platform.explain(query))
+        out[f"{name}_profile"] = _profile_text(platform.profile(query))
+    out["clock_ms"] = round(platform.clock.now_ms(), 6)
+    out["tuples_flowed"] = platform.ctx.stats.tuples_flowed
+    return out
+
+
+class TestBatchEquivalence:
+    """Byte-identical observables across every batch size."""
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES[1:])
+    def test_composite_scenario_identical(self, tmp_path, batch_size):
+        baseline = observe_composite(tmp_path, 1)
+        observed = observe_composite(tmp_path, batch_size)
+        for key in baseline:
+            assert observed[key] == baseline[key], (batch_size, key)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES[1:])
+    def test_running_example_identical(self, batch_size):
+        baseline = observe_running_example(1)
+        observed = observe_running_example(batch_size)
+        for key in baseline:
+            assert observed[key] == baseline[key], (batch_size, key)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES[1:])
+    def test_operator_zoo_identical(self, batch_size):
+        baseline = observe_operator_zoo(1)
+        observed = observe_operator_zoo(batch_size)
+        for key in baseline:
+            assert observed[key] == baseline[key], (batch_size, key)
+
+    def test_default_engine_is_batched(self):
+        platform = build_demo_platform(customers=2, orders_per_customer=1)
+        assert platform.ctx.batch_size > 1

@@ -1,0 +1,276 @@
+"""Units for the batch-at-a-time execution core (P-BATCH).
+
+Covers the :class:`TupleBatch` container and :class:`BatchBuilder`
+accumulator, the row-expression compiler's edge semantics, the
+``set_batch_size`` knob, compiler batch-capability stamping, batched
+serialization, the adaptive-PP-k/batch-size interaction, and the
+``BatchProbe`` observability surface.  End-to-end byte-identity lives in
+``tests/test_batch_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.demo import build_demo_platform
+from repro.relational import LatencyModel
+from repro.runtime.batch import DEFAULT_BATCH_SIZE, BatchBuilder, TupleBatch, rebatch
+from repro.xml.serialize import serialize_to_sink
+from repro.xquery import ast_nodes as ast
+
+
+# ---------------------------------------------------------------------------
+# TupleBatch
+# ---------------------------------------------------------------------------
+
+class TestTupleBatch:
+    def test_initial_holds_the_callers_env_unowned(self):
+        env = {"x": [1]}
+        batch = TupleBatch.initial(env)
+        assert batch.length == 1
+        assert batch.env_rows()[0] is env
+        assert not batch.owned
+
+    def test_extended_owned_reuses_frames_in_place(self):
+        rows = [{"a": [1]}, {"a": [2]}]
+        batch = TupleBatch.from_rows(rows, owned=True)
+        extended = batch.extended([("b", [[10], [20]])])
+        # the same dict objects were extended — no per-tuple copies
+        assert extended.env_rows()[0] is rows[0]
+        assert rows[0] == {"a": [1], "b": [10]}
+        assert extended.names == ("a", "b")
+
+    def test_extended_unowned_copies_the_frames(self):
+        rows = [{"a": [1]}]
+        batch = TupleBatch.from_rows(rows, owned=False)
+        extended = batch.extended([("b", [[9]])])
+        assert rows[0] == {"a": [1]}  # caller's dict untouched
+        assert extended.env_rows()[0] == {"a": [1], "b": [9]}
+        assert extended.owned  # the copies belong to the pipeline now
+
+    def test_columnar_extension_shares_existing_columns(self):
+        batch = TupleBatch.from_columns(("a",), {"a": [[1], [2]]}, 2)
+        column_a = batch.column("a")
+        extended = batch.extended([("b", [[3], [4]])])
+        assert extended.column("a") is column_a  # copy-on-write share
+        assert extended.column("b") == [[3], [4]]
+
+    def test_row_view_is_materialized_once_and_cached(self):
+        batch = TupleBatch.from_columns(("a", "b"),
+                                        {"a": [[1], [2]], "b": [[3], [4]]}, 2)
+        rows = batch.env_rows()
+        assert rows == [{"a": [1], "b": [3]}, {"a": [2], "b": [4]}]
+        assert batch.env_rows() is rows
+
+    def test_select_and_slice_preserve_row_identity(self):
+        rows = [{"a": [i]} for i in range(5)]
+        batch = TupleBatch.from_rows(rows, owned=True)
+        picked = batch.select([0, 3])
+        assert [env["a"] for env in picked.env_rows()] == [[0], [3]]
+        assert picked.env_rows()[1] is rows[3]
+        window = batch.slice(1, 3)
+        assert len(window) == 2
+        assert window.env_rows()[0] is rows[1]
+
+    def test_concat_merges_same_schema_batches(self):
+        one = TupleBatch.from_rows([{"a": [1]}], owned=True)
+        two = TupleBatch.from_rows([{"a": [2]}, {"a": [3]}], owned=True)
+        merged = TupleBatch.concat([one, two])
+        assert merged.length == 3
+        assert merged.owned
+        with pytest.raises(ValueError):
+            TupleBatch.concat([one, TupleBatch.from_rows([{"b": [1]}], owned=True)])
+
+
+class TestBatchBuilder:
+    def test_capacity_flush_is_deferred_one_add(self):
+        builder = BatchBuilder(capacity=2)
+        assert builder.add({"a": [1]}) is None
+        assert builder.add({"a": [2]}) is None
+        # the full batch is emitted by the add that overflows it
+        emitted = builder.add({"a": [3]})
+        assert emitted is not None and emitted.length == 2
+        tail = builder.flush()
+        assert tail is not None and tail.length == 1
+
+    def test_schema_change_flushes_pending_rows(self):
+        builder = BatchBuilder(capacity=10)
+        builder.add({"a": [1]})
+        emitted = builder.add({"a": [1], "b": [2]})
+        assert emitted is not None
+        assert emitted.names == ("a",) and emitted.length == 1
+
+    def test_rebatch_round_trips_a_row_stream(self):
+        rows = [{"a": [i]} for i in range(7)]
+        batches = list(rebatch(iter(rows), capacity=3))
+        assert [b.length for b in batches] == [3, 3, 1]
+        assert [env["a"][0] for b in batches for env in b.env_rows()] == list(range(7))
+
+
+# ---------------------------------------------------------------------------
+# The knob, the stamp, and edge semantics
+# ---------------------------------------------------------------------------
+
+def _flwor_nodes(node, out):
+    if isinstance(node, ast.FLWOR):
+        out.append(node)
+    for field in getattr(node, "_fields", ()):
+        value = getattr(node, field, None)
+        for child in (value if isinstance(value, (list, tuple)) else [value]):
+            if isinstance(child, ast.AstNode):
+                _flwor_nodes(child, out)
+    if isinstance(node, ast.FLWOR):
+        for clause in node.clauses:
+            for field in getattr(clause, "_fields", ()):
+                value = getattr(clause, field, None)
+                for child in (value if isinstance(value, (list, tuple)) else [value]):
+                    if isinstance(child, ast.AstNode):
+                        _flwor_nodes(child, out)
+
+
+class TestKnobAndStamp:
+    def test_default_batch_size(self):
+        platform = build_demo_platform(customers=2, orders_per_customer=0)
+        assert platform.ctx.batch_size == DEFAULT_BATCH_SIZE == 256
+
+    def test_set_batch_size_validates(self):
+        platform = build_demo_platform(customers=2, orders_per_customer=0)
+        platform.set_batch_size(1)
+        assert platform.ctx.batch_size == 1
+        with pytest.raises(ValueError):
+            platform.set_batch_size(0)
+        with pytest.raises(ValueError):
+            platform.set_batch_size(-3)
+
+    def test_compiler_stamps_batch_capability(self):
+        platform = build_demo_platform(customers=2, orders_per_customer=0)
+        plan = platform.prepare(
+            "for $i in (1 to 10) where $i mod 2 eq 0 return $i")
+        flwors: list = []
+        _flwor_nodes(plan.expr, flwors)
+        assert flwors and all(f.batch_capable for f in flwors)
+
+    def test_batch_size_one_never_imports_the_batch_engine(self):
+        """n=1 is the honest ablation: the legacy pipeline runs untouched."""
+        import sys
+
+        preserved = {name: sys.modules.pop(name) for name in list(sys.modules)
+                     if name.endswith(("runtime.batchexec", "runtime.rowcompile"))}
+        try:
+            platform = build_demo_platform(customers=2, orders_per_customer=1)
+            platform.set_batch_size(1)
+            platform.execute("for $c in CUSTOMER() order by $c/CID return $c/CID")
+            assert not any(name.endswith("runtime.batchexec")
+                           for name in sys.modules)
+        finally:
+            sys.modules.update(preserved)
+
+    def test_idiv_and_mod_match_across_engines(self):
+        """Row-compiled arithmetic keeps XQuery (truncating) semantics for
+        negative operands — the classic vectorization bug."""
+        query = ("for $i in (-7, -1, 1, 7) "
+                 "return <R>{$i idiv 2}{$i mod 3}</R>")
+        outputs = set()
+        for size in (1, 256):
+            platform = build_demo_platform(customers=2, orders_per_customer=0)
+            platform.set_batch_size(size)
+            from repro import serialize
+            outputs.add(serialize(platform.execute(query)))
+        assert len(outputs) == 1
+        assert "<R>-3 -1</R>" in outputs.pop()
+
+
+# ---------------------------------------------------------------------------
+# Batched serialization
+# ---------------------------------------------------------------------------
+
+class TestSerializeToSink:
+    def test_bytes_identical_across_batch_sizes(self):
+        platform = build_demo_platform(customers=3, orders_per_customer=1)
+        items = platform.execute("for $c in CUSTOMER() return $c")
+        reference = io.StringIO()
+        count = serialize_to_sink(iter(items), reference, batch_size=1)
+        for size in (2, 7, 256):
+            sink = io.StringIO()
+            assert serialize_to_sink(iter(items), sink, batch_size=size) == count
+            assert sink.getvalue() == reference.getvalue()
+
+    def test_execute_to_file_streams_batched(self, tmp_path):
+        platform = build_demo_platform(customers=3, orders_per_customer=1)
+        out = tmp_path / "batched.xml"
+        count = platform.execute_to_file(
+            "for $c in CUSTOMER() return $c/CID", out)
+        assert count == 3
+        platform.set_batch_size(1)
+        single = tmp_path / "single.xml"
+        platform.execute_to_file("for $c in CUSTOMER() return $c/CID", single)
+        assert out.read_text() == single.read_text()
+
+
+# ---------------------------------------------------------------------------
+# Adaptive PP-k vs the batch clamp (satellite regression)
+# ---------------------------------------------------------------------------
+
+class TestAdaptiveClamp:
+    def _run(self, batch_size: int) -> int:
+        platform = build_demo_platform(
+            customers=60, orders_per_customer=0, deploy_profile=False,
+            db_latency=LatencyModel(roundtrip_ms=50.0, per_row_ms=0.02),
+        )
+        platform.set_adaptive_ppk(True)
+        platform.set_batch_size(batch_size)
+        query = ('for $c in CUSTOMER() '
+                 'return <O>{ for $cc in CREDIT_CARD() '
+                 'where $cc/CID eq $c/CID return $cc/NUMBER }</O>')
+        platform.execute(query)  # cold: seeds the observed-cost model
+        platform.reset_stats()
+        platform.execute(query)  # warm: the model recommends large k
+        return platform.ctx.stats.ppk_blocks
+
+    def test_adaptive_k_is_capped_at_the_batch_size(self):
+        # High-latency profile: warm adaptive wants one big block.  With
+        # batching on, k is capped at the batch size so a block fills from
+        # a single upstream batch — more, smaller blocks.
+        unclamped = self._run(batch_size=1)
+        clamped = self._run(batch_size=8)
+        assert clamped >= -(-60 // 8)  # ceil: k never exceeded 8
+        assert unclamped < clamped
+
+    def test_default_sizes_leave_adaptive_untouched(self):
+        # k_max (200) < default batch size (256): the cap is inert, so
+        # batching does not change adaptive block sizing by default.
+        assert self._run(batch_size=1) == self._run(batch_size=256)
+
+
+# ---------------------------------------------------------------------------
+# Observability: BatchProbe, profile batches, metrics instruments
+# ---------------------------------------------------------------------------
+
+class TestBatchObservability:
+    def test_profile_reports_rows_per_batch(self):
+        platform = build_demo_platform(customers=4, orders_per_customer=2)
+        profile = platform.profile(
+            "for $i in (1 to 600) where $i mod 3 eq 0 return $i")
+        assert profile.batches  # per-stage rows/batches under the default 256
+        stage = next(iter(profile.batches.values()))
+        assert set(stage) == {"batches", "rows", "rows_per_batch"}
+        returned = profile.batches.get("return")
+        assert returned is not None and returned["rows"] == 200
+        # 600 source rows arrive in ceil(600/256) = 3 batches; the filter
+        # narrows each batch in place without re-chunking
+        assert returned["batches"] == 3
+
+    def test_profile_batches_empty_under_tuple_engine(self):
+        platform = build_demo_platform(customers=4, orders_per_customer=2)
+        platform.set_batch_size(1)
+        profile = platform.profile("for $i in (1 to 50) return $i")
+        assert profile.batches == {}
+
+    def test_metrics_gain_batch_instruments(self):
+        platform = build_demo_platform(customers=4, orders_per_customer=2)
+        platform.execute("for $i in (1 to 600) return $i + 1")
+        snapshot = platform.metrics_snapshot()
+        assert any(name.startswith("batch.rows") for name in snapshot)
+        assert any(name.startswith("batch.count") for name in snapshot)

@@ -136,6 +136,36 @@ class TestStress:
         hammer(platform, worker)
         assert_race_free(detector)
 
+    def test_batched_operators_under_contention(self, stressed, round):
+        """The batch engine's shared surfaces under fire: one thread flips
+        the engine between tuple (n=1) and batch (n=256) mid-workload,
+        another profiles (per-thread ``BatchProbe`` via the context var),
+        the rest hammer the batch group/order/where operators and the
+        row-compiler's per-node closure cache — results must stay
+        byte-identical to the single-threaded answer throughout."""
+        from repro import serialize
+
+        platform, detector = stressed
+        query = ("for $i in (1 to 400) let $k := $i mod 5 "
+                 "group $i as $is by $k as $g order by $g descending "
+                 "return <G>{$g}{fn:count($is)}{fn:sum($is)}</G>")
+        expected = serialize(platform.execute(query))
+
+        def worker(index):
+            for i in range(OPS_PER_THREAD):
+                if index == 0:
+                    platform.set_batch_size(1 if i % 2 else 256)
+                elif index == 1 and i % 4 == 0:
+                    profile = platform.profile(query)
+                    assert profile.items == 5
+                assert serialize(platform.execute(query)) == expected
+
+        try:
+            hammer(platform, worker)
+        finally:
+            platform.set_batch_size(256)
+        assert_race_free(detector)
+
     def test_counters_are_exact_under_contention(self, stressed, round):
         platform, detector = stressed
         runs_per_thread = 8
