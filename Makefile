@@ -8,9 +8,9 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: ci lint lint-concurrency typecheck test bench-smoke chaos test-threaded
+.PHONY: ci lint lint-concurrency typecheck test bench-smoke bench-serve chaos test-threaded serve-soak
 
-ci: lint lint-concurrency typecheck test bench-smoke test-threaded
+ci: lint lint-concurrency typecheck test bench-smoke bench-serve test-threaded
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -33,8 +33,10 @@ test:
 # and its assertions (statement-cache parse counts, PP-k pipelining wins,
 # pushdown economics, failover economics) gate the build alongside the
 # unit tests.
+# (the serving ramp runs real threads for wall seconds, so it has its
+# own target, bench-serve, and is excluded here)
 bench-smoke:
-	$(PYTHON) -m pytest -x -q benchmarks
+	$(PYTHON) -m pytest -x -q benchmarks --ignore=benchmarks/test_serving.py
 
 # Scripted fault-injection runs only: the resilience layer's chaos suite
 # (deterministic under the virtual clock — same seed, same run).
@@ -46,7 +48,20 @@ chaos:
 lint-concurrency:
 	$(PYTHON) -m repro lint --concurrency
 
+# The serving-layer overload ramp (R-SERVE): closed-loop clients drive
+# the server past saturation; the run asserts graceful degradation
+# (goodput within 15% of peak, bounded p99, shed-only rejections) and
+# refreshes BENCH_serving.json.
+bench-serve:
+	$(PYTHON) -m pytest -x -q benchmarks/test_serving.py
+
 # Real-thread stress runs with the lockset race detector enabled.  Set
 # STRESS_RUNS=20 for the soak configuration.
 test-threaded:
 	$(PYTHON) -m pytest -x -q -m threaded tests
+
+# The serving-layer soak: the threaded serving suite (per-request
+# isolation, close() races, the full session+admission stack) repeated
+# with the race detector on.
+serve-soak:
+	STRESS_RUNS=20 $(PYTHON) -m pytest -x -q tests/threaded/test_serving.py

@@ -1,0 +1,129 @@
+"""Overload ramp against the serving layer (DESIGN.md R-SERVE).
+
+A mid-tier data-services server must *degrade gracefully*: past
+saturation, goodput of admitted requests should stay near its peak
+(admission control sheds the excess instead of letting it collapse
+throughput), completed-request latency should stay bounded, and every
+rejection should be a structured retry-after-bearing shed — never a
+timeout or an internal error.
+
+The ramp runs closed-loop client stages (under → at → far past the
+worker bound) over the demo federation on a wall clock with zero
+simulated source latencies (the stress-harness pattern: contention is
+real, nothing sleeps).  The workload mixes cheap keyed lookups with
+expensive full-federation scans, so the shed-expensive state has
+something to discriminate.  Results land in ``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.clock import WallClock
+from repro.demo import build_demo_platform
+from repro.relational import LatencyModel
+from repro.server import AdmissionController, DataServer, WorkloadDriver
+from repro.xml.items import AtomicValue
+
+LOOKUP = "for $c in CUSTOMER() where $c/CID eq $id return $c/LAST_NAME"
+SCAN = "getProfile()"
+
+#: worker bound is tiny so a laptop-sized run saturates fast
+MAX_CONCURRENT = 4
+QUEUE_SOFT = 8
+QUEUE_HARD = 16
+STAGES = [4, 16, 48]
+STAGE_SECONDS = 0.8
+BUDGET_MS = 30_000.0
+
+ZERO_LATENCY = LatencyModel(roundtrip_ms=0.0, per_row_ms=0.0, parse_ms=0.0,
+                            connect_timeout_ms=0.0)
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+def build_serving_world():
+    platform = build_demo_platform(
+        customers=4, orders_per_customer=2, ws_latency_ms=0.0,
+        clock=WallClock(), db_latency=ZERO_LATENCY,
+    )
+    admission = AdmissionController(
+        platform.clock, max_concurrent=MAX_CONCURRENT,
+        queue_soft=QUEUE_SOFT, queue_hard=QUEUE_HARD,
+    )
+    server = DataServer(platform, admission=admission,
+                        default_budget_ms=BUDGET_MS)
+    server.register_tenant("acme", "pw", roles=("analyst",))
+    server.register_tenant("globex", "pw", roles=("analyst",))
+    return platform, server
+
+
+def _string(value: str) -> AtomicValue:
+    return AtomicValue(value, "xs:string")
+
+
+def test_overload_ramp_degrades_gracefully(report):
+    platform, server = build_serving_world()
+    try:
+        shapes = [
+            (LOOKUP, {"id": [_string(f"C{1 + i}")]}) for i in range(4)
+        ] + [(SCAN, None)]
+        driver = WorkloadDriver(
+            server, [("acme", "pw"), ("globex", "pw")], shapes)
+        results = driver.ramp(STAGES, stage_duration_s=STAGE_SECONDS)
+    finally:
+        platform.close()
+
+    stages = [result.to_dict() for result in results]
+    peak_goodput = max(stage["goodput_qps"] for stage in stages)
+    overloaded = stages[-1]
+
+    # graceful degradation: past saturation, goodput of admitted work
+    # holds within 15% of the ramp's peak — shedding absorbs the excess
+    assert overloaded["goodput_qps"] >= 0.85 * peak_goodput, \
+        f"goodput collapsed under overload: {stages}"
+    # the overloaded stage actually shed (otherwise it never saturated)
+    assert overloaded["shed"] > 0, f"ramp never saturated: {stages}"
+    # sheds are the ONLY failure mode: no timeouts, no internal errors
+    for stage in stages:
+        assert stage["errors"] == 0, f"non-shed errors: {stage}"
+        assert stage["deadline_exceeded"] == 0, f"blown deadlines: {stage}"
+    # completed-request latency stays bounded under overload (p99 within
+    # a generous constant; an unbounded queue would blow far past this)
+    assert overloaded["p99_ms"] is not None
+    assert overloaded["p99_ms"] < 500.0, f"unbounded p99: {overloaded}"
+    # the admission ledger balances and the server drained
+    snapshot = server.snapshot()
+    assert snapshot["admission"]["depth"] == 0
+    total_completed = sum(stage["completed"] for stage in stages)
+    assert snapshot["admission"]["admitted"] == total_completed
+
+    BENCH_FILE.write_text(json.dumps({
+        "benchmark": "serving-overload-ramp",
+        "config": {
+            "max_concurrent": MAX_CONCURRENT,
+            "queue_soft": QUEUE_SOFT,
+            "queue_hard": QUEUE_HARD,
+            "budget_ms": BUDGET_MS,
+            "stage_seconds": STAGE_SECONDS,
+            "workload": "4 keyed lookups : 1 federation scan",
+        },
+        "stages": stages,
+        "peak_goodput_qps": peak_goodput,
+        "serving": snapshot,
+    }, indent=2) + "\n")
+
+    lines = [
+        f"{'clients':>8s} {'offered':>9s} {'goodput':>9s} {'shed':>7s} "
+        f"{'p50':>9s} {'p99':>9s}",
+    ]
+    for stage in stages:
+        lines.append(
+            f"{stage['clients']:>8d} {stage['offered_qps']:>9.0f} "
+            f"{stage['goodput_qps']:>9.0f} {stage['shed_rate']:>7.1%} "
+            f"{stage['p50_ms']:>7.2f}ms {stage['p99_ms']:>7.2f}ms")
+    lines.append(f"peak goodput {peak_goodput:.0f} qps; overloaded stage "
+                 f"holds {overloaded['goodput_qps'] / peak_goodput:.0%}")
+    lines.append(f"baseline written to {BENCH_FILE.name}")
+    report("serving: closed-loop overload ramp (R-SERVE)", lines)

@@ -56,6 +56,8 @@ REGISTRY: dict[str, tuple[str, ...]] = {
     "runtime/context.py": ("RuntimeStats",),
     "runtime/observed.py": ("ObservedCostModel",),
     "runtime/operators/group.py": ("GroupStats",),
+    "server/admission.py": ("AdmissionController", "TokenBucket"),
+    "server/session.py": ("SessionManager",),
 }
 
 #: counter fields owned by the synchronized stats objects; writing them

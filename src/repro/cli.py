@@ -9,6 +9,8 @@
     python -m repro trace "<xquery>"     # Chrome trace JSON for a query
     python -m repro stats ["<xquery>"]   # unified metrics snapshot
     python -m repro lineage              # lineage map of the profile service
+    python -m repro serve                # serving demo: sessions + admission
+    python -m repro bench-serve          # closed-loop overload ramp
 
 All subcommands build the Figure-3 federation of :mod:`repro.demo`
 (``--customers`` controls its size).
@@ -243,6 +245,135 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _serving_world(args):
+    """A wall-clock demo federation fronted by a DataServer (R-SERVE):
+    zero simulated source latencies so concurrency is real, two tenants,
+    a small worker bound so overload is reachable."""
+    from .clock import WallClock
+    from .relational.database import LatencyModel
+    from .server import AdmissionController, DataServer, TenantQuota
+
+    zero = LatencyModel(roundtrip_ms=0.0, per_row_ms=0.0, parse_ms=0.0,
+                        connect_timeout_ms=0.0)
+    platform = build_demo_platform(
+        customers=args.customers, orders_per_customer=args.orders,
+        ws_latency_ms=0.0, clock=WallClock(), db_latency=zero,
+    )
+    admission = AdmissionController(
+        platform.clock, max_concurrent=args.max_concurrent,
+        queue_soft=args.queue_soft, queue_hard=args.queue_hard,
+    )
+    server = DataServer(platform, admission=admission,
+                        default_budget_ms=args.budget)
+    server.register_tenant("acme", "acme-secret", roles=("analyst",),
+                           quota=TenantQuota(capacity=args.quota,
+                                             refill_per_s=args.quota))
+    server.register_tenant("globex", "globex-secret", roles=("analyst",),
+                           quota=TenantQuota(capacity=args.quota,
+                                             refill_per_s=args.quota))
+    return platform, server
+
+
+_SERVE_QUERIES = [
+    # cheap keyed lookup: one pushed parameterized statement
+    ("for $c in CUSTOMER() where $c/CID eq $id return $c/LAST_NAME",
+     "lookup"),
+    # expensive scan: the full federation join
+    ("getProfile()", "scan"),
+]
+
+
+def _cmd_serve(args) -> int:
+    """In-process serving demo: open sessions for both tenants, serve a
+    small mixed workload and print the serving-plane snapshot."""
+    import json
+
+    from .errors import AdmissionError
+    from .xml.items import AtomicValue
+
+    platform, server = _serving_world(args)
+    try:
+        outcomes = {"completed": 0, "shed": 0}
+        for tenant, secret in (("acme", "acme-secret"),
+                               ("globex", "globex-secret")):
+            session = server.open_session(tenant, secret)
+            for i in range(args.requests):
+                query, kind = _SERVE_QUERIES[i % len(_SERVE_QUERIES)]
+                variables = (
+                    {"id": [AtomicValue(f"C{1 + i % args.customers}",
+                                        "xs:string")]}
+                    if kind == "lookup" else None)
+                try:
+                    response = server.execute(session.session_id, query,
+                                              variables)
+                    outcomes["completed"] += 1
+                    print(f"[{tenant}] {kind:6s} cost={response.cost:<5g} "
+                          f"items={len(response.items):<3d} "
+                          f"{response.elapsed_ms:.2f}ms")
+                except AdmissionError as exc:
+                    outcomes["shed"] += 1
+                    print(f"[{tenant}] {kind:6s} SHED ({exc.reason}, "
+                          f"retry after {exc.retry_after_ms:.1f}ms)")
+        print()
+        print(json.dumps(server.snapshot(), indent=2))
+        print(f"completed={outcomes['completed']} shed={outcomes['shed']}")
+        return 0
+    finally:
+        platform.close()
+
+
+def _cmd_bench_serve(args) -> int:
+    """Closed-loop overload ramp against the serving layer; writes the
+    per-stage QPS/latency/shed report to ``BENCH_serving.json``."""
+    import json
+
+    from .server import WorkloadDriver
+    from .xml.items import AtomicValue
+
+    platform, server = _serving_world(args)
+    try:
+        lookup, _ = _SERVE_QUERIES[0]
+        scan, _ = _SERVE_QUERIES[1]
+        shapes = [
+            (lookup, {"id": [AtomicValue(f"C{1 + i}", "xs:string")]})
+            for i in range(min(4, args.customers))
+        ] + [(scan, None)]
+        driver = WorkloadDriver(
+            server,
+            [("acme", "acme-secret"), ("globex", "globex-secret")],
+            shapes, budget_ms=args.budget,
+        )
+        stages = [int(n) for n in args.stages.split(",")]
+        results = driver.ramp(stages, stage_duration_s=args.stage_seconds)
+        report = {
+            "benchmark": "serving-overload-ramp",
+            "config": {
+                "max_concurrent": args.max_concurrent,
+                "queue_soft": args.queue_soft,
+                "queue_hard": args.queue_hard,
+                "quota_per_s": args.quota,
+                "budget_ms": args.budget,
+                "stage_seconds": args.stage_seconds,
+            },
+            "stages": [result.to_dict() for result in results],
+            "serving": server.snapshot(),
+        }
+        with open(args.output, "w") as sink:
+            json.dump(report, sink, indent=2)
+            sink.write("\n")
+        for result in results:
+            stage = result.to_dict()
+            print(f"clients={stage['clients']:<5d} "
+                  f"offered={stage['offered_qps']:<8g} "
+                  f"goodput={stage['goodput_qps']:<8g} "
+                  f"shed={stage['shed_rate']:<7.2%} "
+                  f"p50={stage['p50_ms']}ms p99={stage['p99_ms']}ms")
+        print(f"wrote {args.output}")
+        return 0
+    finally:
+        platform.close()
+
+
 def _cmd_lineage(args) -> int:
     platform = _build(args)
     lineage = platform.lineage("ProfileService")
@@ -317,6 +448,37 @@ def build_parser() -> argparse.ArgumentParser:
     stats.set_defaults(fn=_cmd_stats)
     commands.add_parser("lineage", help="lineage map of the profile service") \
         .set_defaults(fn=_cmd_lineage)
+
+    def serving_args(sub):
+        sub.add_argument("--max-concurrent", type=int, default=4,
+                         help="admitted requests executing at once")
+        sub.add_argument("--queue-soft", type=int, default=8,
+                         help="depth at which expensive requests are shed")
+        sub.add_argument("--queue-hard", type=int, default=16,
+                         help="depth at which everything is shed")
+        sub.add_argument("--quota", type=float, default=10_000.0,
+                         help="per-tenant token-bucket rate (requests/s)")
+        sub.add_argument("--budget", type=float, default=2_000.0,
+                         help="per-request deadline budget in ms")
+
+    serve = commands.add_parser(
+        "serve", help="in-process serving demo: sessions + admission "
+                      "control over the demo federation")
+    serving_args(serve)
+    serve.add_argument("--requests", type=int, default=8,
+                       help="requests per tenant session")
+    serve.set_defaults(fn=_cmd_serve)
+    bench_serve = commands.add_parser(
+        "bench-serve", help="closed-loop overload ramp; writes "
+                            "BENCH_serving.json")
+    serving_args(bench_serve)
+    bench_serve.add_argument("--stages", default="4,16,48",
+                             help="comma-separated client counts per stage")
+    bench_serve.add_argument("--stage-seconds", type=float, default=1.0,
+                             help="wall seconds per ramp stage")
+    bench_serve.add_argument("--output", default="BENCH_serving.json",
+                             help="report path")
+    bench_serve.set_defaults(fn=_cmd_bench_serve)
     health = commands.add_parser(
         "health", help="run the demo under faults and report source health")
     health.add_argument("--kill", action="append", default=[], metavar="SOURCE",

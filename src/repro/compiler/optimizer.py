@@ -419,6 +419,54 @@ def _rename_all_vars(node: ast.AstNode, mapping: dict[str, str]) -> ast.AstNode:
     return node
 
 
+def canonicalize_gensyms(node: ast.AstNode) -> ast.AstNode:
+    """Renumber every compiler-generated (``#``-prefixed) variable in
+    deterministic pre-order, keeping prefixes (``#flt7`` -> ``#flt2``).
+
+    Run after optimization: two compiles of the same query then produce
+    byte-identical plans even when they burned different gensym numbers on
+    the way (a cold view-plan cache sub-optimizes the view body, a warm one
+    skips straight to the cached copy).  The active compilation scope's
+    counter is restarted just past the canonical range, so later passes
+    (SQL pushdown) also draw deterministic numbers.
+
+    Within one compilation every gensym names exactly one binder (the
+    counter never repeats, and inlined view bodies are alpha-renamed into
+    the current scope), so a name-keyed total rename cannot merge or
+    capture binders.
+    """
+    from ..xquery.parser import reset_gensym_scope
+
+    mapping: dict[str, str] = {}
+
+    def visit_name(name: str | None) -> None:
+        if name and name.startswith("#") and name not in mapping:
+            prefix = name[1:].rstrip("0123456789") or "g"
+            mapping[name] = f"#{prefix}{len(mapping) + 1}"
+
+    for sub in node.walk():
+        if isinstance(sub, ast.VarRef):
+            visit_name(sub.name)
+        elif isinstance(sub, ast.ForClause):
+            visit_name(sub.var)
+            visit_name(sub.pos_var)
+        elif isinstance(sub, ast.LetClause):
+            visit_name(sub.var)
+        elif isinstance(sub, ast.GroupByClause):
+            for source, target in sub.grouped:
+                visit_name(source)
+                visit_name(target)
+            for _expr, var in sub.keys:
+                visit_name(var)
+        elif isinstance(sub, ast.Quantified):
+            for var, _expr in sub.bindings:
+                visit_name(var)
+    reset_gensym_scope(len(mapping) + 1)
+    if not mapping:
+        return node
+    return _rename_all_vars(node, mapping)
+
+
 def _rename_free_vars(node: ast.AstNode, mapping: dict[str, str]) -> ast.AstNode:
     """Rename free variable references (used for parameter binding; bound
     names inside the body were already alpha-renamed to fresh names, so no

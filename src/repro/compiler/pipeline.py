@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from ..concurrency import RACE, TrackedRLock, guarded_by
 from ..xquery import ast_nodes as ast
 from ..xquery.normalize import normalize, normalize_module
-from ..xquery.parser import Parser
+from ..xquery.parser import Parser, gensym_scope
 from ..xquery.typecheck import FunctionTable, TypeChecker
 from .inverse import InverseRegistry
 from .optimizer import Optimizer
@@ -83,14 +83,16 @@ class Compiler:
         Previously deployed functions (``self.module``) stay visible so a
         data service can compose functions of other services.
         """
-        module = Parser(text, self.options.mode).parse_module()
-        normalize_module(module)
-        table = FunctionTable([module, self.module] if self.module is not None else module,
-                              self.registry.signatures())
-        checker = TypeChecker(table, self.options.mode)
-        checker.check_module(module)
-        module.errors.extend(checker.errors)
-        return module
+        with gensym_scope():
+            module = Parser(text, self.options.mode).parse_module()
+            normalize_module(module)
+            table = FunctionTable(
+                [module, self.module] if self.module is not None else module,
+                self.registry.signatures())
+            checker = TypeChecker(table, self.options.mode)
+            checker.check_module(module)
+            module.errors.extend(checker.errors)
+            return module
 
     # -- query compilation ------------------------------------------------------------
 
@@ -100,12 +102,18 @@ class Compiler:
         ``externals`` declares external variables (name -> SequenceType)
         bound at execution time.
         """
-        parser = Parser(text, self.options.mode)
-        expr = parser.parse_main_expression()
-        return self.compile_tree(expr, source=text, externals=externals)
+        with gensym_scope():
+            parser = Parser(text, self.options.mode)
+            expr = parser.parse_main_expression()
+            return self.compile_tree(expr, source=text, externals=externals)
 
     def compile_tree(self, expr: ast.AstNode, source: str = "",
                      externals: dict | None = None) -> CompiledPlan:
+        with gensym_scope():
+            return self._compile_tree(expr, source, externals)
+
+    def _compile_tree(self, expr: ast.AstNode, source: str,
+                      externals: dict | None) -> CompiledPlan:
         from ..schema.types import ITEM_STAR
 
         expr = normalize(expr)
@@ -123,6 +131,12 @@ class Compiler:
             no_inline=self.options.no_inline,
         )
         expr = optimizer.optimize(expr)
+        from .optimizer import canonicalize_gensyms
+
+        # Deterministic plans: renumber gensyms in pre-order so a repeat
+        # compile (warm view cache, different counter state) is
+        # byte-identical, and pushdown draws from a canonical counter.
+        expr = canonicalize_gensyms(expr)
         from ..sql.rewriter import push_sql
 
         expr = push_sql(expr, self.options.push, bound=frozenset(env))
@@ -157,10 +171,11 @@ class Compiler:
         params = [f"__arg{i}" for i in range(arity)]
         args = ", ".join(f"${p}" for p in params)
         call_source = f"{function_name}({args})"
-        parser = Parser(call_source)
-        expr = parser.parse_main_expression()
-        externals = {p: ITEM_STAR for p in params}
-        return self.compile_tree(expr, source=call_source, externals=externals)
+        with gensym_scope():
+            parser = Parser(call_source)
+            expr = parser.parse_main_expression()
+            externals = {p: ITEM_STAR for p in params}
+            return self.compile_tree(expr, source=call_source, externals=externals)
 
     def _function_table(self, module: ast.Module | None) -> FunctionTable:
         return FunctionTable(module, self.registry.signatures())

@@ -88,6 +88,44 @@ class CircuitOpenError(SourceError):
     breaker fast-fails; retry policies never retry it."""
 
 
+class DeadlineExceededError(DynamicError):
+    """The request's deadline passed while the query was executing
+    (R-SERVE).  Deliberately *not* a :class:`SourceError`: retries never
+    retry it and partial-results mode never absorbs it — a doomed query
+    must stop consuming source roundtrips, not degrade and keep going."""
+
+
+class PlatformClosedError(ReproError):
+    """An operation was submitted to a :class:`~repro.services.platform.
+    Platform` after :meth:`~repro.services.platform.Platform.close`.
+    ``close()`` itself is idempotent; only *new* work fails."""
+
+
+class AdmissionError(ReproError):
+    """A request was shed by the serving layer's admission controller
+    (R-SERVE) — a structured, retry-after-bearing rejection rather than a
+    timeout.  ``reason`` is one of ``"quota"`` (the tenant's token bucket
+    is empty), ``"overload"`` (the server's queue is at its hard limit) or
+    ``"cost"`` (load shedding: only cheap keyed lookups are admitted while
+    the server is saturated)."""
+
+    def __init__(self, message: str, tenant: str, reason: str,
+                 retry_after_ms: float = 0.0, state: str = "open"):
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_ms = retry_after_ms
+        self.state = state
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "reason": self.reason,
+            "retry_after_ms": round(self.retry_after_ms, 3),
+            "state": self.state,
+        }
+
+
 class SQLError(ReproError):
     """Raised by the simulated relational engine for bad SQL or constraint
     violations."""

@@ -90,9 +90,14 @@ class Gauge:
 
 @guarded_by("_lock")
 class Histogram:
-    """Count/sum/min/max/avg over observed values (span durations)."""
+    """Count/sum/min/max/avg over observed values (span durations), plus
+    approximate percentiles from a bounded deterministic reservoir."""
 
-    __slots__ = ("count", "total", "min", "max", "_lock")
+    __slots__ = ("count", "total", "min", "max", "_samples", "_stride",
+                 "_lock")
+
+    #: reservoir bound; past it, retention decimates deterministically
+    RESERVOIR = 512
 
     def __init__(self, lock: TrackedRLock | None = None) -> None:
         self._lock = lock if lock is not None else TrackedRLock("Histogram")
@@ -100,6 +105,11 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        # Deterministic stride reservoir: keep every k-th observation,
+        # doubling k (and halving the kept set) whenever the buffer
+        # fills.  No RNG, so repeated runs see identical percentiles.
+        self._samples: list[float] = []
+        self._stride = 1
 
     def observe(self, value: float) -> None:
         with self._lock:
@@ -109,7 +119,22 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            if (self.count - 1) % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) >= self.RESERVOIR:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
             RACE.detector.on_access(self, "count", True)
+
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile (``q`` in [0, 100]) over the
+        reservoir — approximate once decimation kicks in."""
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+            rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
+            return ordered[min(rank, len(ordered)) - 1]
 
     def reset(self) -> None:
         with self._lock:
@@ -117,6 +142,8 @@ class Histogram:
             self.total = 0.0
             self.min = None
             self.max = None
+            self._samples = []
+            self._stride = 1
 
     def snapshot(self) -> dict:
         with self._lock:

@@ -22,13 +22,19 @@ aborting (section 5.6's middleware-keeps-answering story).
 
 from __future__ import annotations
 
+import contextvars
 import random
 from dataclasses import dataclass
 from typing import Callable
 
 from ..clock import Clock, VirtualClock
 from ..concurrency import TrackedRLock, guarded_by
-from ..errors import CircuitOpenError, SourceError, SourceTimeoutError
+from ..errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    SourceError,
+    SourceTimeoutError,
+)
 from ..observability.tracer import NoopTracer
 from .policy import CircuitBreaker, SourcePolicy
 
@@ -70,12 +76,18 @@ class SourceGuard:
                         if policy.breaker else None)
         self._lock = TrackedRLock("SourceGuard")
 
-    def call(self, thunk: Callable[[], object]):
+    def call(self, thunk: Callable[[], object], deadline=None):
+        """Run ``thunk`` under the policy.  ``deadline`` is the owning
+        :class:`ResilienceManager` (or None): each attempt and each retry
+        backoff is checked against the calling request's remaining budget,
+        so a doomed query stops consuming source roundtrips (R-SERVE)."""
         retry = self.policy.retry
         max_attempts = retry.max_attempts if retry is not None else 1
         start = self.clock.now_ms()
         attempts = 0
         while True:
+            if deadline is not None:
+                deadline.check_deadline(self.name)
             with self._lock:
                 if self.breaker is not None:
                     try:
@@ -89,7 +101,7 @@ class SourceGuard:
             try:
                 with self.tracer.start("source.attempt", self.name,
                                        attempt=attempts):
-                    result = self._attempt(thunk)
+                    result = self._attempt(thunk, deadline)
             except CircuitOpenError:
                 raise  # shed inside the attempt: not a source failure
             except SourceError as exc:
@@ -107,16 +119,27 @@ class SourceGuard:
                     exc.resilience_attempts = attempts
                     exc.resilience_elapsed_ms = self.clock.now_ms() - start
                     raise
+                delay = retry.delay_ms(attempts, self.rng)
+                if deadline is not None:
+                    remaining = deadline.remaining_ms()
+                    if remaining is not None and delay >= remaining:
+                        # The backoff alone exhausts the budget: don't
+                        # sleep into a deadline we already know we'll miss.
+                        raise DeadlineExceededError(
+                            f"request deadline passed during retry backoff "
+                            f"for source {self.name} "
+                            f"(attempt {attempts}/{max_attempts})"
+                        ) from exc
                 if self.stats is not None:
                     self.stats.bump(retries=1)
-                self.clock.charge_ms(retry.delay_ms(attempts, self.rng))
+                self.clock.charge_ms(delay)
             else:
                 with self._lock:
                     if self.breaker is not None:
                         self.breaker.record_success()
                 return result
 
-    def _attempt(self, thunk: Callable[[], object]):
+    def _attempt(self, thunk: Callable[[], object], deadline=None):
         """One attempt under the policy's time budget.
 
         Virtual clock: the attempt runs in a clock branch; an overrun
@@ -125,8 +148,17 @@ class SourceGuard:
         budget, per section 5.6).  Wall clock: the overrun is detected
         after the fact — real time cannot be recalled — and still raises,
         so retry/degradation semantics match across modes.
+
+        The request deadline caps the per-attempt budget: an attempt never
+        gets more time than the whole request has left.
         """
         limit = self.policy.timeout_ms
+        deadline_capped = False
+        if deadline is not None:
+            remaining = deadline.remaining_ms()
+            if remaining is not None and (limit is None or remaining < limit):
+                limit = remaining
+                deadline_capped = True
         if limit is None:
             return thunk()
         if isinstance(self.clock, VirtualClock):
@@ -142,21 +174,30 @@ class SourceGuard:
                 raise failed
             if elapsed > limit:
                 self.clock.charge_ms(limit)
-                raise SourceTimeoutError(
-                    f"source {self.name} exceeded its {limit:g}ms budget "
-                    f"(needed {elapsed:g}ms)"
-                )
+                raise self._overrun(limit, elapsed, deadline_capped)
             self.clock.charge_ms(elapsed)
             return result
         start = self.clock.now_ms()
         result = thunk()
         elapsed = self.clock.now_ms() - start
         if elapsed > limit:
-            raise SourceTimeoutError(
-                f"source {self.name} exceeded its {limit:g}ms budget "
-                f"(needed {elapsed:g}ms)"
-            )
+            raise self._overrun(limit, elapsed, deadline_capped)
         return result
+
+    def _overrun(self, limit: float, elapsed: float, deadline_capped: bool):
+        """The error for a blown attempt budget.  A policy-timeout overrun
+        is a retryable/absorbable :class:`SourceTimeoutError`; a
+        request-deadline overrun is terminal — retrying or degrading a
+        request that is already past its deadline only burns roundtrips."""
+        if deadline_capped:
+            return DeadlineExceededError(
+                f"source {self.name} overran the request's remaining "
+                f"{limit:g}ms budget (needed {elapsed:g}ms)"
+            )
+        return SourceTimeoutError(
+            f"source {self.name} exceeded its {limit:g}ms budget "
+            f"(needed {elapsed:g}ms)"
+        )
 
 
 @guarded_by("_lock")
@@ -177,10 +218,59 @@ class ResilienceManager:
         self._guards: dict[str, SourceGuard] = {}
         self._stats: dict[str, object] = {}
         self._lock = TrackedRLock("ResilienceManager")
-        #: records absorbed during the current query (partial-results mode)
-        self.degradations: list[DegradationRecord] = []
+        #: records absorbed during the current *request* (partial-results
+        #: mode) — a ContextVar so concurrent requests on one shared
+        #: manager each see only their own degradations; async branch
+        #: threads inherit the submitting request's list (the executor
+        #: copies the caller's context, and the list object is shared)
+        self._degradations: contextvars.ContextVar = contextvars.ContextVar(
+            "repro.degradations", default=None
+        )
+        #: the calling request's absolute deadline in clock-ms (R-SERVE) —
+        #: a ContextVar for the same per-request isolation, flowing into
+        #: every attempt budget and retry decision below
+        self._deadline: contextvars.ContextVar = contextvars.ContextVar(
+            "repro.deadline", default=None
+        )
         #: query tracer, propagated to every guard (DynamicContext.set_tracer)
         self.tracer = NoopTracer()
+
+    # -- per-request state ----------------------------------------------------
+
+    @property
+    def degradations(self) -> list[DegradationRecord]:
+        """Degradation records of the calling request's context."""
+        records = self._degradations.get()
+        return records if records is not None else []
+
+    def set_deadline(self, at_ms: float | None):
+        """Install the calling request's absolute deadline (clock-ms);
+        returns a token for :meth:`reset_deadline`.  ``None`` clears it."""
+        return self._deadline.set(at_ms)
+
+    def reset_deadline(self, token) -> None:
+        self._deadline.reset(token)
+
+    def deadline_ms(self) -> float | None:
+        """The calling request's absolute deadline, if one is set."""
+        return self._deadline.get()
+
+    def remaining_ms(self) -> float | None:
+        """Clock-ms left before the calling request's deadline."""
+        at_ms = self._deadline.get()
+        if at_ms is None:
+            return None
+        return at_ms - self.clock.now_ms()
+
+    def check_deadline(self, source: str) -> None:
+        """Raise :class:`DeadlineExceededError` if the request's deadline
+        has already passed — *before* spending a source roundtrip on it."""
+        remaining = self.remaining_ms()
+        if remaining is not None and remaining <= 0:
+            raise DeadlineExceededError(
+                f"request deadline passed before invoking source {source} "
+                f"({-remaining:g}ms over budget)"
+            )
 
     # -- configuration -------------------------------------------------------
 
@@ -208,7 +298,9 @@ class ResilienceManager:
     # -- invocation path -----------------------------------------------------
 
     def call(self, name: str, thunk: Callable[[], object], stats=None):
-        """Run one source invocation under the source's policy (if any)."""
+        """Run one source invocation under the source's policy (if any)
+        and the calling request's deadline (if one is set)."""
+        self.check_deadline(name)
         if stats is not None and self._stats.get(name) is not stats:
             self.register_stats(name, stats)
         guard = self._guard(name)
@@ -217,7 +309,7 @@ class ResilienceManager:
             if bound is not None:
                 bound.bump(attempts=1)
             return thunk()
-        return guard.call(thunk)
+        return guard.call(thunk, deadline=self)
 
     def _guard(self, name: str) -> SourceGuard | None:
         with self._lock:
@@ -237,13 +329,16 @@ class ResilienceManager:
     # -- graceful degradation ------------------------------------------------
 
     def begin_query(self) -> None:
-        with self._lock:
-            self.degradations = []
+        """Start a fresh degradation list for the calling request's
+        context (other in-flight requests keep their own lists)."""
+        self._degradations.set([])
 
     def absorb(self, source: str, exc: SourceError) -> bool:
         """In partial-results mode, record the failure and report True (the
-        caller substitutes an empty sequence); otherwise False (re-raise)."""
-        if not self.partial_results:
+        caller substitutes an empty sequence); otherwise False (re-raise).
+        Deadline overruns are never absorbed: a request past its budget
+        must stop, not degrade and keep consuming roundtrips."""
+        if not self.partial_results or isinstance(exc, DeadlineExceededError):
             return False
         record = DegradationRecord(
             source=source,
@@ -251,8 +346,14 @@ class ResilienceManager:
             attempts=getattr(exc, "resilience_attempts", 1),
             elapsed_ms=getattr(exc, "resilience_elapsed_ms", 0.0),
         )
+        records = self._degradations.get()
+        if records is None:
+            records = []
+            self._degradations.set(records)
         with self._lock:
-            self.degradations.append(record)
+            # The list is per-request, but a request's async branches may
+            # absorb concurrently — the manager lock covers the append.
+            records.append(record)
             stats = self._stats.get(source)
         if stats is not None:
             stats.bump(degraded=1)
@@ -282,6 +383,6 @@ class ResilienceManager:
         }
 
     def reset_stats(self) -> None:
-        """Clear degradation records (breaker state is live and survives)."""
-        with self._lock:
-            self.degradations = []
+        """Clear the calling context's degradation records (breaker state
+        is live and survives)."""
+        self._degradations.set([])

@@ -38,6 +38,7 @@ from typing import Callable, TypeVar
 
 from ..clock import Clock, VirtualClock
 from ..concurrency import TrackedRLock, guarded_by
+from ..errors import PlatformClosedError
 from ..observability.tracer import NoopTracer
 
 T = TypeVar("T")
@@ -58,6 +59,7 @@ class AsyncExecutor:
         self.max_workers = max_workers
         self._lock = TrackedRLock("AsyncExecutor")
         self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
         #: how many parallel groups were executed (bench observability)
         self.groups_run = 0
         self.branches_run = 0
@@ -171,6 +173,11 @@ class AsyncExecutor:
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
+            if self._closed:
+                raise PlatformClosedError(
+                    "async executor is closed: the owning Platform was "
+                    "close()d; submit no new parallel work"
+                )
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
             return self._pool
@@ -238,10 +245,18 @@ class AsyncExecutor:
             failed = True
         return result, self.clock.now_ms() - start, failed
 
-    def shutdown(self, wait: bool = True) -> None:
+    def shutdown(self, wait: bool = True, final: bool = False) -> None:
         """Stop the worker pool.  Waits for workers by default — a
-        fire-and-forget shutdown leaks threads across Platform resets."""
+        fire-and-forget shutdown leaks threads across Platform resets.
+
+        ``final=True`` (``Platform.close``) additionally marks the
+        executor closed: a later parallel group raises
+        :class:`PlatformClosedError` instead of silently re-creating a
+        pool the closed platform would leak.  Idempotent and safe under
+        concurrent callers — exactly one takes the pool reference."""
         with self._lock:
+            if final:
+                self._closed = True
             pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=wait)

@@ -214,8 +214,10 @@ class DynamicContext:
 
     def close(self) -> None:
         """Release runtime resources: joins the async executor's worker
-        threads so a discarded context cannot leak them."""
-        self.async_exec.shutdown()
+        threads so a discarded context cannot leak them, and marks the
+        executor closed so late parallel work cannot re-create the pool.
+        Idempotent and safe to race with in-flight queries."""
+        self.async_exec.shutdown(final=True)
 
     def renderer(self, vendor: str) -> SqlRenderer:
         if vendor not in self._renderers:

@@ -1,0 +1,175 @@
+"""Closed-loop workload driver for the serving layer (R-SERVE).
+
+Simulates N concurrent users against a :class:`~repro.server.frontend.
+DataServer`: each client issues its next request only after the previous
+one completes (closed loop), and on a shed it *honors the protocol* —
+sleeping the rejection's ``retry_after_ms`` before retrying — which is
+exactly what keeps goodput flat past saturation instead of collapsing
+under retry storms.
+
+A :func:`WorkloadDriver.ramp` runs stages of increasing client counts
+over one server and reports per-stage QPS, goodput (completed requests
+per second), latency percentiles of *completed* requests, shed rate and
+error counts — the shape ``BENCH_serving.json`` records.
+
+Wall-clock only: the virtual clock is single-query by design; hundreds
+of clients need threads that physically overlap (the stress-harness
+pattern, A-CONC).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..errors import AdmissionError, DeadlineExceededError
+from .frontend import DataServer
+
+#: cap on how long a client honors a retry-after hint (keeps closed-loop
+#: clients responsive when the hint is pessimistic)
+MAX_BACKOFF_S = 0.25
+
+
+def percentile(samples: list[float], q: float) -> float | None:
+    """Nearest-rank percentile (q in [0, 100]) of a sample list."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class StageResult:
+    """One ramp stage's outcome over ``duration_s`` of wall time."""
+
+    clients: int
+    duration_s: float
+    completed: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    errors: int = 0
+    shed_reasons: dict[str, int] = field(default_factory=dict)
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def attempts(self) -> int:
+        return self.completed + self.shed + self.deadline_exceeded + self.errors
+
+    @property
+    def goodput_qps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def offered_qps(self) -> float:
+        return self.attempts / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.attempts if self.attempts else 0.0
+
+    def to_dict(self) -> dict:
+        p50 = percentile(self.latencies_ms, 50)
+        p99 = percentile(self.latencies_ms, 99)
+        return {
+            "clients": self.clients,
+            "duration_s": round(self.duration_s, 3),
+            "attempts": self.attempts,
+            "completed": self.completed,
+            "shed": self.shed,
+            "shed_reasons": dict(sorted(self.shed_reasons.items())),
+            "deadline_exceeded": self.deadline_exceeded,
+            "errors": self.errors,
+            "offered_qps": round(self.offered_qps, 1),
+            "goodput_qps": round(self.goodput_qps, 1),
+            "shed_rate": round(self.shed_rate, 4),
+            "p50_ms": round(p50, 3) if p50 is not None else None,
+            "p99_ms": round(p99, 3) if p99 is not None else None,
+        }
+
+
+class WorkloadDriver:
+    """Closed-loop clients over one server.
+
+    ``queries`` is a list of ``(query_text, variables)`` request shapes;
+    client *i*'s *n*-th request uses shape ``(i + n) % len(queries)``, so
+    the mix is deterministic per client count.  Each client runs in its
+    own session (its own tenant credentials round-robin over
+    ``credentials``)."""
+
+    def __init__(self, server: DataServer,
+                 credentials: list[tuple[str, str]],
+                 queries: list[tuple[str, dict | None]],
+                 budget_ms: float | None = None):
+        if not credentials or not queries:
+            raise ValueError("need at least one credential and one query")
+        self.server = server
+        self.credentials = credentials
+        self.queries = queries
+        self.budget_ms = budget_ms
+
+    def _client(self, index: int, stop: threading.Event,
+                barrier: threading.Barrier, result: StageResult,
+                lock: threading.Lock) -> None:
+        tenant, secret = self.credentials[index % len(self.credentials)]
+        session = self.server.open_session(tenant, secret)
+        barrier.wait()
+        n = 0
+        while not stop.is_set():
+            query, variables = self.queries[(index + n) % len(self.queries)]
+            n += 1
+            start = time.perf_counter()
+            try:
+                self.server.execute(session.session_id, query, variables,
+                                    budget_ms=self.budget_ms)
+            except AdmissionError as exc:
+                with lock:
+                    result.shed += 1
+                    result.shed_reasons[exc.reason] = \
+                        result.shed_reasons.get(exc.reason, 0) + 1
+                # honor the protocol: back off as told (bounded)
+                delay = min(exc.retry_after_ms / 1000.0, MAX_BACKOFF_S)
+                if delay > 0 and not stop.is_set():
+                    time.sleep(delay)
+                continue
+            except DeadlineExceededError:
+                with lock:
+                    result.deadline_exceeded += 1
+                continue
+            except Exception:  # noqa: BLE001 - counted, re-raised via errors
+                with lock:
+                    result.errors += 1
+                continue
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            with lock:
+                result.completed += 1
+                result.latencies_ms.append(elapsed_ms)
+        self.server.close_session(session.session_id)
+
+    def run_stage(self, clients: int, duration_s: float) -> StageResult:
+        """Run ``clients`` closed-loop users for ``duration_s`` seconds."""
+        result = StageResult(clients=clients, duration_s=duration_s)
+        stop = threading.Event()
+        barrier = threading.Barrier(clients + 1)
+        lock = threading.Lock()
+        pool = [
+            threading.Thread(
+                target=self._client, args=(i, stop, barrier, result, lock),
+                name=f"client-{i}", daemon=True)
+            for i in range(clients)
+        ]
+        for thread in pool:
+            thread.start()
+        barrier.wait()
+        time.sleep(duration_s)
+        stop.set()
+        for thread in pool:
+            thread.join()
+        return result
+
+    def ramp(self, stages: list[int],
+             stage_duration_s: float = 1.0) -> list[StageResult]:
+        """Run an overload ramp: one stage per client count."""
+        return [self.run_stage(clients, stage_duration_s)
+                for clients in stages]

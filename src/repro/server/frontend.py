@@ -1,0 +1,152 @@
+"""The concurrent serving front-end (R-SERVE): one :class:`DataServer`
+over one shared :class:`~repro.services.platform.Platform`.
+
+Request path, in order:
+
+1. **session** — resolve (and touch) the caller's session; the query
+   executes as the session's user, so the security service's function-
+   and element-level policies apply per tenant;
+2. **prepare** — compile or fetch the plan (the plan cache is shared
+   across sessions; section 3.3's "compiled once, executed repeatedly");
+3. **estimate** — :func:`~repro.server.cost.estimate_cost` over the
+   compiled plan feeds the admission decision;
+4. **admit or shed** — quotas, load state and the cost threshold
+   (:mod:`repro.server.admission`); sheds raise structured
+   :class:`~repro.errors.AdmissionError`\\ s with a retry-after hint;
+5. **execute under deadline** — admitted requests run under the worker
+   semaphore with the request budget installed as a resilience-manager
+   deadline, so retries/backoffs/attempts inside PP-k blocks and scatter
+   branches stop the moment the request is doomed.
+
+Everything the server observes lands in the platform's unified metrics
+plane under the ``server.*`` family.
+
+Thread-safety (A-CONC): the server itself is stateless between requests
+apart from its components, each synchronized on its own lock (sessions,
+admission, metrics); per-request state rides the engine's existing
+contextvars (bindings, degradations, deadline) so concurrent requests
+on one platform never see each other's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AdmissionError, DeadlineExceededError
+from ..resilience import DegradationRecord
+from ..services.platform import Platform
+from ..xml.items import Item
+from .admission import AdmissionController, TenantQuota
+from .cost import estimate_cost
+from .session import Session, SessionManager
+
+
+@dataclass
+class ServerResponse:
+    """One admitted request's outcome: the (security-filtered) items plus
+    what serving it cost and what degraded along the way."""
+
+    items: list[Item]
+    elapsed_ms: float
+    cost: float
+    session_id: str
+    degradations: list[DegradationRecord] = field(default_factory=list)
+
+
+class DataServer:
+    """A serving facade: sessions + admission + deadlines over a shared
+    platform.  Construct one per platform; it is safe to call from any
+    number of request threads."""
+
+    def __init__(self, platform: Platform,
+                 sessions: SessionManager | None = None,
+                 admission: AdmissionController | None = None,
+                 default_budget_ms: float | None = None,
+                 default_quota: TenantQuota | None = None):
+        self.platform = platform
+        self.clock = platform.clock
+        self.sessions = sessions or SessionManager(
+            platform.security, platform.clock)
+        self.admission = admission or AdmissionController(
+            platform.clock, default_quota=default_quota)
+        self.default_budget_ms = default_budget_ms
+        self.metrics = platform.metrics
+
+    # -- session conveniences -------------------------------------------------
+
+    def register_tenant(self, name: str, secret: str,
+                        roles: tuple[str, ...] = (),
+                        quota: TenantQuota | None = None):
+        tenant = self.sessions.register_tenant(name, secret, roles)
+        if quota is not None:
+            self.admission.set_quota(name, quota.capacity, quota.refill_per_s)
+        return tenant
+
+    def open_session(self, tenant: str, secret: str) -> Session:
+        session = self.sessions.open_session(tenant, secret)
+        self.metrics.counter("server.sessions_opened").inc()
+        self.metrics.gauge("server.sessions_live").set(
+            self.sessions.live_count())
+        return session
+
+    def close_session(self, session_id: str) -> None:
+        self.sessions.close_session(session_id)
+        self.metrics.gauge("server.sessions_live").set(
+            self.sessions.live_count())
+
+    # -- the request path -----------------------------------------------------
+
+    def execute(self, session_id: str, query: str,
+                variables: dict[str, list[Item]] | None = None,
+                budget_ms: float | None = None) -> ServerResponse:
+        """Serve one request.  Raises :class:`AdmissionError` on shed,
+        :class:`~repro.errors.SecurityError` on a dead session or policy
+        violation, :class:`~repro.errors.DeadlineExceededError` past the
+        budget, :class:`~repro.errors.PlatformClosedError` after close."""
+        self.metrics.counter("server.requests").inc()
+        session = self.sessions.get(session_id)
+        bindings = dict(session.variables)
+        if variables:
+            bindings.update(variables)
+        plan = self.platform.prepare(query, bindings or None)
+        cost = estimate_cost(plan.expr)
+        try:
+            ticket = self.admission.admit(session.tenant, cost)
+        except AdmissionError as exc:
+            self.metrics.counter("server.shed", reason=exc.reason).inc()
+            raise
+        budget = budget_ms if budget_ms is not None else self.default_budget_ms
+        start = self.clock.now_ms()
+        try:
+            with ticket:
+                self.metrics.gauge("server.in_flight").set(
+                    self.admission.depth)
+                items = self.platform.execute(
+                    query, bindings or None, user=session.user,
+                    budget_ms=budget)
+                degradations = list(self.platform.last_degradations)
+        except DeadlineExceededError:
+            self.metrics.counter("server.deadline_exceeded").inc()
+            raise
+        except AdmissionError:
+            raise
+        except Exception:
+            self.metrics.counter("server.errors").inc()
+            raise
+        elapsed = self.clock.now_ms() - start
+        self.admission.observe_service_ms(elapsed)
+        self.metrics.counter("server.completed").inc()
+        kind = "lookup" if cost <= self.admission.cost_threshold else "scan"
+        self.metrics.histogram("server.latency_ms", kind=kind).observe(elapsed)
+        return ServerResponse(items=items, elapsed_ms=elapsed, cost=cost,
+                              session_id=session_id,
+                              degradations=degradations)
+
+    # -- introspection --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serving-plane state: sessions, admission and load state."""
+        return {
+            "sessions": self.sessions.snapshot(),
+            "admission": self.admission.snapshot(),
+        }

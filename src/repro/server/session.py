@@ -1,0 +1,163 @@
+"""Sessions and tenants for the concurrent serving layer (R-SERVE).
+
+The ALDSP client APIs are stateless at the query level (section 2.2), but
+the *server* keeps lightweight session state per connected client: who
+the caller is (tenant + roles, enforced through the existing
+:mod:`repro.security` service) and the client's session-scoped variable
+bindings.  A session never holds query results — plans and caches stay
+shared across users, with security filtering applied post-cache
+(section 7) — so sessions are cheap enough to keep thousands of them.
+
+Thread-safety (A-CONC): the :class:`SessionManager` is hit by every
+request thread (lookup + touch) and by admin threads (tenant
+registration, idle sweeps); one lock guards the tenant and session maps.
+A :class:`Session`'s own mutable state (``variables``, ``last_used_ms``)
+is written only through the manager's synchronized methods.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..clock import Clock
+from ..concurrency import RACE, TrackedRLock, guarded_by
+from ..errors import SecurityError
+from ..security.policy import SecurityService, User
+from ..xml.items import Item
+
+
+@dataclass
+class Tenant:
+    """A registered client organization: credentials plus the roles its
+    sessions act under (the roles feed straight into the security
+    service's function- and element-level checks)."""
+
+    name: str
+    secret: str
+    roles: frozenset[str] = frozenset()
+
+
+@dataclass
+class Session:
+    """One authenticated client conversation.
+
+    ``user`` is the :class:`~repro.security.policy.User` every query in
+    the session executes as; ``variables`` are session-scoped external
+    variable bindings merged (under the request's own bindings) into each
+    query.
+    """
+
+    session_id: str
+    tenant: str
+    user: User
+    created_ms: float
+    last_used_ms: float
+    variables: dict[str, list[Item]] = field(default_factory=dict)
+
+
+@guarded_by("_lock")
+class SessionManager:
+    """Tenant registry + live-session table.
+
+    Thread-safety (A-CONC): ``_lock`` guards ``_tenants``, ``_sessions``
+    and the session-id counter; every access path (open, get/touch,
+    close, sweep) takes it."""
+
+    def __init__(self, security: SecurityService, clock: Clock,
+                 idle_timeout_ms: float = 300_000.0):
+        self.security = security
+        self.clock = clock
+        self.idle_timeout_ms = idle_timeout_ms
+        self._lock = TrackedRLock("SessionManager")
+        self._tenants: dict[str, Tenant] = {}
+        self._sessions: dict[str, Session] = {}
+        self._ids = itertools.count(1)
+        self.opened = 0
+        self.auth_failures = 0
+        self.expired = 0
+
+    # -- tenant administration ----------------------------------------------
+
+    def register_tenant(self, name: str, secret: str,
+                        roles: tuple[str, ...] | frozenset[str] = ()) -> Tenant:
+        tenant = Tenant(name, secret, frozenset(roles))
+        with self._lock:
+            self._tenants[name] = tenant
+            RACE.detector.on_access(self, "_tenants", True)
+        return tenant
+
+    # -- session lifecycle --------------------------------------------------
+
+    def open_session(self, tenant_name: str, secret: str) -> Session:
+        """Authenticate against the tenant registry and open a session.
+
+        Bad credentials raise :class:`~repro.errors.SecurityError` — the
+        same error family as the function-level access checks."""
+        now = self.clock.now_ms()
+        with self._lock:
+            tenant = self._tenants.get(tenant_name)
+            if tenant is None or tenant.secret != secret:
+                self.auth_failures += 1
+                raise SecurityError(
+                    f"authentication failed for tenant {tenant_name!r}")
+            session_id = f"{tenant_name}-{next(self._ids)}"
+            user = User(tenant_name, tenant.roles)
+            session = Session(session_id, tenant_name, user, now, now)
+            self._sessions[session_id] = session
+            self.opened += 1
+            RACE.detector.on_access(self, "_sessions", True)
+            return session
+
+    def get(self, session_id: str) -> Session:
+        """Look up (and touch) a live session; unknown or idle-expired
+        ids raise :class:`~repro.errors.SecurityError`."""
+        now = self.clock.now_ms()
+        with self._lock:
+            session = self._sessions.get(session_id)
+            if session is not None and \
+                    now - session.last_used_ms > self.idle_timeout_ms:
+                del self._sessions[session_id]
+                self.expired += 1
+                session = None
+            if session is None:
+                raise SecurityError(f"no live session {session_id!r}")
+            session.last_used_ms = now
+            RACE.detector.on_access(self, "_sessions", True)
+            return session
+
+    def bind(self, session_id: str, name: str, value: list[Item]) -> None:
+        """Set a session-scoped external-variable binding."""
+        with self._lock:
+            self.get(session_id).variables[name] = list(value)
+
+    def close_session(self, session_id: str) -> None:
+        with self._lock:
+            self._sessions.pop(session_id, None)
+            RACE.detector.on_access(self, "_sessions", True)
+
+    def sweep_idle(self) -> int:
+        """Evict sessions idle past the timeout; returns the count."""
+        now = self.clock.now_ms()
+        with self._lock:
+            stale = [sid for sid, session in self._sessions.items()
+                     if now - session.last_used_ms > self.idle_timeout_ms]
+            for sid in stale:
+                del self._sessions[sid]
+            self.expired += len(stale)
+            RACE.detector.on_access(self, "_sessions", True)
+            return len(stale)
+
+    def live_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "tenants": len(self._tenants),
+                "sessions": len(self._sessions),
+                "opened": self.opened,
+                "auth_failures": self.auth_failures,
+                "expired": self.expired,
+            }

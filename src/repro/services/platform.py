@@ -16,7 +16,7 @@ from ..compiler.inverse import InverseRegistry
 from ..concurrency import NOOP_DETECTOR, RACE, set_race_detector
 from ..compiler.pipeline import CompiledPlan, Compiler, CompilerOptions, PlanCache
 from ..compiler.views import ViewPlanCache
-from ..errors import StaticError, UpdateError
+from ..errors import PlatformClosedError, StaticError, UpdateError
 from ..observability import (
     MetricsRegistry,
     NoopTracer,
@@ -79,6 +79,9 @@ class Platform:
         self.services: dict[str, DataService] = {}
         self._lineage_cache: dict[str, LineageMap] = {}
         self._update_overrides: dict[str, UpdateOverride] = {}
+        #: set (once) by close(); queries submitted after raise
+        #: PlatformClosedError instead of hitting a torn-down executor
+        self._closed = False
         # The unified metrics plane: the legacy stats objects stay the
         # write surface; this collector is the one read surface over them.
         self.ctx.metrics.add_collector(self._collect_metrics)
@@ -536,10 +539,24 @@ class Platform:
         self.plan_cache.reset_counters()
         self.ctx.metrics.reset()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        """Release runtime resources (async worker threads).  Safe to call
-        more than once; also invoked by ``with Platform(...) as p: ...``."""
+        """Release runtime resources (async worker threads).  Idempotent
+        and concurrency-safe: a second (or concurrent) ``close()`` is a
+        no-op, and a query submitted after close fails with a clean
+        :class:`~repro.errors.PlatformClosedError` instead of undefined
+        executor behavior.  Also invoked by ``with Platform(...) as p:``."""
+        self._closed = True  # a plain flag: one-way, GIL-atomic
         self.ctx.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PlatformClosedError(
+                "platform is closed: no new queries after Platform.close()"
+            )
 
     def __enter__(self) -> "Platform":
         return self
@@ -572,6 +589,7 @@ class Platform:
         """
         from ..schema.types import ITEM_STAR
 
+        self._check_open()
         names = tuple(sorted(variables)) if variables else ()
         key = query if not names else f"{query}\n#externals:{','.join(names)}"
         plan = self.plan_cache.get(key)
@@ -582,27 +600,44 @@ class Platform:
         return plan
 
     def execute(self, query: str, variables: dict[str, list[Item]] | None = None,
-                user: User = ADMIN) -> list[Item]:
+                user: User = ADMIN, budget_ms: float | None = None) -> list[Item]:
         """Execute an ad hoc query; results are fully materialized (the
         client-server APIs are stateless, section 2.2) and security
         filtering is applied post-cache (section 7)."""
-        return list(self.stream(query, variables, user))
+        return list(self.stream(query, variables, user, budget_ms=budget_ms))
 
     def stream(self, query: str, variables: dict[str, list[Item]] | None = None,
-               user: User = ADMIN) -> Iterator[Item]:
+               user: User = ADMIN, budget_ms: float | None = None) -> Iterator[Item]:
         """The server-side incremental API: results stream without being
-        materialized first (section 2.2)."""
+        materialized first (section 2.2).
+
+        ``budget_ms`` is the request's deadline budget (R-SERVE): the
+        deadline is installed on the resilience manager for this request's
+        context, capping every source attempt and retry backoff — PP-k
+        blocks and scatter branches inherit it through the executor's
+        context propagation — so a doomed query stops consuming source
+        roundtrips and fails with
+        :class:`~repro.errors.DeadlineExceededError`."""
+        self._check_open()
         plan = self.prepare(query, variables)
         self.ctx.external_variables = dict(variables or {})
         self.ctx.resilience.begin_query()
-        with self.ctx.tracer.start("query", query) as span:
-            count = 0
-            for item in self.evaluator.iter_eval(plan.expr, {}):
-                filtered = self.security.filter_items([item], user)
-                for out in filtered:
-                    count += 1
-                    yield out
-            span.set(items=count)
+        token = None
+        if budget_ms is not None:
+            token = self.ctx.resilience.set_deadline(
+                self.clock.now_ms() + budget_ms)
+        try:
+            with self.ctx.tracer.start("query", query) as span:
+                count = 0
+                for item in self.evaluator.iter_eval(plan.expr, {}):
+                    filtered = self.security.filter_items([item], user)
+                    for out in filtered:
+                        count += 1
+                        yield out
+                span.set(items=count)
+        finally:
+            if token is not None:
+                self.ctx.resilience.reset_deadline(token)
 
     def explain(self, query: str,
                 variables: dict[str, list[Item]] | None = None) -> str:
@@ -657,6 +692,7 @@ class Platform:
 
     def call(self, function_name: str, *args: list[Item], user: User = ADMIN) -> list[Item]:
         """Invoke a data-service method (the mediator's method-call path)."""
+        self._check_open()
         self.security.check_call(function_name, user)
         arity = len(args)
         key = f"#call:{function_name}#{arity}"

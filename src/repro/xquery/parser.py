@@ -17,6 +17,8 @@ signatures for use when analyzing other functions.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import itertools
 
 from ..errors import ParseError
@@ -49,12 +51,58 @@ _RESERVED_FUNCTION_NAMES = {
 
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
 
+#: process-global fallback counter, used only *outside* a compilation
+#: scope (ad hoc parsing in tests, deploy-time initializer optimization)
 _gensym = itertools.count(1)
+
+#: per-compilation counter: installed by :func:`gensym_scope` at each
+#: outermost compile so numbering restarts at 1 per compilation (and per
+#: contextvars context, so concurrent compiles don't interleave draws)
+_gensym_scope: contextvars.ContextVar = contextvars.ContextVar(
+    "repro.gensym_scope", default=None
+)
 
 
 def fresh_var(prefix: str = "g") -> str:
-    """Generate a compiler-internal variable name."""
-    return f"#{prefix}{next(_gensym)}"
+    """Generate a compiler-internal variable name.
+
+    Inside a :func:`gensym_scope` (any compiler entry point) numbering is
+    scoped to the compilation; the process-global counter only backs
+    direct parser/optimizer use outside a compile.
+    """
+    counter = _gensym_scope.get()
+    if counter is None:
+        counter = _gensym
+    return f"#{prefix}{next(counter)}"
+
+
+@contextlib.contextmanager
+def gensym_scope():
+    """Fresh, deterministic gensym numbering for one compilation.
+
+    Only the *outermost* entry installs a new counter — nested compiles
+    (view sub-optimization, module-variable initializers) keep drawing
+    from the enclosing scope, so names stay unique within the compilation.
+    """
+    if _gensym_scope.get() is not None:
+        yield
+        return
+    token = _gensym_scope.set(itertools.count(1))
+    try:
+        yield
+    finally:
+        _gensym_scope.reset(token)
+
+
+def reset_gensym_scope(next_n: int) -> None:
+    """Restart the active compilation scope's counter at ``next_n``.
+
+    Called after gensym canonicalization so post-canonicalization passes
+    (SQL pushdown's ``#ppk``/``#row`` variables) draw numbers that are a
+    pure function of the canonical tree — independent of how many names
+    earlier passes burned (e.g. cold vs warm view-plan cache)."""
+    if _gensym_scope.get() is not None:
+        _gensym_scope.set(itertools.count(next_n))
 
 
 class Parser:

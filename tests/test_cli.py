@@ -149,3 +149,25 @@ class TestHealthCommand:
         result = run_cli("health", "--kill", "nosuchdb")
         assert result.returncode == 1
         assert "no source named nosuchdb" in result.stderr
+
+    def test_serve_demo(self):
+        result = run_cli("--customers", "2", "serve", "--requests", "4")
+        assert result.returncode == 0
+        assert "[acme]" in result.stdout and "[globex]" in result.stdout
+        assert "completed=8 shed=0" in result.stdout
+        assert '"state": "open"' in result.stdout
+
+    def test_bench_serve_writes_report(self, tmp_path):
+        import json
+
+        output = tmp_path / "BENCH_serving.json"
+        result = run_cli("bench-serve", "--stages", "2,6",
+                         "--stage-seconds", "0.2", "--output", str(output))
+        assert result.returncode == 0
+        payload = json.loads(output.read_text())
+        assert payload["benchmark"] == "serving-overload-ramp"
+        assert [stage["clients"] for stage in payload["stages"]] == [2, 6]
+        for stage in payload["stages"]:
+            assert stage["errors"] == 0
+            assert stage["completed"] > 0
+        assert payload["serving"]["admission"]["depth"] == 0
