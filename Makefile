@@ -34,7 +34,9 @@ test:
 # pushdown economics, failover economics) gate the build alongside the
 # unit tests.
 # (the serving ramp runs real threads for wall seconds, so it has its
-# own target, bench-serve, and is excluded here)
+# own target, bench-serve, and is excluded here; the continuous-plane
+# gates — tracing overhead, tail retention, trace determinism — run in
+# benchmarks/test_continuous.py and refresh BENCH_continuous.json)
 bench-smoke:
 	$(PYTHON) -m pytest -x -q benchmarks --ignore=benchmarks/test_serving.py
 

@@ -1,0 +1,227 @@
+"""Continuous-observability overhead and retention gates (DESIGN.md O-CONT).
+
+The continuous plane must be safe to leave on in production.  Three
+contracts are gated here and the numbers land in ``BENCH_continuous.json``:
+
+* **overhead** — the serving workload (3:1 keyed lookups to federation
+  scans through the full session/admission/deadline stack) wall-timed
+  with the continuous tracer at the production sample rate vs tracing
+  off must stay within 5%.  Off/on passes are interleaved and compared
+  best-of-N so machine drift cancels instead of biasing one side.
+* **retention** — tail-based retention keeps 100% of slow, errored and
+  shed requests (checked record by record against the flight ledger),
+  and the ledger reconciles exactly with the admission counters.
+* **determinism** — with a seeded sampler under the virtual clock, two
+  identical runs retain byte-identical Chrome-trace JSON.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from pathlib import Path
+
+from repro.clock import VirtualClock
+from repro.demo import build_demo_platform
+from repro.errors import AdmissionError
+from repro.observability import chrome_trace_json
+from repro.server import AdmissionController, DataServer, TenantQuota
+from repro.xml.items import AtomicValue
+
+LOOKUP = "for $c in CUSTOMER() where $c/CID eq $id return $c/LAST_NAME"
+SCAN = "getProfile()"
+
+N_CUSTOMERS = 8
+REQUESTS_PER_PASS = 50
+INTERLEAVED_TRIALS = 10
+MEASUREMENT_ROUNDS = 3
+SAMPLE_RATE = 1.0 / 16.0
+OVERHEAD_GATE = 0.05
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_continuous.json"
+
+
+def build_server(quota: TenantQuota | None = None):
+    platform = build_demo_platform(customers=N_CUSTOMERS, clock=VirtualClock())
+    admission = AdmissionController(platform.clock, max_concurrent=4,
+                                    queue_soft=8, queue_hard=16)
+    server = DataServer(platform, admission=admission, flight_capacity=4096)
+    server.register_tenant("acme", "pw", roles=("analyst",), quota=quota)
+    return platform, server
+
+
+def run_mixed(server, session_id, n):
+    """The serving mix: 3 keyed lookups to 1 federation scan."""
+    for i in range(n):
+        if i % 4 == 3:
+            server.execute(session_id, SCAN)
+        else:
+            server.execute(session_id, LOOKUP, {
+                "id": [AtomicValue(f"C{1 + i % N_CUSTOMERS}", "xs:string")]})
+
+
+def test_always_on_overhead_within_gate(report):
+    platform, server = build_server()
+    session = server.open_session("acme", "pw")
+    sid = session.session_id
+    run_mixed(server, sid, 12)  # warm plan cache and statement cache
+
+    # simulated cost must be identical off vs on (spans never charge the
+    # virtual clock) — checked before any wall timing
+    platform.set_continuous(enabled=False)
+    sim_start = platform.clock.now_ms()
+    run_mixed(server, sid, 8)
+    sim_off = platform.clock.now_ms() - sim_start
+    platform.set_continuous(sample_rate=1.0, slow_ms=1e9)
+    sim_start = platform.clock.now_ms()
+    run_mixed(server, sid, 8)
+    sim_on = platform.clock.now_ms() - sim_start
+    assert abs(sim_on - sim_off) < 1e-6, \
+        f"continuous tracing changed simulated cost: {sim_off} vs {sim_on}"
+
+    def timed():
+        # the workload is pure single-threaded compute (virtual clock, no
+        # I/O), so CPU time per pass IS its uncontended wall time; GC is
+        # parked so collection pauses don't land on one side of the pair
+        gc.collect()
+        gc.disable()
+        start = time.process_time()
+        run_mixed(server, sid, REQUESTS_PER_PASS)
+        elapsed = time.process_time() - start
+        gc.enable()
+        return elapsed
+
+    def measure_round():
+        # interleave off/on passes so machine drift hits both sides, and
+        # compare the floors (min is robust to load spikes inflating a pass)
+        off_times, on_times = [], []
+        for _ in range(INTERLEAVED_TRIALS):
+            platform.set_continuous(enabled=False)
+            run_mixed(server, sid, 4)
+            off_times.append(timed())
+            platform.set_continuous(sample_rate=SAMPLE_RATE, slow_ms=1e9)
+            run_mixed(server, sid, 4)
+            on_times.append(timed())
+        platform.set_continuous(enabled=False)
+        return min(off_times), min(on_times)
+
+    # the gate claims an upper bound, so one clean round suffices: a busy
+    # machine can inflate a measurement, never push it below the true floor
+    for _ in range(MEASUREMENT_ROUNDS):
+        off_best, on_best = measure_round()
+        overhead = on_best / off_best - 1.0
+        if overhead <= OVERHEAD_GATE:
+            break
+    assert overhead <= OVERHEAD_GATE, (
+        f"always-on sampled tracing costs {overhead * 100:.2f}% in all "
+        f"{MEASUREMENT_ROUNDS} rounds (gate {OVERHEAD_GATE * 100:.0f}%): "
+        f"off {off_best * 1000:.1f}ms vs on {on_best * 1000:.1f}ms "
+        f"per {REQUESTS_PER_PASS} requests")
+
+    BENCH_FILE.write_text(json.dumps({
+        "workload": f"serving mix 3:1 lookup:scan, {N_CUSTOMERS} customers, "
+                    f"{REQUESTS_PER_PASS} requests/pass, "
+                    f"{INTERLEAVED_TRIALS} interleaved trials",
+        "sample_rate": SAMPLE_RATE,
+        "overhead_gate": OVERHEAD_GATE,
+        "cpu_ms_per_pass": {"off": round(off_best * 1000, 3),
+                            "on": round(on_best * 1000, 3)},
+        "overhead_fraction": round(overhead, 4),
+        "simulated_ms_identical": round(sim_off, 3),
+    }, indent=2) + "\n")
+
+    report("continuous tracing overhead (O-CONT)", [
+        f"sample rate {SAMPLE_RATE:.4f}, interleaved best-of-"
+        f"{INTERLEAVED_TRIALS}",
+        f"wall/pass: off {off_best * 1000:6.1f} ms   "
+        f"on {on_best * 1000:6.1f} ms   overhead {overhead * 100:+.2f}% "
+        f"(gate {OVERHEAD_GATE * 100:.0f}%)",
+        f"simulated cost identical off vs on: {sim_off:.1f} ms",
+        f"baseline written to {BENCH_FILE.name}",
+    ])
+
+
+def test_tail_retention_and_ledger_reconcile(report):
+    platform, server = build_server(
+        quota=TenantQuota(capacity=8, refill_per_s=0.0))
+    # lookups cost ~5 simulated ms, scans ~257: slow_ms=100 splits them
+    tracer = platform.set_continuous(sample_rate=1.0, slow_ms=100.0,
+                                     retain_capacity=256)
+    session = server.open_session("acme", "pw")
+    sheds = 0
+    for i in range(12):  # 8 admitted, then the dry quota sheds 4
+        try:
+            server.execute(session.session_id,
+                           SCAN if i % 4 == 3 else LOOKUP,
+                           None if i % 4 == 3 else
+                           {"id": [AtomicValue(f"C{1 + i % N_CUSTOMERS}",
+                                               "xs:string")]})
+        except AdmissionError:
+            sheds += 1
+    # restock, then kill the customer database: admitted requests error
+    server.admission.set_quota("acme", 10, 10_000)
+    platform.ctx.databases["custdb"].available = False
+    errors = 0
+    for cid in ("C1", "C2"):
+        try:
+            server.execute(session.session_id, LOOKUP,
+                           {"id": [AtomicValue(cid, "xs:string")]})
+        except Exception:
+            errors += 1
+    assert sheds == 4 and errors == 2
+
+    records = server.flight()
+    must_retain = [r for r in records
+                   if r.outcome != "completed" or r.elapsed_ms >= 100.0]
+    assert must_retain, "workload produced no slow/errored/shed requests"
+    kept = [r for r in must_retain if r.retained]
+    assert len(kept) == len(must_retain), (
+        f"tail retention dropped {len(must_retain) - len(kept)} of "
+        f"{len(must_retain)} slow/errored/shed requests")
+    fast_healthy = [r for r in records
+                    if r.outcome == "completed" and r.elapsed_ms < 100.0]
+    assert all(not r.retained for r in fast_healthy)
+
+    ledger = server.flight_recorder.snapshot()["outcomes"]
+    admission = server.admission.snapshot()
+    assert ledger["completed"] + ledger.get("deadline", 0) + \
+        ledger["error"] == admission["admitted"]
+    assert ledger["shed"] == admission["shed_quota"] + \
+        admission["shed_overload"] + admission["shed_cost"]
+    snap = tracer.snapshot()
+    assert snap["traces_retained"] == len(must_retain)
+    assert snap["traces_summarized"] == len(fast_healthy)
+
+    report("tail retention + flight ledger (O-CONT)", [
+        f"{len(records)} requests: {ledger.get('completed', 0)} completed, "
+        f"{ledger.get('shed', 0)} shed, {ledger.get('error', 0)} errored",
+        f"slow/errored/shed retained: {len(kept)}/{len(must_retain)} (100%)",
+        f"fast-and-healthy summarized: {len(fast_healthy)} "
+        f"(0 span trees kept)",
+        "ledger == admission counters: checked exactly",
+    ])
+
+
+def test_retained_traces_byte_deterministic(report):
+    def run_once() -> tuple[str, dict]:
+        platform, server = build_server()
+        tracer = platform.set_continuous(sample_rate=0.5, seed=29,
+                                         slow_ms=0.0, retain_capacity=256)
+        session = server.open_session("acme", "pw")
+        run_mixed(server, session.session_id, 16)
+        return chrome_trace_json(tracer.retained_roots()), tracer.snapshot()
+
+    first_json, first_snap = run_once()
+    second_json, second_snap = run_once()
+    assert first_json == second_json
+    assert first_snap == second_snap
+    assert 0 < first_snap["requests_sampled"] < 16
+
+    report("retained-trace determinism (O-CONT)", [
+        f"16 requests at rate 0.5 seed 29: "
+        f"{first_snap['requests_sampled']} sampled, "
+        f"{first_snap['traces_retained']} retained",
+        f"chrome-trace JSON byte-identical across runs "
+        f"({len(first_json)} bytes)",
+    ])

@@ -44,6 +44,10 @@ REGISTRY: dict[str, tuple[str, ...]] = {
     "compiler/pipeline.py": ("PlanCache",),
     "compiler/views.py": ("ViewPlanCache",),
     "concurrency.py": ("SyncCounters",),
+    "observability/continuous.py": (
+        "ContinuousTracer", "TraceSampler", "WindowedMetrics",
+        "WindowedCounter", "WindowedHistogram", "FlightRecorder",
+        "PlanStatsStore"),
     "observability/metrics.py": ("MetricsRegistry", "Counter", "Gauge", "Histogram"),
     "observability/tracer.py": ("QueryTracer",),
     "relational/database.py": ("SourceStats",),

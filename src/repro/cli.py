@@ -11,6 +11,7 @@
     python -m repro lineage              # lineage map of the profile service
     python -m repro serve                # serving demo: sessions + admission
     python -m repro bench-serve          # closed-loop overload ramp
+    python -m repro flight               # request flight recorder (O-CONT)
 
 All subcommands build the Figure-3 federation of :mod:`repro.demo`
 (``--customers`` controls its size).
@@ -41,6 +42,8 @@ def _build(args) -> object:
         platform.set_parallel_regions(False)
     if args.batch_size:
         platform.set_batch_size(args.batch_size)
+    if args.no_tracing:
+        platform.set_tracing_allowed(False)
     return platform
 
 
@@ -222,14 +225,19 @@ def _cmd_trace(args) -> int:
 def _cmd_stats(args) -> int:
     """Run a query (default: the running example) and render the unified
     metrics snapshot — runtime, per-source, cache, resilience and trace
-    series in one plane (O-OBS)."""
+    series in one plane (O-OBS).  With ``--window`` the rolling-window
+    plane is rendered instead: rates and percentiles over the last N
+    seconds of the clock (O-CONT), fed by continuous sampled tracing."""
     import json
 
-    from .observability import render_metrics
+    from .observability import render_metrics, render_window
 
     platform = _build(args)
-    platform.set_tracing(True)
     try:
+        if args.window:
+            platform.set_continuous(sample_rate=1.0)
+        else:
+            platform.set_tracing(True)
         if args.xquery:
             platform.execute(args.xquery)
         else:
@@ -237,11 +245,16 @@ def _cmd_stats(args) -> int:
     except Exception as exc:  # noqa: BLE001
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    snapshot = platform.metrics_snapshot()
+    if args.window:
+        snapshot = platform.window_snapshot()
+        renderer = render_window
+    else:
+        snapshot = platform.metrics_snapshot()
+        renderer = render_metrics
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
     else:
-        print(render_metrics(snapshot))
+        print(renderer(snapshot))
     return 0
 
 
@@ -374,6 +387,59 @@ def _cmd_bench_serve(args) -> int:
         platform.close()
 
 
+def _cmd_flight(args) -> int:
+    """Serve a mixed workload with continuous tracing on, then query the
+    request flight recorder (O-CONT): one structured record per request —
+    admitted, shed or failed — with its per-phase latency breakdown, and
+    the ledger that reconciles against the admission counters."""
+    import json
+
+    from .errors import AdmissionError
+    from .xml.items import AtomicValue
+
+    platform, server = _serving_world(args)
+    try:
+        platform.set_continuous(sample_rate=args.sample_rate, seed=args.seed,
+                                slow_ms=args.slow_ms)
+        for tenant, secret in (("acme", "acme-secret"),
+                               ("globex", "globex-secret")):
+            session = server.open_session(tenant, secret)
+            for i in range(args.requests):
+                query, kind = _SERVE_QUERIES[i % len(_SERVE_QUERIES)]
+                variables = (
+                    {"id": [AtomicValue(f"C{1 + i % args.customers}",
+                                        "xs:string")]}
+                    if kind == "lookup" else None)
+                try:
+                    server.execute(session.session_id, query, variables)
+                except AdmissionError:
+                    pass  # shed: recorded in the flight ledger
+        records = server.flight(tenant=args.tenant, outcome=args.outcome,
+                                limit=args.limit)
+        if args.json:
+            print(json.dumps({
+                "records": [record.to_dict() for record in records],
+                "flight": server.flight_recorder.snapshot(),
+                "admission": server.admission.snapshot(),
+                "continuous": platform.continuous.snapshot(),
+            }, indent=2, sort_keys=True))
+            return 0
+        for record in records:
+            phases = " ".join(f"{name}={ms:.2f}" for name, ms
+                              in sorted(record.phases.items()))
+            flags = ("S" if record.sampled else "-") + \
+                ("R" if record.retained else "-")
+            print(f"#{record.seq:<4d} [{record.tenant}] "
+                  f"{record.outcome:9s} {record.admission:13s} "
+                  f"cost={record.cost:<6g} {record.elapsed_ms:8.2f}ms "
+                  f"{flags} fp={record.fingerprint} {phases}")
+        print()
+        print(json.dumps(server.flight_recorder.snapshot(), indent=2))
+        return 0
+    finally:
+        platform.close()
+
+
 def _cmd_lineage(args) -> int:
     platform = _build(args)
     lineage = platform.lineage("ProfileService")
@@ -406,6 +472,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=0,
                         help="rows per batch for the batch engine "
                              "(1 = tuple-at-a-time, 0 = default 256)")
+    parser.add_argument("--no-tracing", action="store_true",
+                        help="administratively disallow tracing on this "
+                             "platform (enabling it fails with ALDSP-E501)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("demo", help="run the Figure-3 running example") \
@@ -445,6 +514,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="query to run (default: the running example)")
     stats.add_argument("--json", action="store_true",
                        help="dump the snapshot as JSON")
+    stats.add_argument("--window", action="store_true",
+                       help="render the rolling-window plane (last-N-seconds "
+                            "rates and percentiles) instead of cumulative")
     stats.set_defaults(fn=_cmd_stats)
     commands.add_parser("lineage", help="lineage map of the profile service") \
         .set_defaults(fn=_cmd_lineage)
@@ -479,6 +551,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--output", default="BENCH_serving.json",
                              help="report path")
     bench_serve.set_defaults(fn=_cmd_bench_serve)
+    flight = commands.add_parser(
+        "flight", help="serve a workload with continuous tracing and query "
+                       "the request flight recorder")
+    serving_args(flight)
+    flight.add_argument("--requests", type=int, default=8,
+                        help="requests per tenant session")
+    flight.add_argument("--sample-rate", type=float, default=1.0,
+                        help="head-sampling probability for the continuous "
+                             "tracer")
+    flight.add_argument("--seed", type=int, default=0,
+                        help="trace-sampler RNG seed")
+    flight.add_argument("--slow-ms", type=float, default=250.0,
+                        help="tail-retention slow-request threshold in ms")
+    flight.add_argument("--tenant", default=None,
+                        help="only records for this tenant")
+    flight.add_argument("--outcome", default=None,
+                        help="only records with this outcome (completed, "
+                             "shed, deadline, error, invalid)")
+    flight.add_argument("--limit", type=int, default=None,
+                        help="at most N most recent records")
+    flight.add_argument("--json", action="store_true",
+                        help="dump records + ledger + snapshots as JSON")
+    flight.set_defaults(fn=_cmd_flight)
     health = commands.add_parser(
         "health", help="run the demo under faults and report source health")
     health.add_argument("--kill", action="append", default=[], metavar="SOURCE",

@@ -88,6 +88,8 @@ CODE_REGISTRY: dict[str, str] = {
     "ALDSP-W307": "middleware join between regions of the same database",
     "ALDSP-I308": "source call has no timeout or fail-over configuration",
     "ALDSP-E309": "scatter group members are not data independent",
+    # -- observability plane (O-OBS / O-CONT) --
+    "ALDSP-E501": "tracing is administratively disabled on this platform",
     # -- concurrency lint (repro.analysis.static, ``repro lint --concurrency``) --
     "ALDSP-C401": "shared mutable attribute written without holding its lock",
     "ALDSP-C402": "guarded-by declaration names a lock the class does not define",

@@ -126,6 +126,18 @@ class AdmissionError(ReproError):
         }
 
 
+class ObservabilityError(ReproError):
+    """An observability-plane operation was refused (O-CONT) — e.g.
+    enabling tracing or profiling on a platform where tracing has been
+    administratively disallowed.  ``code`` is the stable diagnostic code
+    (registered in :data:`~repro.diagnostics.CODE_REGISTRY`) and is part
+    of the message, so CLI surfaces report it without a traceback."""
+
+    def __init__(self, message: str, code: str = "ALDSP-E501"):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
 class SQLError(ReproError):
     """Raised by the simulated relational engine for bad SQL or constraint
     violations."""

@@ -1,13 +1,37 @@
-"""Observability plane (O-OBS): query tracing, operator profiling, and the
-unified metrics registry.  See DESIGN.md section O-OBS."""
+"""Observability plane (O-OBS): query tracing, operator profiling, the
+unified metrics registry, and the continuous production plane (O-CONT:
+sampled tracing, windowed metrics, flight recorder, plan stats).  See
+DESIGN.md sections O-OBS and O-CONT."""
 
+from .continuous import (
+    ContinuousConfig,
+    ContinuousTracer,
+    FlightRecord,
+    FlightRecorder,
+    PlanOperatorStats,
+    PlanStatsStore,
+    RequestTrace,
+    TraceSampler,
+    WindowedCounter,
+    WindowedHistogram,
+    WindowedMetrics,
+    plan_fingerprint,
+)
 from .export import (
     chrome_trace,
     chrome_trace_json,
     render_metrics,
     render_span_tree,
+    render_window,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, series_name
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    nearest_rank,
+    series_name,
+)
 from .profile import (
     OperatorActuals,
     QueryProfile,
@@ -19,21 +43,35 @@ from .tracer import NOOP_SPAN, NoopTracer, QueryTracer, Span
 
 __all__ = [
     "NOOP_SPAN",
+    "ContinuousConfig",
+    "ContinuousTracer",
     "Counter",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NoopTracer",
     "OperatorActuals",
+    "PlanOperatorStats",
+    "PlanStatsStore",
     "QueryProfile",
     "QueryTracer",
+    "RequestTrace",
     "Span",
+    "TraceSampler",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "WindowedMetrics",
     "aggregate_operators",
     "chrome_trace",
     "chrome_trace_json",
     "make_annotator",
+    "nearest_rank",
+    "plan_fingerprint",
     "profile_render",
     "render_metrics",
     "render_span_tree",
+    "render_window",
     "series_name",
 ]

@@ -1,0 +1,727 @@
+"""Continuous production observability (O-CONT).
+
+The PR-4 plane is all-or-nothing: ``set_tracing(True)`` records every
+span of every query, which is exactly right for debugging one query and
+exactly wrong under the serving layer's sustained concurrent load.  This
+module makes observation *continuous* — always on, bounded, and cheap —
+in four pieces:
+
+* :class:`TraceSampler` — seeded head sampling.  One RNG draw per
+  request decides whether a full span tree is recorded; the stream is
+  drawn under a lock in request order, so virtual-clock runs (which are
+  serial) make byte-identical decisions every time.
+* :class:`ContinuousTracer` — the tracer installed by
+  ``Platform.set_continuous()``.  Unsampled requests cross every
+  instrumentation point on the :data:`~repro.observability.tracer.
+  NOOP_SPAN` fast path (a counter bump, no allocation); sampled requests
+  get a private per-request :class:`~repro.observability.tracer.
+  QueryTracer` carried in a ``ContextVar`` so concurrent requests —
+  and their async-pool branches, which inherit the caller's context —
+  never interleave span trees.  **Tail-based retention** then decides
+  what to keep: slow (over ``slow_ms``), errored, degraded or shed
+  requests keep their full tree in a bounded ring; fast-and-healthy
+  trees are summarized (plan stats, windowed latency) and dropped.
+* :class:`WindowedMetrics` — a ring-of-buckets rolling window next to
+  the cumulative registry.  Bucket ``epoch = floor(now_ms / bucket_ms)``
+  maps to slot ``epoch % nbuckets``; writes lazily reset a slot whose
+  recorded epoch is stale, and reads sum only slots whose epoch falls in
+  ``(current - nbuckets, current]`` — so ``server.*`` rates and
+  percentiles reflect the last ``window_s`` seconds, not process
+  lifetime.
+* :class:`FlightRecorder` — a lock-guarded ring of structured
+  per-request :class:`FlightRecord`\\ s (tenant, plan fingerprint, cost,
+  admission decision, per-phase latency, outcome, degradations) for
+  *every* request, sampled or not.  Cumulative per-outcome counters sit
+  next to the ring so the ledger reconciles exactly with the admission
+  counters even after eviction.
+* :class:`PlanStatsStore` — the §9 observed-cost feedback store: EWMA
+  rows/elapsed/roundtrips keyed by ``(plan fingerprint, operator id)``,
+  fed from every retained *or* summarized trace and from ``profile()``,
+  with the admission-path cost estimate recorded alongside so a
+  cost-based optimizer can consume estimated-vs-actual deltas.
+
+Thread-safety (A-CONC): every class here is crossed by request threads
+and pool threads; all shared state is lock-disciplined (``@guarded_by``,
+``TrackedRLock``, detector hooks), and the windowed instruments share
+their registry's lock exactly like the cumulative ones do.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..clock import Clock
+from ..concurrency import RACE, TrackedRLock, guarded_by
+from .metrics import Histogram, nearest_rank, series_name
+from .profile import aggregate_operators
+from .tracer import NOOP_SPAN, QueryTracer, Span
+
+if TYPE_CHECKING:
+    from .metrics import MetricsRegistry
+    from .profile import OperatorActuals
+
+
+def plan_fingerprint(plan_key: str) -> str:
+    """A short stable identifier for a compiled plan: the truncated
+    SHA-256 of its plan-cache key (query text + sorted external names).
+    Deterministic across processes and runs — safe to persist."""
+    return hashlib.sha256(plan_key.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class ContinuousConfig:
+    """Knobs for the continuous plane (``Platform.set_continuous``)."""
+
+    #: head-sampling probability per request (1.0 = trace everything)
+    sample_rate: float = 1.0 / 16.0
+    #: sampler RNG seed — same seed, same request order => same decisions
+    seed: int = 0
+    #: tail retention: a sampled request at/over this elapsed is "slow"
+    slow_ms: float = 250.0
+    #: bounded ring of retained span trees
+    retain_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
+        if self.retain_capacity < 1:
+            raise ValueError("retain_capacity must be >= 1")
+
+
+@guarded_by("_lock")
+class TraceSampler:
+    """Seeded head sampling: one draw per request, drawn under a lock so
+    the decision stream is a pure function of (seed, request order)."""
+
+    def __init__(self, rate: float = 1.0 / 16.0, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("sample rate must be in [0, 1]")
+        self.rate = rate
+        self.seed = seed
+        self._lock = TrackedRLock("TraceSampler")
+        self._rng = random.Random(seed)
+        self.decisions = 0
+        self.sampled = 0
+
+    def decide(self) -> bool:
+        """True iff this request should record a full span tree."""
+        with self._lock:
+            self.decisions += 1
+            hit = self._rng.random() < self.rate
+            if hit:
+                self.sampled += 1
+            RACE.detector.on_access(self, "decisions", True)
+            return hit
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "seed": self.seed,
+                "decisions": self.decisions,
+                "sampled": self.sampled,
+            }
+
+
+# ---------------------------------------------------------------------------
+# Windowed metrics: ring-of-buckets counters and histograms
+# ---------------------------------------------------------------------------
+
+
+@guarded_by("_lock")
+class WindowedCounter:
+    """A counter over the last ``nbuckets * bucket_ms`` milliseconds.
+
+    One slot per bucket epoch modulo ``nbuckets``; a write into a slot
+    whose recorded epoch is stale resets it first (lazy rotation), and a
+    read sums only slots whose epoch is still inside the window."""
+
+    def __init__(self, clock: Clock, bucket_ms: float, nbuckets: int,
+                 lock: TrackedRLock | None = None):
+        self.clock = clock
+        self.bucket_ms = bucket_ms
+        self._lock = lock if lock is not None else TrackedRLock("WindowedCounter")
+        self._counts = [0.0] * nbuckets
+        self._epochs = [-1] * nbuckets
+
+    def _slot(self, now_ms: float) -> int:  # caller-holds: _lock
+        epoch = int(now_ms // self.bucket_ms)
+        index = epoch % len(self._counts)
+        if self._epochs[index] != epoch:
+            self._counts[index] = 0.0
+            self._epochs[index] = epoch
+        return index
+
+    def inc_at(self, now_ms: float, n: float = 1) -> None:  # caller-holds: _lock
+        index = self._slot(now_ms)
+        self._counts[index] += n
+        RACE.detector.on_access(self, "_counts", True)
+
+    def inc(self, n: float = 1) -> None:
+        now = self.clock.now_ms()
+        with self._lock:
+            self.inc_at(now, n)
+
+    def total(self) -> float:
+        """Sum over the live window (stale slots excluded, not rotated)."""
+        now = self.clock.now_ms()
+        with self._lock:
+            epoch = int(now // self.bucket_ms)
+            n = len(self._counts)
+            return sum(self._counts[i] for i in range(n)
+                       if self._epochs[i] > epoch - n)
+
+    @property
+    def window_ms(self) -> float:
+        return self.bucket_ms * len(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0.0] * len(self._counts)
+            self._epochs = [-1] * len(self._epochs)
+
+    def snapshot(self) -> dict:
+        total = self.total()
+        return {
+            "window_total": round(total, 3),
+            "rate_per_s": round(total / (self.window_ms / 1000.0), 3),
+        }
+
+
+@guarded_by("_lock")
+class WindowedHistogram:
+    """A histogram over the rolling window: one bounded deterministic
+    :class:`~repro.observability.metrics.Histogram` reservoir per bucket,
+    merged at read time (counts/sums add; percentiles run nearest-rank
+    over the concatenated live reservoirs)."""
+
+    def __init__(self, clock: Clock, bucket_ms: float, nbuckets: int,
+                 lock: TrackedRLock | None = None):
+        self.clock = clock
+        self.bucket_ms = bucket_ms
+        self._lock = lock if lock is not None else TrackedRLock("WindowedHistogram")
+        # bucket reservoirs share this window's lock (one acquisition
+        # covers rotation + the observe)
+        self._hists = [Histogram(self._lock) for _ in range(nbuckets)]
+        self._epochs = [-1] * nbuckets
+
+    def _slot(self, now_ms: float) -> int:  # caller-holds: _lock
+        epoch = int(now_ms // self.bucket_ms)
+        index = epoch % len(self._hists)
+        if self._epochs[index] != epoch:
+            self._hists[index].reset()
+            self._epochs[index] = epoch
+        return index
+
+    def observe_at(self, now_ms: float, value: float) -> None:  # caller-holds: _lock
+        index = self._slot(now_ms)
+        self._hists[index].observe(value)
+        RACE.detector.on_access(self, "_epochs", True)
+
+    def observe(self, value: float) -> None:
+        now = self.clock.now_ms()
+        with self._lock:
+            self.observe_at(now, value)
+
+    def _live(self) -> "list[Histogram]":  # caller-holds: _lock
+        epoch = int(self.clock.now_ms() // self.bucket_ms)
+        n = len(self._hists)
+        return [self._hists[i] for i in range(n)
+                if self._epochs[i] > epoch - n]
+
+    def percentile(self, q: float) -> float | None:
+        with self._lock:
+            merged: list[float] = []
+            for hist in self._live():
+                merged.extend(hist.samples())
+            return nearest_rank(sorted(merged), q)
+
+    @property
+    def window_ms(self) -> float:
+        return self.bucket_ms * len(self._hists)
+
+    def reset(self) -> None:
+        with self._lock:
+            for hist in self._hists:
+                hist.reset()
+            self._epochs = [-1] * len(self._epochs)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            live = self._live()
+            count = sum(h.count for h in live)
+            total = sum(h.total for h in live)
+            mins = [h.min for h in live if h.min is not None]
+            maxs = [h.max for h in live if h.max is not None]
+            merged: list[float] = []
+            for hist in live:
+                merged.extend(hist.samples())
+            ordered = sorted(merged)
+
+            def rank(q: float) -> float | None:
+                value = nearest_rank(ordered, q)
+                return round(value, 3) if value is not None else None
+
+            return {
+                "count": count,
+                "sum": round(total, 3),
+                "min": round(min(mins), 3) if mins else None,
+                "max": round(max(maxs), 3) if maxs else None,
+                "avg": round(total / count, 3) if count else None,
+                "p50": rank(50),
+                "p95": rank(95),
+                "p99": rank(99),
+            }
+
+
+@guarded_by("_lock")
+class WindowedMetrics:
+    """The rolling-window registry: labeled windowed counters/histograms
+    sharing one lock (mirroring :class:`~repro.observability.metrics.
+    MetricsRegistry`), read as one sorted snapshot."""
+
+    def __init__(self, clock: Clock, window_s: float = 60.0,
+                 nbuckets: int = 12):
+        if window_s <= 0 or nbuckets < 1:
+            raise ValueError("need window_s > 0 and nbuckets >= 1")
+        self.clock = clock
+        self.window_s = float(window_s)
+        self.nbuckets = int(nbuckets)
+        self.bucket_ms = self.window_s * 1000.0 / self.nbuckets
+        self._lock = TrackedRLock("WindowedMetrics")
+        self._instruments: dict[str, object] = {}
+
+    def _instrument(self, factory, name: str, labels: dict[str, str]):
+        key = series_name(name, labels)
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory(self.clock, self.bucket_ms,
+                                     self.nbuckets, self._lock)
+                self._instruments[key] = instrument
+                RACE.detector.on_access(self, "_instruments", True)
+            return instrument
+
+    def counter(self, name: str, **labels) -> WindowedCounter:
+        return self._instrument(WindowedCounter, name, labels)
+
+    def histogram(self, name: str, **labels) -> WindowedHistogram:
+        return self._instrument(WindowedHistogram, name, labels)
+
+    def observe_request(self, elapsed_ms: float,
+                        outcome: str = "completed") -> None:
+        """The always-on per-request fast path: bump ``trace.requests``
+        and observe ``trace.latency_ms`` under ONE lock acquisition (the
+        instruments share the registry lock), with one clock read."""
+        now = self.clock.now_ms()
+        with self._lock:
+            counter = self._instruments.get("trace.requests")
+            if counter is None:
+                counter = WindowedCounter(self.clock, self.bucket_ms,
+                                          self.nbuckets, self._lock)
+                self._instruments["trace.requests"] = counter
+            hist = self._instruments.get("trace.latency_ms")
+            if hist is None:
+                hist = WindowedHistogram(self.clock, self.bucket_ms,
+                                         self.nbuckets, self._lock)
+                self._instruments["trace.latency_ms"] = hist
+            counter.inc_at(now)
+            hist.observe_at(now, elapsed_ms)
+            RACE.detector.on_access(self, "_instruments", True)
+        if outcome != "completed":
+            self.counter("trace.failed", outcome=outcome).inc()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {key: instrument.snapshot()
+                for key, instrument in sorted(instruments.items())}
+
+    def reset(self) -> None:
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.reset()
+
+
+# ---------------------------------------------------------------------------
+# Flight recorder
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FlightRecord:
+    """One request as the server saw it — recorded for *every* request
+    (the flight recorder is not sampled; only span trees are)."""
+
+    tenant: str
+    session_id: str
+    fingerprint: str
+    cost: float
+    admission: str          # "admitted" | "shed:<reason>" | "rejected"
+    outcome: str            # completed | shed | deadline | error | invalid
+    elapsed_ms: float
+    ts_ms: float
+    phases: dict[str, float] = field(default_factory=dict)
+    degradations: int = 0
+    items: int = 0
+    error: str | None = None
+    sampled: bool = False
+    retained: bool = False
+    seq: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "ts_ms": round(self.ts_ms, 3),
+            "tenant": self.tenant,
+            "session_id": self.session_id,
+            "fingerprint": self.fingerprint,
+            "cost": self.cost,
+            "admission": self.admission,
+            "outcome": self.outcome,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "phases": {name: round(ms, 3)
+                       for name, ms in sorted(self.phases.items())},
+            "degradations": self.degradations,
+            "items": self.items,
+            "error": self.error,
+            "sampled": self.sampled,
+            "retained": self.retained,
+        }
+
+
+@guarded_by("_lock")
+class FlightRecorder:
+    """A bounded ring of :class:`FlightRecord`\\ s plus cumulative
+    per-outcome counters (the ring forgets, the ledger does not)."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = TrackedRLock("FlightRecorder")
+        self._ring: deque[FlightRecord] = deque(maxlen=capacity)
+        self.recorded = 0
+        self.outcomes: dict[str, int] = {}
+
+    def record(self, record: FlightRecord) -> FlightRecord:
+        with self._lock:
+            self.recorded += 1
+            record.seq = self.recorded
+            self.outcomes[record.outcome] = \
+                self.outcomes.get(record.outcome, 0) + 1
+            self._ring.append(record)
+            RACE.detector.on_access(self, "recorded", True)
+        return record
+
+    def records(self, tenant: str | None = None, outcome: str | None = None,
+                limit: int | None = None) -> list[FlightRecord]:
+        """Matching records, oldest first (most recent ``limit`` kept)."""
+        with self._lock:
+            out = list(self._ring)
+        if tenant is not None:
+            out = [r for r in out if r.tenant == tenant]
+        if outcome is not None:
+            out = [r for r in out if r.outcome == outcome]
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "recorded": self.recorded,
+                "retained": len(self._ring),
+                "dropped": self.recorded - len(self._ring),
+                "outcomes": dict(sorted(self.outcomes.items())),
+            }
+
+
+# ---------------------------------------------------------------------------
+# Plan-stats feedback store
+# ---------------------------------------------------------------------------
+
+
+#: smoothing factor for the per-operator EWMAs (matches the admission
+#: controller's service-time smoothing)
+EWMA_ALPHA = 0.2
+
+
+@dataclass
+class PlanOperatorStats:
+    """EWMA actuals for one (plan fingerprint, operator id) pair."""
+
+    observations: int = 0
+    ewma_rows: float = 0.0
+    ewma_elapsed_ms: float = 0.0
+    ewma_roundtrips: float = 0.0
+
+    def update(self, rows: float, elapsed_ms: float, roundtrips: float) -> None:
+        self.observations += 1
+        if self.observations == 1:
+            self.ewma_rows = float(rows)
+            self.ewma_elapsed_ms = float(elapsed_ms)
+            self.ewma_roundtrips = float(roundtrips)
+        else:
+            self.ewma_rows += EWMA_ALPHA * (rows - self.ewma_rows)
+            self.ewma_elapsed_ms += EWMA_ALPHA * (elapsed_ms - self.ewma_elapsed_ms)
+            self.ewma_roundtrips += EWMA_ALPHA * (roundtrips - self.ewma_roundtrips)
+
+    def to_dict(self) -> dict:
+        return {
+            "observations": self.observations,
+            "ewma_rows": round(self.ewma_rows, 3),
+            "ewma_elapsed_ms": round(self.ewma_elapsed_ms, 3),
+            "ewma_roundtrips": round(self.ewma_roundtrips, 3),
+        }
+
+
+@guarded_by("_lock")
+class PlanStatsStore:
+    """Per-plan, per-operator observed actuals next to the admission
+    path's cost estimate — the store ROADMAP item 1's cost-based
+    optimizer reads estimated-vs-actual deltas from."""
+
+    def __init__(self):
+        self._lock = TrackedRLock("PlanStatsStore")
+        self._operators: dict[tuple[str, int], PlanOperatorStats] = {}
+        self._estimates: dict[str, float] = {}
+        self.traces_observed = 0
+
+    def observe(self, fingerprint: str,
+                aggregates: "dict[int, OperatorActuals]") -> None:
+        """Fold one trace's per-operator actuals into the EWMAs."""
+        if not aggregates:
+            return
+        with self._lock:
+            self.traces_observed += 1
+            for op_id, actuals in aggregates.items():
+                stats = self._operators.setdefault(
+                    (fingerprint, op_id), PlanOperatorStats())
+                stats.update(actuals.rows, actuals.elapsed_ms,
+                             actuals.roundtrips)
+            RACE.detector.on_access(self, "_operators", True)
+
+    def set_estimate(self, fingerprint: str, cost: float) -> None:
+        """Record the plan's static cost estimate (admission path)."""
+        with self._lock:
+            self._estimates[fingerprint] = cost
+            RACE.detector.on_access(self, "_estimates", True)
+
+    def operators(self, fingerprint: str) -> dict[int, PlanOperatorStats]:
+        with self._lock:
+            return {op_id: stats
+                    for (fp, op_id), stats in self._operators.items()
+                    if fp == fingerprint}
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            fingerprints = sorted(
+                {fp for fp, _ in self._operators} | set(self._estimates))
+            return {
+                "traces_observed": self.traces_observed,
+                "plans": {
+                    fp: {
+                        "estimate": self._estimates.get(fp),
+                        "operators": {
+                            op_id: self._operators[(fp, op_id)].to_dict()
+                            for _fp, op_id in sorted(self._operators)
+                            if _fp == fp
+                        },
+                    }
+                    for fp in fingerprints
+                },
+            }
+
+
+# ---------------------------------------------------------------------------
+# The continuous tracer
+# ---------------------------------------------------------------------------
+
+
+#: the per-request tracer for the *calling context*; async-pool branches
+#: inherit it because the executor runs thunks in a copy of the caller's
+#: context (the same mechanism that carries external-variable bindings).
+#: Three states: None = no open request; UNSAMPLED = a request is open
+#: but head sampling declined it (instrumentation stays on the no-op
+#: fast path, and nested begin_request calls know not to re-draw);
+#: a QueryTracer = open and sampled.
+_ACTIVE_TRACER: contextvars.ContextVar = contextvars.ContextVar(
+    "repro.continuous_tracer", default=None
+)
+
+#: sentinel marking "request open, not sampled" in _ACTIVE_TRACER
+UNSAMPLED = object()
+
+
+class RequestTrace:
+    """The handle ``begin_request`` returns; pass it to ``end_request``."""
+
+    __slots__ = ("fingerprint", "sampled", "start_ms", "tracer", "_token")
+
+    def __init__(self, fingerprint: str | None, sampled: bool,
+                 start_ms: float, tracer: QueryTracer | None, token):
+        self.fingerprint = fingerprint
+        self.sampled = sampled
+        self.start_ms = start_ms
+        self.tracer = tracer
+        self._token = token
+
+
+@guarded_by("_lock")
+class ContinuousTracer:
+    """Always-on sampled tracing with tail-based retention.
+
+    Implements the tracer protocol (``start``/``instant``/``current``/
+    ``roots``/``last_root``), so every existing instrumentation point
+    works unchanged: calls outside a sampled request return
+    :data:`~repro.observability.tracer.NOOP_SPAN`; calls inside one
+    delegate to that request's private :class:`QueryTracer`.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Clock, sampler: TraceSampler,
+                 config: ContinuousConfig, plan_stats: PlanStatsStore,
+                 window: WindowedMetrics | None = None,
+                 metrics: "Optional[MetricsRegistry]" = None):
+        self.clock = clock
+        self.sampler = sampler
+        self.config = config
+        self.plan_stats = plan_stats
+        self.window = window
+        self.metrics = metrics
+        self._lock = TrackedRLock("ContinuousTracer")
+        self._retained: deque[Span] = deque(maxlen=config.retain_capacity)
+        #: unsampled instrumentation crossings (the NOOP_SPAN fast path);
+        #: approximate by design — see NoopTracer.calls
+        self.calls = 0
+        self.spans_allocated = 0
+        self.traces_retained = 0
+        self.traces_summarized = 0
+
+    # -- the tracer protocol (unconditional callsites) -----------------------
+
+    def start(self, kind: str, name: str | None = None,
+              parent: Span | None = None, **attrs):
+        tracer = _ACTIVE_TRACER.get()
+        if tracer is None or tracer is UNSAMPLED:
+            self.calls += 1  # race-ok: monitoring counter; same contract as NoopTracer.calls
+            return NOOP_SPAN
+        return tracer.start(kind, name, parent, **attrs)
+
+    def instant(self, kind: str, name: str | None = None, **attrs):
+        tracer = _ACTIVE_TRACER.get()
+        if tracer is None or tracer is UNSAMPLED:
+            self.calls += 1  # race-ok: monitoring counter; same contract as NoopTracer.calls
+            return NOOP_SPAN
+        return tracer.instant(kind, name, **attrs)
+
+    def current(self) -> Span | None:
+        tracer = _ACTIVE_TRACER.get()
+        if tracer is None or tracer is UNSAMPLED:
+            return None
+        return tracer.current()
+
+    # -- request lifecycle ---------------------------------------------------
+
+    def in_request(self) -> bool:
+        """True iff this context is inside an open request (sampled or
+        not) — callers skip fingerprinting work when it would be nested."""
+        return _ACTIVE_TRACER.get() is not None
+
+    def begin_request(self, fingerprint: str | None = None) -> RequestTrace | None:
+        """Start one request's observation; returns None when called
+        inside an already-open request (the server wraps the platform's
+        own query path — the outer request owns the trace and the one
+        sampling decision)."""
+        if _ACTIVE_TRACER.get() is not None:
+            return None
+        # request counts fall out of the sampler's own counters
+        # (requests == decisions), so this path takes exactly one lock
+        sampled = self.sampler.decide()
+        tracer = None
+        if sampled:
+            # a private tracer per request: span ids restart at 1, so a
+            # retained tree is identical no matter what ran concurrently
+            tracer = QueryTracer(self.clock, None)
+            token = _ACTIVE_TRACER.set(tracer)
+        else:
+            # mark the request open even when unsampled, so the nested
+            # platform-level begin_request neither re-draws the sampler
+            # nor double-counts the request
+            token = _ACTIVE_TRACER.set(UNSAMPLED)
+        return RequestTrace(fingerprint, sampled, self.clock.now_ms(),
+                            tracer, token)
+
+    def end_request(self, handle: RequestTrace | None,
+                    outcome: str = "completed", degraded: int = 0,
+                    force_retain: bool = False) -> bool:
+        """Close one request: feed summary stats, then apply tail
+        retention.  Returns True iff the span tree was retained."""
+        if handle is None:
+            return False
+        if handle._token is not None:
+            _ACTIVE_TRACER.reset(handle._token)
+        elapsed = self.clock.now_ms() - handle.start_ms
+        window = self.window
+        if window is not None:
+            window.observe_request(elapsed, outcome)
+        if not handle.sampled:
+            return False
+        tracer = handle.tracer
+        if handle.fingerprint is not None:
+            self.plan_stats.observe(handle.fingerprint,
+                                    aggregate_operators(tracer.roots))
+        slow = elapsed >= self.config.slow_ms
+        retain = (force_retain or slow or degraded > 0
+                  or outcome != "completed")
+        with self._lock:
+            self.spans_allocated += tracer.spans_allocated
+            if retain and tracer.roots:
+                self.traces_retained += 1
+                for root in tracer.roots:
+                    self._retained.append(root)
+            else:
+                retain = False
+                self.traces_summarized += 1
+            RACE.detector.on_access(self, "spans_allocated", True)
+        return retain
+
+    # -- introspection -------------------------------------------------------
+
+    def retained_roots(self) -> list[Span]:
+        """The retained span trees, oldest first (bounded ring)."""
+        with self._lock:
+            return list(self._retained)
+
+    @property
+    def roots(self) -> list[Span]:
+        return self.retained_roots()
+
+    @property
+    def last_root(self) -> Span | None:
+        with self._lock:
+            return self._retained[-1] if self._retained else None
+
+    def snapshot(self) -> dict:
+        sampler = self.sampler.snapshot()
+        with self._lock:
+            return {
+                "sampler": sampler,
+                "slow_ms": self.config.slow_ms,
+                "requests": sampler["decisions"],
+                "requests_sampled": sampler["sampled"],
+                "traces_retained": self.traces_retained,
+                "traces_summarized": self.traces_summarized,
+                "retained_in_ring": len(self._retained),
+                "spans_allocated": self.spans_allocated,
+                "unsampled_calls": self.calls,
+            }

@@ -129,3 +129,26 @@ def render_metrics(snapshot: dict) -> str:
             rendered = str(value)
         lines.append(f"{name:<{width}}  {rendered}")
     return "\n".join(lines)
+
+
+def render_window(snapshot: dict) -> str:
+    """The rolling-window snapshot as an aligned text dashboard (O-CONT).
+
+    Windowed counters render their in-window total and per-second rate;
+    windowed histograms their count/avg and nearest-rank percentiles over
+    the live buckets.
+    """
+    if not snapshot:
+        return "(no windowed metrics)"
+    width = max(len(name) for name in snapshot)
+    lines = []
+    for name, value in snapshot.items():
+        if "window_total" in value:
+            rendered = (f"total={value['window_total']:g} "
+                        f"rate={value['rate_per_s']:g}/s")
+        else:
+            rendered = (f"count={value.get('count', 0)} "
+                        f"avg={value.get('avg')}ms p50={value.get('p50')} "
+                        f"p95={value.get('p95')} p99={value.get('p99')}")
+        lines.append(f"{name:<{width}}  {rendered}")
+    return "\n".join(lines)

@@ -30,6 +30,7 @@ cycles.
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 from ..concurrency import RACE, TrackedRLock, guarded_by
@@ -40,6 +41,18 @@ def series_name(name: str, labels: dict[str, str]) -> str:
         return name
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def nearest_rank(ordered: list[float], q: float) -> float | None:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a pre-sorted sample
+    list — the one percentile definition every surface shares (histogram
+    reservoirs, windowed buckets, the workload driver)."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q!r}")
+    if not ordered:
+        return None
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 @guarded_by("_lock")
@@ -128,13 +141,15 @@ class Histogram:
 
     def percentile(self, q: float) -> float | None:
         """Nearest-rank percentile (``q`` in [0, 100]) over the
-        reservoir — approximate once decimation kicks in."""
+        reservoir — approximate once decimation kicks in.  Raises
+        :class:`ValueError` for ``q`` outside [0, 100]."""
         with self._lock:
-            if not self._samples:
-                return None
-            ordered = sorted(self._samples)
-            rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
-            return ordered[min(rank, len(ordered)) - 1]
+            return nearest_rank(sorted(self._samples), q)
+
+    def samples(self) -> list[float]:
+        """A copy of the current reservoir (observation order)."""
+        with self._lock:
+            return list(self._samples)
 
     def reset(self) -> None:
         with self._lock:

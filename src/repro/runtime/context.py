@@ -9,7 +9,7 @@ from typing import TYPE_CHECKING, Optional
 from ..clock import Clock, VirtualClock
 from ..concurrency import SyncCounters
 from ..errors import SourceError
-from ..observability import MetricsRegistry, NoopTracer
+from ..observability import MetricsRegistry, NoopTracer, WindowedMetrics
 from ..relational.connection import Connection
 from ..relational.database import Database
 from ..resilience import ResilienceManager
@@ -144,6 +144,11 @@ class DynamicContext:
         #: the unified metrics plane (O-OBS): one snapshot over every
         #: stats surface, plus live instruments the tracer feeds
         self.metrics = MetricsRegistry()
+        #: the rolling-window plane (O-CONT): ring-of-buckets counters
+        #: and histograms so rates/percentiles reflect the last N seconds
+        #: of this clock, not process lifetime; always on (writes are a
+        #: lock + an array slot)
+        self.window = WindowedMetrics(self.clock)
         #: query tracer — a no-op by default (tracing is opt-in); install
         #: a QueryTracer via :meth:`set_tracer` / ``Platform.set_tracing``
         self.tracer = NoopTracer()

@@ -32,6 +32,7 @@ primitive (blocking on it under ``_lock`` would deadlock admission).
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
 
 from ..clock import Clock
@@ -135,6 +136,10 @@ class AdmissionController:
         self.shed_quota = 0
         self.shed_overload = 0
         self.shed_cost = 0
+        #: per-tenant admitted/shed ledger (O-CONT: shed events recorded)
+        self._tenants: dict[str, dict[str, int]] = {}
+        #: the most recent structured shed events, newest last
+        self._recent_sheds: deque = deque(maxlen=32)
         #: smoothed service time; the retry-after hint for load sheds
         self._service_ms_ewma = 10.0
 
@@ -178,12 +183,14 @@ class AdmissionController:
                 wait_ms = bucket.try_acquire(now)
                 if wait_ms > 0.0:
                     self.shed_quota += 1
+                    self._record_shed_locked(tenant, "quota", cost, state, now)
                     raise AdmissionError(
                         f"tenant {tenant!r} over quota",
                         tenant=tenant, reason="quota",
                         retry_after_ms=round(wait_ms, 3), state=state)
             if state == STATE_OVERLOAD:
                 self.shed_overload += 1
+                self._record_shed_locked(tenant, "overload", cost, state, now)
                 raise AdmissionError(
                     f"server overloaded (depth {self.depth} >= "
                     f"{self.queue_hard})",
@@ -191,6 +198,7 @@ class AdmissionController:
                     retry_after_ms=self._retry_after_locked(), state=state)
             if state == STATE_SHED_EXPENSIVE and cost > self.cost_threshold:
                 self.shed_cost += 1
+                self._record_shed_locked(tenant, "cost", cost, state, now)
                 raise AdmissionError(
                     f"shedding expensive request (cost {cost:g} > "
                     f"{self.cost_threshold:g} at depth {self.depth})",
@@ -198,8 +206,29 @@ class AdmissionController:
                     retry_after_ms=self._retry_after_locked(), state=state)
             self.depth += 1
             self.admitted += 1
+            self._tenant_locked(tenant)["admitted"] += 1
             RACE.detector.on_access(self, "depth", True)
         return AdmissionTicket(self)
+
+    def _tenant_locked(self, tenant: str) -> dict:  # caller-holds: _lock
+        entry = self._tenants.get(tenant)
+        if entry is None:
+            entry = {"admitted": 0, "shed": 0}
+            self._tenants[tenant] = entry
+        return entry
+
+    def _record_shed_locked(self, tenant, reason, cost, state, now_ms):  # caller-holds: _lock
+        """One structured shed event: the per-tenant ledger plus a
+        bounded ring of recent events for the serving snapshot."""
+        self._tenant_locked(tenant)["shed"] += 1
+        self._recent_sheds.append({
+            "ts_ms": round(now_ms, 3),
+            "tenant": tenant,
+            "reason": reason,
+            "cost": cost,
+            "state": state,
+            "depth": self.depth,
+        })
 
     def _retry_after_locked(self) -> float:  # caller-holds: _lock
         """Hint: time for the queue above the soft limit to drain at the
@@ -229,4 +258,8 @@ class AdmissionController:
                 "shed_overload": self.shed_overload,
                 "shed_cost": self.shed_cost,
                 "service_ms_ewma": round(self._service_ms_ewma, 3),
+                "tenants": {tenant: dict(counts) for tenant, counts
+                            in sorted(self._tenants.items())},
+                "recent_sheds": [dict(event)
+                                 for event in self._recent_sheds],
             }

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..errors import AdmissionError, DeadlineExceededError
+from ..observability import Histogram, nearest_rank
 from .frontend import DataServer
 
 #: cap on how long a client honors a retry-after hint (keeps closed-loop
@@ -32,17 +33,20 @@ MAX_BACKOFF_S = 0.25
 
 
 def percentile(samples: list[float], q: float) -> float | None:
-    """Nearest-rank percentile (q in [0, 100]) of a sample list."""
-    if not samples:
-        return None
-    ordered = sorted(samples)
-    rank = max(1, int(round(q / 100.0 * len(ordered) + 0.5)))
-    return ordered[min(rank, len(ordered)) - 1]
+    """Nearest-rank percentile (q in [0, 100]) of a sample list — a thin
+    alias for the one shared implementation in the metrics plane."""
+    return nearest_rank(sorted(samples), q)
 
 
 @dataclass
 class StageResult:
-    """One ramp stage's outcome over ``duration_s`` of wall time."""
+    """One ramp stage's outcome over ``duration_s`` of wall time.
+
+    Completed-request latencies go through a
+    :class:`~repro.observability.Histogram` — the same bounded
+    deterministic stride reservoir (and nearest-rank percentile
+    definition) every other latency surface uses — instead of an
+    unbounded sample list."""
 
     clients: int
     duration_s: float
@@ -51,7 +55,7 @@ class StageResult:
     deadline_exceeded: int = 0
     errors: int = 0
     shed_reasons: dict[str, int] = field(default_factory=dict)
-    latencies_ms: list[float] = field(default_factory=list)
+    latency: Histogram = field(default_factory=Histogram)
 
     @property
     def attempts(self) -> int:
@@ -70,8 +74,8 @@ class StageResult:
         return self.shed / self.attempts if self.attempts else 0.0
 
     def to_dict(self) -> dict:
-        p50 = percentile(self.latencies_ms, 50)
-        p99 = percentile(self.latencies_ms, 99)
+        p50 = self.latency.percentile(50)
+        p99 = self.latency.percentile(99)
         return {
             "clients": self.clients,
             "duration_s": round(self.duration_s, 3),
@@ -144,7 +148,7 @@ class WorkloadDriver:
             elapsed_ms = (time.perf_counter() - start) * 1000.0
             with lock:
                 result.completed += 1
-                result.latencies_ms.append(elapsed_ms)
+            result.latency.observe(elapsed_ms)  # has its own lock
         self.server.close_session(session.session_id)
 
     def run_stage(self, clients: int, duration_s: float) -> StageResult:

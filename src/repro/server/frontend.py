@@ -19,13 +19,35 @@ Request path, in order:
    branches stop the moment the request is doomed.
 
 Everything the server observes lands in the platform's unified metrics
-plane under the ``server.*`` family.
+plane under the ``server.*`` family, and — O-CONT — in three continuous
+surfaces: the same ``server.*`` series feed the rolling
+:class:`~repro.observability.WindowedMetrics` window, every request
+(admitted, shed or failed) leaves a structured
+:class:`~repro.observability.FlightRecord` with its per-phase latency
+breakdown in the bounded flight recorder, and when the platform runs a
+:class:`~repro.observability.ContinuousTracer` the server opens the
+request's observation *before* admission — so a shed request still has a
+span tree for tail retention to keep.
+
+Flight-recorder outcome taxonomy (the ledger reconciles against the
+admission counters):
+
+* ``completed`` / ``deadline`` / ``error`` — admitted requests, so
+  ``completed + deadline + error == admission.admitted``;
+* ``shed`` — refused by admission (``== shed_quota + shed_overload +
+  shed_cost``);
+* ``invalid`` — failed *before* the admission decision (compile or
+  security errors); neither admitted nor shed.
+
+Requests that die before session resolution (unknown/expired session)
+have no tenant and are not flight-recorded.
 
 Thread-safety (A-CONC): the server itself is stateless between requests
 apart from its components, each synchronized on its own lock (sessions,
-admission, metrics); per-request state rides the engine's existing
-contextvars (bindings, degradations, deadline) so concurrent requests
-on one platform never see each other's.
+admission, metrics, windowed instruments, the flight recorder); per-
+request state rides the engine's existing contextvars (bindings,
+degradations, deadline) so concurrent requests on one platform never see
+each other's.
 """
 
 from __future__ import annotations
@@ -33,6 +55,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import AdmissionError, DeadlineExceededError
+from ..observability import (
+    NOOP_SPAN,
+    ContinuousTracer,
+    FlightRecord,
+    FlightRecorder,
+    plan_fingerprint,
+)
 from ..resilience import DegradationRecord
 from ..services.platform import Platform
 from ..xml.items import Item
@@ -51,6 +80,8 @@ class ServerResponse:
     cost: float
     session_id: str
     degradations: list[DegradationRecord] = field(default_factory=list)
+    fingerprint: str = ""
+    phases: dict[str, float] = field(default_factory=dict)
 
 
 class DataServer:
@@ -62,7 +93,8 @@ class DataServer:
                  sessions: SessionManager | None = None,
                  admission: AdmissionController | None = None,
                  default_budget_ms: float | None = None,
-                 default_quota: TenantQuota | None = None):
+                 default_quota: TenantQuota | None = None,
+                 flight_capacity: int = 256):
         self.platform = platform
         self.clock = platform.clock
         self.sessions = sessions or SessionManager(
@@ -71,6 +103,13 @@ class DataServer:
             platform.clock, default_quota=default_quota)
         self.default_budget_ms = default_budget_ms
         self.metrics = platform.metrics
+        #: always-on bounded ring of per-request records (O-CONT)
+        self.flight_recorder = FlightRecorder(capacity=flight_capacity)
+
+    @property
+    def window(self):
+        """The platform's rolling-window metrics plane."""
+        return self.platform.ctx.window
 
     # -- session conveniences -------------------------------------------------
 
@@ -104,49 +143,130 @@ class DataServer:
         violation, :class:`~repro.errors.DeadlineExceededError` past the
         budget, :class:`~repro.errors.PlatformClosedError` after close."""
         self.metrics.counter("server.requests").inc()
+        self.window.counter("server.requests").inc()
         session = self.sessions.get(session_id)
         bindings = dict(session.variables)
         if variables:
             bindings.update(variables)
-        plan = self.platform.prepare(query, bindings or None)
-        cost = estimate_cost(plan.expr)
-        try:
-            ticket = self.admission.admit(session.tenant, cost)
-        except AdmissionError as exc:
-            self.metrics.counter("server.shed", reason=exc.reason).inc()
-            raise
-        budget = budget_ms if budget_ms is not None else self.default_budget_ms
+        fingerprint = plan_fingerprint(
+            self.platform.plan_key(query, bindings or None))
+        tracer = self.platform.tracer
+        handle = None
+        if isinstance(tracer, ContinuousTracer):
+            # open the observation before admission: a shed request still
+            # records a span tree for tail retention to keep
+            handle = tracer.begin_request(fingerprint)
+        request_span = NOOP_SPAN
+        if handle is not None:
+            request_span = tracer.start(
+                "server.request", query, tenant=session.tenant,
+                fingerprint=fingerprint)
         start = self.clock.now_ms()
+        phases: dict[str, float] = {}
+        cost = 0.0
+        outcome = "invalid"
+        admission_decision = "rejected"
+        error_text: str | None = None
+        items: list[Item] = []
+        degradations: list[DegradationRecord] = []
         try:
-            with ticket:
-                self.metrics.gauge("server.in_flight").set(
-                    self.admission.depth)
-                items = self.platform.execute(
-                    query, bindings or None, user=session.user,
-                    budget_ms=budget)
-                degradations = list(self.platform.last_degradations)
-        except DeadlineExceededError:
-            self.metrics.counter("server.deadline_exceeded").inc()
+            plan = self.platform.prepare(query, bindings or None)
+            cost = estimate_cost(plan.expr)
+            self.platform.plan_stats_store.set_estimate(fingerprint, cost)
+            phases["prepare_ms"] = self.clock.now_ms() - start
+            admit_start = self.clock.now_ms()
+            try:
+                ticket = self.admission.admit(session.tenant, cost)
+            except AdmissionError as exc:
+                self.metrics.counter("server.shed", reason=exc.reason).inc()
+                self.window.counter("server.shed", reason=exc.reason).inc()
+                outcome = "shed"
+                admission_decision = f"shed:{exc.reason}"
+                error_text = str(exc)
+                raise
+            admission_decision = "admitted"
+            phases["admit_ms"] = self.clock.now_ms() - admit_start
+            budget = budget_ms if budget_ms is not None \
+                else self.default_budget_ms
+            execute_start = self.clock.now_ms()
+            try:
+                with ticket:
+                    self.metrics.gauge("server.in_flight").set(
+                        self.admission.depth)
+                    items = self.platform.execute(
+                        query, bindings or None, user=session.user,
+                        budget_ms=budget)
+                    degradations = list(self.platform.last_degradations)
+            except DeadlineExceededError as exc:
+                self.metrics.counter("server.deadline_exceeded").inc()
+                outcome = "deadline"
+                error_text = str(exc)
+                raise
+            except AdmissionError:
+                raise
+            except Exception as exc:
+                self.metrics.counter("server.errors").inc()
+                outcome = "error"
+                error_text = str(exc)
+                raise
+            phases["execute_ms"] = self.clock.now_ms() - execute_start
+            outcome = "completed"
+            elapsed = self.clock.now_ms() - start
+            self.admission.observe_service_ms(elapsed)
+            self.metrics.counter("server.completed").inc()
+            self.window.counter("server.completed").inc()
+            kind = "lookup" if cost <= self.admission.cost_threshold else "scan"
+            self.metrics.histogram("server.latency_ms", kind=kind) \
+                .observe(elapsed)
+            self.window.histogram("server.latency_ms", kind=kind) \
+                .observe(elapsed)
+            return ServerResponse(items=items, elapsed_ms=elapsed, cost=cost,
+                                  session_id=session_id,
+                                  degradations=degradations,
+                                  fingerprint=fingerprint,
+                                  phases=dict(phases))
+        except Exception as exc:
+            if outcome == "invalid":
+                # failed before the admission decision (compile error,
+                # security violation): neither admitted nor shed
+                error_text = str(exc)
             raise
-        except AdmissionError:
-            raise
-        except Exception:
-            self.metrics.counter("server.errors").inc()
-            raise
-        elapsed = self.clock.now_ms() - start
-        self.admission.observe_service_ms(elapsed)
-        self.metrics.counter("server.completed").inc()
-        kind = "lookup" if cost <= self.admission.cost_threshold else "scan"
-        self.metrics.histogram("server.latency_ms", kind=kind).observe(elapsed)
-        return ServerResponse(items=items, elapsed_ms=elapsed, cost=cost,
-                              session_id=session_id,
-                              degradations=degradations)
+        finally:
+            elapsed = self.clock.now_ms() - start
+            if request_span is not NOOP_SPAN:
+                request_span.set(outcome=outcome, cost=cost)
+                if error_text is not None:
+                    request_span.set(error=error_text)
+                request_span.end()
+            retained = False
+            if handle is not None:
+                retained = tracer.end_request(
+                    handle, outcome=outcome, degraded=len(degradations),
+                    force_retain=(outcome == "shed"))
+            self.flight_recorder.record(FlightRecord(
+                tenant=session.tenant, session_id=session_id,
+                fingerprint=fingerprint, cost=cost,
+                admission=admission_decision, outcome=outcome,
+                elapsed_ms=elapsed, ts_ms=start, phases=phases,
+                degradations=len(degradations), items=len(items),
+                error=error_text,
+                sampled=handle.sampled if handle is not None else False,
+                retained=retained))
 
     # -- introspection --------------------------------------------------------
 
+    def flight(self, tenant: str | None = None, outcome: str | None = None,
+               limit: int | None = None) -> list[FlightRecord]:
+        """Query the flight recorder: the most recent matching request
+        records, oldest first."""
+        return self.flight_recorder.records(tenant=tenant, outcome=outcome,
+                                            limit=limit)
+
     def snapshot(self) -> dict:
-        """Serving-plane state: sessions, admission and load state."""
+        """Serving-plane state: sessions, admission, load state and the
+        flight-recorder ledger."""
         return {
             "sessions": self.sessions.snapshot(),
             "admission": self.admission.snapshot(),
+            "flight": self.flight_recorder.snapshot(),
         }

@@ -16,12 +16,24 @@ from ..compiler.inverse import InverseRegistry
 from ..concurrency import NOOP_DETECTOR, RACE, set_race_detector
 from ..compiler.pipeline import CompiledPlan, Compiler, CompilerOptions, PlanCache
 from ..compiler.views import ViewPlanCache
-from ..errors import PlatformClosedError, StaticError, UpdateError
+from ..errors import (
+    DeadlineExceededError,
+    ObservabilityError,
+    PlatformClosedError,
+    StaticError,
+    UpdateError,
+)
 from ..observability import (
+    ContinuousConfig,
+    ContinuousTracer,
     MetricsRegistry,
     NoopTracer,
+    PlanStatsStore,
     QueryProfile,
     QueryTracer,
+    TraceSampler,
+    WindowedMetrics,
+    plan_fingerprint,
     profile_render,
     series_name,
 )
@@ -82,6 +94,15 @@ class Platform:
         #: set (once) by close(); queries submitted after raise
         #: PlatformClosedError instead of hitting a torn-down executor
         self._closed = False
+        #: the §9 observed-cost feedback store (O-CONT): per-(plan
+        #: fingerprint, operator) EWMA actuals next to cost estimates;
+        #: fed by the continuous tracer and by profile()
+        self.plan_stats_store = PlanStatsStore()
+        #: the installed ContinuousTracer, if set_continuous() is on
+        self._continuous: ContinuousTracer | None = None
+        #: administrative gate: set_tracing_allowed(False) makes every
+        #: tracing enable fail with a stable ALDSP-E501 diagnostic
+        self._tracing_allowed = True
         # The unified metrics plane: the legacy stats objects stay the
         # write surface; this collector is the one read surface over them.
         self.ctx.metrics.add_collector(self._collect_metrics)
@@ -383,15 +404,92 @@ class Platform:
         return self.ctx.tracer
 
     def set_tracing(self, enabled: bool) -> None:
-        """Toggle query tracing.  Off (the default) installs the no-op
-        tracer: the hot path crosses the instrumentation points but
+        """Toggle full query tracing.  Off (the default) installs the
+        no-op tracer: the hot path crosses the instrumentation points but
         allocates no spans.  On installs a :class:`QueryTracer` driven by
         the platform clock, feeding span durations into the metrics
-        registry."""
+        registry.  For production use prefer :meth:`set_continuous`,
+        which samples instead of recording everything."""
         if enabled:
+            self._check_tracing_allowed()
             self.ctx.set_tracer(QueryTracer(self.clock, self.ctx.metrics))
         else:
             self.ctx.set_tracer(NoopTracer())
+        self._continuous = None
+
+    def set_tracing_allowed(self, allowed: bool) -> None:
+        """Administrative gate over every tracing surface: when off,
+        :meth:`set_tracing`, :meth:`set_continuous` and :meth:`profile`
+        fail with a stable ``ALDSP-E501``
+        :class:`~repro.errors.ObservabilityError` instead of silently
+        recording (already-installed tracers are not torn down)."""
+        self._tracing_allowed = allowed
+
+    def _check_tracing_allowed(self) -> None:
+        if not self._tracing_allowed:
+            raise ObservabilityError(
+                "tracing is administratively disabled on this platform"
+            )
+
+    # -- the continuous plane (O-CONT) ------------------------------------------
+
+    def set_continuous(self, enabled: bool = True, *,
+                       sample_rate: float | None = None,
+                       seed: int | None = None,
+                       slow_ms: float | None = None,
+                       retain_capacity: int | None = None):
+        """Toggle continuous production observability: head-sampled
+        tracing with tail-based retention (slow/errored/degraded/shed
+        requests always keep their full span tree), summary feeding of
+        the plan-stats store and the rolling metrics window.  Returns the
+        installed :class:`ContinuousTracer` (None when disabling)."""
+        if not enabled:
+            self.ctx.set_tracer(NoopTracer())
+            self._continuous = None
+            return None
+        self._check_tracing_allowed()
+        overrides = {
+            "sample_rate": sample_rate, "seed": seed, "slow_ms": slow_ms,
+            "retain_capacity": retain_capacity,
+        }
+        config = ContinuousConfig(
+            **{key: value for key, value in overrides.items()
+               if value is not None})
+        tracer = ContinuousTracer(
+            self.clock, TraceSampler(config.sample_rate, config.seed),
+            config, self.plan_stats_store,
+            window=self.ctx.window, metrics=self.ctx.metrics)
+        self.ctx.set_tracer(tracer)
+        self._continuous = tracer
+        return tracer
+
+    @property
+    def continuous(self) -> ContinuousTracer | None:
+        """The installed continuous tracer (None unless enabled)."""
+        return self._continuous
+
+    def plan_stats(self) -> dict:
+        """The observed-cost feedback store: per-plan cost estimates next
+        to per-operator EWMA actuals (rows, elapsed, roundtrips) from
+        every retained-or-summarized trace and every profile run."""
+        return self.plan_stats_store.snapshot()
+
+    @property
+    def window(self) -> WindowedMetrics:
+        """The rolling-window metrics plane (always on)."""
+        return self.ctx.window
+
+    def set_metrics_window(self, window_s: float, nbuckets: int = 12) -> None:
+        """Re-size the rolling metrics window (replaces the instruments;
+        accumulated windowed state starts over)."""
+        AsyncExecutor.assert_owner("Platform.set_metrics_window")
+        self.ctx.window = WindowedMetrics(self.clock, window_s, nbuckets)
+        if self._continuous is not None:
+            self._continuous.window = self.ctx.window
+
+    def window_snapshot(self) -> dict:
+        """Every rolling-window series, sorted by name."""
+        return self.ctx.window.snapshot()
 
     @property
     def last_trace(self):
@@ -408,6 +506,7 @@ class Platform:
         explicitly enabled (or disabled) tracing mode."""
         from ..runtime.batchexec import BatchProbe
 
+        self._check_tracing_allowed()
         previous = self.ctx.tracer
         tracer = QueryTracer(self.clock, self.ctx.metrics)
         self.ctx.set_tracer(tracer)
@@ -422,6 +521,10 @@ class Platform:
         elapsed = self.clock.now_ms() - start
         plan = self.prepare(query, variables)
         text, aggregates = profile_render(plan.expr, tracer)
+        # profiling observes the same actuals the continuous plane would:
+        # feed the plan-stats store so explicit profile runs warm it too
+        self.plan_stats_store.observe(
+            plan_fingerprint(self.plan_key(query, variables)), aggregates)
         return QueryProfile(text=text, root=tracer.last_root, tracer=tracer,
                             items=len(items), elapsed_ms=elapsed,
                             aggregates=aggregates, batches=probe.snapshot())
@@ -538,6 +641,7 @@ class Platform:
         self.ctx.async_exec.reset_counters()
         self.plan_cache.reset_counters()
         self.ctx.metrics.reset()
+        self.ctx.window.reset()
 
     @property
     def closed(self) -> bool:
@@ -590,14 +694,24 @@ class Platform:
         from ..schema.types import ITEM_STAR
 
         self._check_open()
-        names = tuple(sorted(variables)) if variables else ()
-        key = query if not names else f"{query}\n#externals:{','.join(names)}"
+        key = self.plan_key(query, variables)
         plan = self.plan_cache.get(key)
         if plan is None:
+            names = tuple(sorted(variables)) if variables else ()
             externals = {name: ITEM_STAR for name in names}
             plan = self._compiler().compile_expression(query, externals=externals or None)
             self.plan_cache.put(key, plan)
         return plan
+
+    def plan_key(self, query: str,
+                 variables: dict[str, list[Item]] | None = None) -> str:
+        """The plan-cache key for a query: the text plus the *names* of
+        its external variables.  Also the input to
+        :func:`~repro.observability.plan_fingerprint`, so the flight
+        recorder and plan-stats store key plans the same way the cache
+        does."""
+        names = tuple(sorted(variables)) if variables else ()
+        return query if not names else f"{query}\n#externals:{','.join(names)}"
 
     def execute(self, query: str, variables: dict[str, list[Item]] | None = None,
                 user: User = ADMIN, budget_ms: float | None = None) -> list[Item]:
@@ -626,8 +740,16 @@ class Platform:
         if budget_ms is not None:
             token = self.ctx.resilience.set_deadline(
                 self.clock.now_ms() + budget_ms)
+        tracer = self.ctx.tracer
+        handle = None
+        if isinstance(tracer, ContinuousTracer) and not tracer.in_request():
+            # nested under a server request the outer request already
+            # owns the sampling decision (and paid for the fingerprint)
+            handle = tracer.begin_request(
+                plan_fingerprint(self.plan_key(query, variables)))
+        outcome = "completed"
         try:
-            with self.ctx.tracer.start("query", query) as span:
+            with tracer.start("query", query) as span:
                 count = 0
                 for item in self.evaluator.iter_eval(plan.expr, {}):
                     filtered = self.security.filter_items([item], user)
@@ -635,9 +757,19 @@ class Platform:
                         count += 1
                         yield out
                 span.set(items=count)
+        except DeadlineExceededError:
+            outcome = "deadline"
+            raise
+        except BaseException:
+            outcome = "error"
+            raise
         finally:
             if token is not None:
                 self.ctx.resilience.reset_deadline(token)
+            if handle is not None:
+                tracer.end_request(
+                    handle, outcome=outcome,
+                    degraded=len(self.ctx.resilience.degradations))
 
     def explain(self, query: str,
                 variables: dict[str, list[Item]] | None = None) -> str:
@@ -704,10 +836,30 @@ class Platform:
             f"__arg{i}": list(arg) for i, arg in enumerate(args)
         }
         self.ctx.resilience.begin_query()
-        with self.ctx.tracer.start("query", function_name) as span:
-            result = self.evaluator.eval(plan.expr, {})
-            span.set(items=len(result))
-        return self.security.filter_items(result, user)
+        tracer = self.ctx.tracer
+        handle = None
+        if isinstance(tracer, ContinuousTracer) and not tracer.in_request():
+            # fingerprint by the canonical call text, not the internal
+            # plan-cache key, so `call("getProfile")` and an ad hoc
+            # `getProfile()` observe as one plan in the stats store
+            call_text = (f"{function_name}"
+                         f"({', '.join(f'$__arg{i}' for i in range(arity))})")
+            handle = tracer.begin_request(
+                plan_fingerprint(self.plan_key(call_text, None)))
+        outcome = "completed"
+        try:
+            with tracer.start("query", function_name) as span:
+                result = self.evaluator.eval(plan.expr, {})
+                span.set(items=len(result))
+            return self.security.filter_items(result, user)
+        except BaseException:
+            outcome = "error"
+            raise
+        finally:
+            if handle is not None:
+                tracer.end_request(
+                    handle, outcome=outcome,
+                    degraded=len(self.ctx.resilience.degradations))
 
     def call_python(self, function_name: str, *args, user: User = ADMIN) -> list[Item]:
         """Convenience: call with plain Python argument values."""

@@ -114,6 +114,78 @@ class TestStatsCommand:
         assert snapshot["source.roundtrips{source=custdb}"] == 1
 
 
+class TestFlightCommand:
+    def test_flight_renders_records_and_ledger(self):
+        result = run_cli("--customers", "2", "flight", "--requests", "4")
+        assert result.returncode == 0
+        assert "[acme]" in result.stdout and "[globex]" in result.stdout
+        assert "completed" in result.stdout
+        assert "fp=" in result.stdout  # plan fingerprint on every record
+        assert '"outcomes"' in result.stdout  # the ledger trailer
+
+    def test_flight_json_reconciles_with_admission(self):
+        import json
+
+        result = run_cli("--customers", "2", "flight", "--requests", "4",
+                         "--json")
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        assert len(payload["records"]) == 8
+        outcomes = payload["flight"]["outcomes"]
+        admission = payload["admission"]
+        assert outcomes.get("completed", 0) + outcomes.get("deadline", 0) + \
+            outcomes.get("error", 0) == admission["admitted"]
+        assert outcomes.get("shed", 0) == admission["shed_quota"] + \
+            admission["shed_overload"] + admission["shed_cost"]
+        assert payload["continuous"]["requests"] == 8
+
+    def test_flight_filters_by_outcome(self):
+        import json
+
+        result = run_cli("--customers", "2", "flight", "--requests", "4",
+                         "--outcome", "shed", "--json")
+        assert result.returncode == 0
+        payload = json.loads(result.stdout)
+        assert payload["records"] == []  # nothing shed at default quotas
+
+
+class TestNoTracingFlag:
+    def test_trace_profile_fails_cleanly_when_disabled(self):
+        result = run_cli("--no-tracing", "--customers", "2", "trace",
+                         "--profile", 'getProfileByID("C1")')
+        assert result.returncode == 1
+        assert "Traceback" not in result.stderr
+        assert "error: ALDSP-E501:" in result.stderr
+        assert "administratively disabled" in result.stderr
+
+    def test_trace_fails_cleanly_when_disabled(self):
+        result = run_cli("--no-tracing", "trace",
+                         "for $c in CUSTOMER() return $c/CID")
+        assert result.returncode == 1
+        assert "error: ALDSP-E501:" in result.stderr
+
+    def test_stats_window_fails_cleanly_when_disabled(self):
+        result = run_cli("--no-tracing", "stats", "--window")
+        assert result.returncode == 1
+        assert "error: ALDSP-E501:" in result.stderr
+
+
+class TestStatsWindowCommand:
+    def test_stats_window_renders_rolling_plane(self):
+        result = run_cli("--customers", "2", "stats", "--window")
+        assert result.returncode == 0
+        assert "trace.requests" in result.stdout
+        assert "trace.latency_ms" in result.stdout
+
+    def test_stats_window_json(self):
+        import json
+
+        result = run_cli("--customers", "2", "stats", "--window", "--json")
+        assert result.returncode == 0
+        snapshot = json.loads(result.stdout)
+        assert snapshot["trace.requests"]["window_total"] == 1.0
+
+
 class TestHealthCommand:
     def test_health_with_dead_database(self):
         result = run_cli("--customers", "2", "health", "--kill", "ccdb",
