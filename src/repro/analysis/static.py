@@ -42,6 +42,7 @@ from ..diagnostics import Diagnostic, DiagnosticReport, make
 REGISTRY: dict[str, tuple[str, ...]] = {
     "clock.py": ("VirtualClock",),
     "compiler/pipeline.py": ("PlanCache",),
+    "compiler/stats.py": ("StatisticsCatalog",),
     "compiler/views.py": ("ViewPlanCache",),
     "concurrency.py": ("SyncCounters",),
     "observability/continuous.py": (
@@ -74,7 +75,7 @@ COUNTER_FIELDS = frozenset({
     "ppk_k_adjustments", "attempts", "retries", "failures",
     "breaker_trips", "degraded",
     "pushed_queries", "ppk_blocks", "ppk_tuples", "middleware_join_probes",
-    "index_joins_built", "service_calls", "tuples_flowed",
+    "index_joins_built", "service_calls", "tuples_flowed", "replans",
     "groups_emitted", "peak_resident", "groups_run", "branches_run",
 })
 

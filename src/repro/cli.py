@@ -42,6 +42,10 @@ def _build(args) -> object:
         platform.set_parallel_regions(False)
     if args.batch_size:
         platform.set_batch_size(args.batch_size)
+    if args.cost_based or args.force_strategy:
+        platform.set_cost_based(True, force=args.force_strategy or None)
+    if args.replan_threshold:
+        platform.set_replan_threshold(args.replan_threshold)
     if args.no_tracing:
         platform.set_tracing_allowed(False)
     return platform
@@ -472,6 +476,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch-size", type=int, default=0,
                         help="rows per batch for the batch engine "
                              "(1 = tuple-at-a-time, 0 = default 256)")
+    parser.add_argument("--cost-based", action="store_true",
+                        help="choose join strategies and join order from "
+                             "statistics instead of the fixed heuristics "
+                             "(P-COST)")
+    parser.add_argument("--force-strategy", default="",
+                        choices=["", "ppk", "index-join", "ship-all"],
+                        help="pin every convertible join region to one "
+                             "strategy (implies --cost-based; for ablation)")
+    parser.add_argument("--replan-threshold", type=float, default=0.0,
+                        help="mid-query re-plan when observed cardinality "
+                             "diverges from the estimate by this factor "
+                             "(> 1.0; 0 = off)")
     parser.add_argument("--no-tracing", action="store_true",
                         help="administratively disallow tracing on this "
                              "platform (enabling it fails with ALDSP-E501)")

@@ -86,6 +86,32 @@ def _pad(depth: int) -> str:
     return "  " * depth
 
 
+def _est_suffix(node: ast.AstNode) -> str:
+    """The costing pass's stamp, when present: chosen strategy, estimated
+    rows/time and the runner-up.  Plans compiled without cost-based choice
+    carry no stamp, so their rendering is unchanged."""
+    strategy = getattr(node, "est_strategy", None)
+    rows = getattr(node, "est_rows", None)
+    if strategy is None and rows is None:
+        return ""
+    bits = []
+    if strategy is not None:
+        bits.append(f"strategy={strategy}")
+    if rows is not None:
+        bits.append(f"est_rows={rows:.0f}")
+    ms = getattr(node, "est_ms", None)
+    if ms is not None:
+        bits.append(f"est_ms={ms:.2f}")
+    via = getattr(node, "est_via", None)
+    if via is not None:
+        bits.append(f"via={via}")
+    runner = getattr(node, "est_runner_up", None)
+    if runner is not None:
+        bits.append(f"runner-up={runner}"
+                    f"({getattr(node, 'est_runner_up_ms', 0.0):.2f}ms)")
+    return f" [cost: {', '.join(bits)}]"
+
+
 def _sql_of(pushed: PushedSQL) -> str:
     return SqlRenderer(capabilities_for(pushed.vendor)).render(pushed.select)
 
@@ -104,7 +130,8 @@ def _dialect_label(pushed: PushedSQL) -> str:
 def _lines(node: ast.AstNode, depth: int, annotate: Annotator = None) -> list[str]:
     pad = _pad(depth)
     if isinstance(node, PushedSQL):
-        lines = [f"{pad}PUSHED SQL -> {node.database} ({node.vendor})"]
+        lines = [f"{pad}PUSHED SQL -> {node.database} "
+                 f"({node.vendor}){_est_suffix(node)}"]
         lines.append(f"{pad}  sql[{_dialect_label(node)}]: {_sql_of(node)}")
         if node.param_exprs:
             lines.append(f"{pad}  parameters: {len(node.param_exprs)} middleware expression(s)")
@@ -157,7 +184,8 @@ def _clause_lines(clause: ast.Clause, depth: int,
     if isinstance(clause, PPkLetClause):
         pushed = clause.pushed
         method = "index nested loops" if clause.k > 1 else "index nested loop (k=1)"
-        lines = [f"{pad}PP-{clause.k} JOIN (let ${clause.var}) using {method}"]
+        lines = [f"{pad}PP-{clause.k} JOIN (let ${clause.var}) "
+                 f"using {method}{_est_suffix(clause)}"]
         lines.append(f"{pad}  -> {pushed.database} "
                      f"sql[{_dialect_label(pushed)}]: {_sql_of(pushed)}")
         lines.append(f"{pad}  + disjunctive block predicate on "
@@ -171,7 +199,8 @@ def _clause_lines(clause: ast.Clause, depth: int,
         return _mark(lines, clause, annotate)
     if isinstance(clause, IndexJoinForClause):
         return _mark([f"{pad}INDEX NESTED-LOOP JOIN for ${clause.var} "
-                      "(hash-indexed inner, built once)"], clause, annotate)
+                      f"(hash-indexed inner, built once){_est_suffix(clause)}"],
+                     clause, annotate)
     if isinstance(clause, ast.ForClause):
         lines = [f"{pad}for ${clause.var} in"]
         lines.extend(_lines(clause.expr, depth + 1, annotate))

@@ -43,6 +43,11 @@ class CompilerOptions:
     #: :class:`~repro.errors.PlanVerificationError`; in design mode they
     #: are collected on the plan like analysis errors.
     verify: bool = True
+    #: cost-based plan choice (:mod:`repro.compiler.costing`): a
+    #: :class:`~repro.compiler.costing.CostingOptions` or None.  The pass
+    #: only runs when present *and* enabled, so the default compiler
+    #: produces byte-identical heuristic plans.
+    cost: object = None
 
 
 @dataclass
@@ -140,6 +145,14 @@ class Compiler:
         from ..sql.rewriter import push_sql
 
         expr = push_sql(expr, self.options.push, bound=frozenset(env))
+        cost = self.options.cost
+        if cost is not None and getattr(cost, "enabled", False):
+            from .costing import apply_costing
+
+            # fingerprint on the user-visible externals only (module
+            # variables are not part of Platform.plan_key)
+            expr = apply_costing(expr, source, frozenset(externals or {}),
+                                 cost)
         from .scatter import stamp_scatter_groups
 
         stamp_scatter_groups(expr)

@@ -1,0 +1,128 @@
+"""The statistics layer for cost-based plan choice (P-COST, section 9).
+
+The paper's section 4.3/9 vision is an optimizer that chooses distributed
+access strategies from *costs* rather than fixed heuristics.  This module
+supplies the inputs: per-table cardinality and per-column selectivity
+sketches (distinct-value counts over the registered sources' live tables),
+per-source latency fits (roundtrip + per-row, from the runtime's
+:class:`~repro.runtime.observed.ObservedCostModel`, falling back to the
+source's declared :class:`~repro.relational.database.LatencyModel`), and
+manual overrides so benchmarks and tests can make the statistics
+deliberately wrong.
+
+The catalog computes table statistics fresh per request (tables in the
+simulated sources are small, and compilation is amortized by the plan
+cache); only the overrides and the latency samples carry state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..concurrency import RACE, TrackedRLock, guarded_by
+
+#: selectivity is clamped into [1/max(rows, 1), 1]; an unknown column
+#: falls back to this fraction of the table
+DEFAULT_SELECTIVITY = 0.1
+
+
+@dataclass
+class TableStats:
+    """Cardinality and per-column distinct counts for one table."""
+
+    rows: int
+    #: column name -> number of distinct non-NULL values
+    ndv: dict = field(default_factory=dict)
+    #: single-column primary key, when the table declares one
+    unique_columns: tuple = ()
+
+
+@guarded_by("_lock")
+class StatisticsCatalog:
+    """Statistics over the registered relational sources.
+
+    Thread-safety (A-CONC): the override map is written by administrative
+    calls (:meth:`set_table_stats`) and read by every compiling request
+    thread, so both go through ``_lock``.  The live table containers are
+    only mutated at registration/load time (single-threaded design time),
+    matching how the rest of the compiler reads them.
+    """
+
+    def __init__(self, databases, observed):
+        #: live view of the platform's registered databases (name -> Database)
+        self._databases = databases
+        #: the runtime's per-source latency observations
+        self._observed = observed
+        self._lock = TrackedRLock("StatisticsCatalog")
+        #: manual overrides: (database, table) -> TableStats
+        self._overrides: dict[tuple[str, str], TableStats] = {}
+
+    # -- administration ------------------------------------------------------
+
+    def set_table_stats(self, database: str, table: str, rows: int,
+                        ndv: dict | None = None) -> None:
+        """Override the statistics for one table (benchmarks use this to
+        make the optimizer's inputs deliberately wrong)."""
+        with self._lock:
+            self._overrides[(database, table)] = TableStats(
+                rows=max(int(rows), 0), ndv=dict(ndv or {}))
+            RACE.detector.on_access(self, "_overrides", True)
+
+    def clear_overrides(self) -> None:
+        with self._lock:
+            self._overrides.clear()
+            RACE.detector.on_access(self, "_overrides", True)
+
+    # -- lookups -------------------------------------------------------------
+
+    def table_stats(self, database: str, table: str) -> TableStats | None:
+        """Statistics for one table; None when the source is unknown (the
+        costing pass then leaves the region on its heuristic plan)."""
+        with self._lock:
+            override = self._overrides.get((database, table))
+        if override is not None:
+            return override
+        db = self._databases.get(database)
+        if db is None:
+            return None
+        live = db.tables.get(table)
+        if live is None:
+            return None
+        ndv: dict[str, int] = {}
+        for column in live.columns:
+            values = {row[column.name] for row in live.rows
+                      if row.get(column.name) is not None}
+            ndv[column.name] = len(values)
+        unique = tuple(live.primary_key) if len(live.primary_key) == 1 else ()
+        return TableStats(rows=len(live.rows), ndv=ndv, unique_columns=unique)
+
+    def selectivity(self, database: str, table: str, column: str) -> float:
+        """Estimated fraction of the table matching one equality key on
+        ``column`` — 1/ndv, clamped into [1/max(rows, 1), 1]."""
+        stats = self.table_stats(database, table)
+        if stats is None:
+            return DEFAULT_SELECTIVITY
+        return clamp_selectivity(stats, column)
+
+    def latency(self, source: str) -> tuple[float, float] | None:
+        """(roundtrip_ms, per_row_ms) for a source: the observed fit when
+        samples exist, else the source's declared latency model, else None
+        for an unknown source."""
+        estimate = self._observed.estimate(source) if self._observed else None
+        if estimate is not None and estimate.samples >= 2:
+            return estimate.roundtrip_ms, estimate.per_row_ms
+        db = self._databases.get(source)
+        if db is None:
+            return None
+        return db.latency.roundtrip_ms, db.latency.per_row_ms
+
+
+def clamp_selectivity(stats: TableStats, column: str) -> float:
+    """1/ndv clamped into [1/max(rows, 1), 1] — degenerate statistics
+    (empty table, zero distinct values, ndv above the row count) can never
+    drive an estimate outside the meaningful range."""
+    floor = 1.0 / max(stats.rows, 1)
+    ndv = stats.ndv.get(column)
+    if not ndv or ndv <= 0:
+        return max(min(DEFAULT_SELECTIVITY, 1.0), floor)
+    return max(min(1.0 / ndv, 1.0), floor)

@@ -85,12 +85,19 @@ def _fold(span: Span, enclosing: int | None, out: dict[int, OperatorActuals]) ->
         _fold(child, enclosing, out)
 
 
-def format_actuals(op: int, acts: OperatorActuals | None) -> str:
-    """The ``[actual: ...]`` suffix for one plan line."""
+def format_actuals(op: int, acts: OperatorActuals | None,
+                   est_rows: float | None = None) -> str:
+    """The ``[actual: ...]`` suffix for one plan line.  When the costing
+    pass stamped an estimate, it renders next to the actual
+    (``est_rows=… act_rows=…``) so estimate/actual divergence is visible
+    in place; plans without stamps render exactly as before."""
     if acts is None:
         return f"  [#{op} actual: not executed]"
     parts = [f"{acts.spans} span(s)", f"{acts.elapsed_ms:.3f}ms"]
-    if acts.rows:
+    if est_rows is not None:
+        parts.append(f"est_rows={est_rows:.0f}")
+        parts.append(f"act_rows={acts.rows}")
+    elif acts.rows:
         parts.append(f"rows={acts.rows}")
     if acts.roundtrips:
         parts.append(f"roundtrips={acts.roundtrips}")
@@ -128,7 +135,7 @@ def make_annotator(aggregates: dict[int, OperatorActuals]):
             # A plain user call leaves no spans unless cached/async — an
             # absent aggregate is not evidence it never ran.
             return ""
-        return format_actuals(op, acts)
+        return format_actuals(op, acts, getattr(node, "est_rows", None))
 
     return annotate
 

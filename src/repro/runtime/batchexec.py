@@ -179,6 +179,13 @@ def _apply_batch_clause(run: _BatchRun, clause,
     if isinstance(clause, PushedTupleForClause):
         return _rebatched(run, run.ev._pushed_tuple_for(clause, _flatten(batches)))
     if isinstance(clause, IndexJoinForClause):
+        if (run.ctx.replan_threshold is not None
+                and getattr(clause, "replan_ppk", None) is not None
+                and getattr(clause, "est_outer", None) is not None):
+            # re-planning armed (P-COST): the tuple implementation owns the
+            # buffer-then-commit decision; rebatch its output
+            return _rebatched(
+                run, run.ev._index_join_tuples(clause, _flatten(batches)))
         return _index_join_batches(run, clause, batches)
     raise DynamicError(f"cannot execute clause {type(clause).__name__}")
 

@@ -39,6 +39,8 @@ class RuntimeStats(SyncCounters):
     index_joins_built: int = 0
     service_calls: int = 0
     tuples_flowed: int = 0
+    #: mid-query strategy switches (P-COST re-planning)
+    replans: int = 0
 
     def __post_init__(self) -> None:
         self._init_lock("RuntimeStats")
@@ -52,6 +54,7 @@ class RuntimeStats(SyncCounters):
             self.index_joins_built = 0
             self.service_calls = 0
             self.tuples_flowed = 0
+            self.replans = 0
 
 
 @dataclass
@@ -116,6 +119,10 @@ class DynamicContext:
         self.adaptive_ppk = AdaptivePPkConfig()
         #: scatter-execute compiler-stamped independent let-bound regions
         self.parallel_regions = True
+        #: mid-query re-planning divergence factor (P-COST); None = off.
+        #: A plain GIL-atomic flag like ``ppk_pipeline``: operators read
+        #: it once per region
+        self.replan_threshold: float | None = None
         #: default for the per-database prepared-statement caches
         self.statement_cache_enabled = True
         #: observed per-source cost samples (section 9's future-work

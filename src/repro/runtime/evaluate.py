@@ -645,6 +645,26 @@ class Evaluator:
                            tuples: Iterator[Env]) -> Iterator[Env]:
         """Index nested-loop join (section 5.2): hash the loop-invariant
         inner sequence once, then probe per outer tuple (order-preserving)."""
+        replan = getattr(clause, "replan_ppk", None)
+        threshold = self.ctx.replan_threshold
+        est_outer = getattr(clause, "est_outer", None)
+        if replan is not None and threshold is not None and est_outer is not None:
+            # Mid-query re-planning (P-COST): the index join was chosen for
+            # a large estimated outer.  Hold the build until the outer has
+            # produced at least est/threshold tuples; if the stream ends
+            # first, the estimate was off by more than the threshold and
+            # the runner-up PP-k twin serves the buffered tuples instead —
+            # no source query has been issued yet, so the switch is free.
+            from itertools import chain, islice
+
+            commit_at = max(1, math.ceil(est_outer / threshold))
+            buffered = list(islice(tuples, commit_at))
+            if len(buffered) < commit_at:
+                if buffered:
+                    yield from self._replan_index_to_ppk(
+                        clause, replan, buffered)
+                return
+            tuples = chain(buffered, tuples)
         index: dict | None = None
         for env in tuples:
             if index is None:
@@ -665,6 +685,27 @@ class Evaluator:
                 continue
             for item in index.get(probe_atoms[0].value, []):
                 extended = dict(env)
+                extended[clause.var] = [item]
+                yield extended
+
+    def _replan_index_to_ppk(self, clause: IndexJoinForClause,
+                             replan: PPkLetClause,
+                             buffered: list[Env]) -> Iterator[Env]:
+        """Serve a too-small outer through the region's PP-k twin: one
+        disjunctive block instead of a full inner scan.  The twin's output
+        (group var bound to matched items, table order per key) unnests to
+        exactly the tuples the index join would have produced."""
+        self.ctx.stats.bump(replans=1)
+        with self.ctx.tracer.start("replan", replan.pushed.database,
+                                   op=getattr(clause, "op_id", None),
+                                   strategy_from="index-join",
+                                   strategy_to="ppk"):
+            pass
+        for env in ppk_extend(replan, iter(buffered), self):
+            items = env.get(replan.var, [])
+            for item in items:
+                extended = dict(env)
+                del extended[replan.var]
                 extended[clause.var] = [item]
                 yield extended
 

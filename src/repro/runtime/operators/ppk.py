@@ -74,6 +74,15 @@ def ppk_extend(
     assert clause.pushed.correlation is not None
     ctx = evaluator.ctx
     blocks = _blocks(tuples, _block_sizer(clause, ctx))
+    threshold = ctx.replan_threshold
+    if (threshold is not None
+            and getattr(clause, "est_replan_scan", False)
+            and getattr(clause, "est_outer", None) is not None):
+        # Mid-query re-planning is armed for this region (P-COST).  Blocks
+        # run sequentially — the block boundary is the safe switch point,
+        # and the decision must see every tuple the operator consumed.
+        yield from _extend_with_replan(clause, blocks, threshold, evaluator)
+        return
     if not ctx.ppk_pipeline:
         for block, capacity in blocks:
             fetched = _fetch_block(clause, block, capacity, evaluator)
@@ -103,6 +112,84 @@ def ppk_extend(
         pending, fetched = upcoming, outcomes[1:]
     for (block, _capacity), fetch in zip(pending, fetched):
         yield from _join_block(clause, block, fetch, evaluator)
+
+
+def _extend_with_replan(clause: PPkLetClause, blocks, threshold: float,
+                        evaluator: "Evaluator") -> Iterator[dict]:
+    """PP-k with a mid-query escape hatch: once the consumed outer tuples
+    exceed ``threshold``× the costed estimate, abandon the per-block
+    disjunctive queries at the block boundary and switch to the runner-up
+    — one full scan of the region's base select, hash-joined against all
+    remaining tuples.  The first block always runs as PP-k (the trigger
+    compares consumption against the estimate, so the decision is
+    deterministic in tuple counts, not in time)."""
+    ctx = evaluator.ctx
+    budget = threshold * max(getattr(clause, "est_outer", 1.0), 1.0)
+    seen = 0
+    for block, capacity in blocks:
+        if seen > 0 and seen + len(block) > budget:
+            rows_by_key = _replan_fetch_scan(clause, block[0], evaluator)
+            yield from _join_scan(clause, block, rows_by_key, evaluator)
+            for later, _capacity in blocks:
+                yield from _join_scan(clause, later, rows_by_key, evaluator)
+            return
+        seen += len(block)
+        fetched = _fetch_block(clause, block, capacity, evaluator)
+        yield from _join_block(clause, block, fetched, evaluator)
+
+
+def _replan_fetch_scan(clause: PPkLetClause, env: dict,
+                       evaluator: "Evaluator") -> dict:
+    """Fetch the region's base select once (the correlation disjunction is
+    added per block, so the base select *is* the full scan) and partition
+    the rows by the correlation column — the index-join build, done as a
+    re-plan."""
+    from .pushedsql import render_pushed
+
+    pushed = clause.pushed
+    correlation = pushed.correlation
+    ctx = evaluator.ctx
+    ctx.stats.bump(replans=1)
+    rows_by_key: dict[object, list[dict]] = {}
+    with ctx.tracer.start("replan", pushed.database,
+                          op=getattr(clause, "op_id", None),
+                          strategy_from="ppk", strategy_to="scan") as span:
+        sql = render_pushed(pushed, evaluator)
+        values = bind_parameters(pushed, env, evaluator)
+        params = [values[i] for i in param_order(pushed.select)]
+        try:
+            rows = ctx.connection(pushed.database).execute_query(sql, params)
+        except SourceError as exc:
+            if not ctx.resilience.absorb(pushed.database, exc):
+                raise
+            # degraded scan: every remaining tuple left-outer joins to
+            # nothing, exactly like a degraded PP-k block
+            span.set(degraded=True)
+            rows = []
+        else:
+            ctx.stats.bump(pushed_queries=1)
+            span.set(rows=len(rows))
+        for row in rows:
+            if correlation.column_alias not in row:
+                raise DynamicError(
+                    f"PP-k correlation alias {correlation.column_alias!r} "
+                    f"missing from fetched row (columns: {sorted(row)})"
+                )
+            rows_by_key.setdefault(row[correlation.column_alias], []).append(row)
+    return rows_by_key
+
+
+def _join_scan(clause: PPkLetClause, block: list[dict], rows_by_key: dict,
+               evaluator: "Evaluator") -> Iterator[dict]:
+    """Join one block of tuples against the re-plan scan's partitioned
+    rows — key computation and per-key row order match the PP-k blocks,
+    so the output stream is item-identical to the abandoned strategy."""
+    correlation = clause.pushed.correlation
+    keys = []
+    for env in block:
+        atoms = atomize(evaluator.eval(correlation.outer_key, env))
+        keys.append(atoms[0].value if atoms else None)
+    yield from _join_block(clause, block, (keys, rows_by_key), evaluator)
 
 
 def _block_sizer(clause: PPkLetClause, ctx):

@@ -7,73 +7,27 @@ lookups that finish in one keyed roundtrip and shed the full-federation
 scans that would occupy workers for orders of magnitude longer.
 
 The estimate walks the compiled plan (so it is cache-friendly — plans
-are compiled once and served repeatedly, section 3.3) and sums static
-weights per source-touching operator:
-
-* a pushed SQL region with a WHERE clause, parameters or a correlation
-  is a keyed lookup — the source does the selection (cost ~1);
-* a pushed region with no selection at all is a full-table ship
-  (cost ~10 per region);
-* a PP-k block join adds a block-per-k roundtrip stream (cost ~5);
-* an unpushed relational source call is a mid-tier scan (cost ~8);
-* a functional source call (web service / Java / file) is one
-  roundtrip (cost ~3).
-
-The weights are deliberately coarse: admission control only needs an
-ordering (lookup < join < scan), not a cardinality model.
+are compiled once and served repeatedly, section 3.3) and delegates to
+the optimizer's estimator,
+:func:`repro.compiler.costing.admission_cost`: the same per-operator
+time model the costing pass ranks strategies with, evaluated under cold
+priors and normalized to keyed-lookup units, so one keyed roundtrip
+prices at 1.0 and a full-table ship at roughly its ratio of shipped
+time.  Admission stays deterministic across platforms and load (no live
+statistics are consulted — ``catalog=None``): the same plan always
+prices the same, and the ordering (lookup < join < scan) is what the
+shed-expensive classification needs.
 """
 
 from __future__ import annotations
 
-from ..compiler.algebra import (
-    IndexJoinForClause,
-    PPkLetClause,
-    PushedSQL,
-    SourceCall,
-)
-
-#: weight of a pushed region whose SQL carries a selection
-COST_KEYED_LOOKUP = 1.0
-#: weight of a pushed region shipping a whole table
-COST_PUSHED_SCAN = 10.0
-#: weight of a PP-k block-join stream
-COST_PPK_JOIN = 5.0
-#: weight of an index join build (one scan amortized across probes)
-COST_INDEX_JOIN = 4.0
-#: weight of an unpushed relational source call (mid-tier scan)
-COST_MIDTIER_SCAN = 8.0
-#: weight of one functional-source roundtrip
-COST_FUNCTIONAL_CALL = 3.0
+from ..compiler.costing import admission_cost
 
 #: above this, a request counts as "expensive" for shed-expensive mode
 DEFAULT_COST_THRESHOLD = 5.0
 
 
-def _pushed_cost(node: PushedSQL) -> float:
-    select = node.select
-    keyed = (
-        node.correlation is not None
-        or bool(node.param_exprs)
-        or select.where is not None
-        or bool(select.group_by)
-        or select.fetch is not None
-    )
-    return COST_KEYED_LOOKUP if keyed else COST_PUSHED_SCAN
-
-
 def estimate_cost(plan_expr) -> float:
-    """Estimated relative cost of a compiled plan (>= 1.0)."""
-    cost = 0.0
-    for node in plan_expr.walk():
-        if isinstance(node, PushedSQL):
-            cost += _pushed_cost(node)
-        elif isinstance(node, PPkLetClause):
-            cost += COST_PPK_JOIN
-        elif isinstance(node, IndexJoinForClause):
-            cost += COST_INDEX_JOIN
-        elif isinstance(node, SourceCall):
-            if node.kind == "table":
-                cost += COST_MIDTIER_SCAN
-            else:
-                cost += COST_FUNCTIONAL_CALL
-    return max(cost, 1.0)
+    """Estimated relative cost of a compiled plan (>= 1.0), in
+    keyed-lookup units."""
+    return admission_cost(plan_expr)

@@ -12,7 +12,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterator
 
 from ..clock import Clock, VirtualClock
+from ..compiler.costing import CostingOptions
 from ..compiler.inverse import InverseRegistry
+from ..compiler.stats import StatisticsCatalog
 from ..concurrency import NOOP_DETECTOR, RACE, set_race_detector
 from ..compiler.pipeline import CompiledPlan, Compiler, CompilerOptions, PlanCache
 from ..compiler.views import ViewPlanCache
@@ -98,6 +100,13 @@ class Platform:
         #: fingerprint, operator) EWMA actuals next to cost estimates;
         #: fed by the continuous tracer and by profile()
         self.plan_stats_store = PlanStatsStore()
+        #: the P-COST statistics layer: cardinality/selectivity sketches
+        #: over the registered sources plus per-source latency fits
+        self.statistics = StatisticsCatalog(self.ctx.databases,
+                                            self.ctx.observed)
+        self.options.cost = CostingOptions(
+            catalog=self.statistics, store=self.plan_stats_store,
+            ppk_join_ms_per_tuple=self.ctx.middleware.ppk_join_ms_per_tuple)
         #: the installed ContinuousTracer, if set_continuous() is on
         self._continuous: ContinuousTracer | None = None
         #: administrative gate: set_tracing_allowed(False) makes every
@@ -331,6 +340,40 @@ class Platform:
     def set_pushdown_enabled(self, enabled: bool) -> None:
         self.options.push.enabled = enabled
         self._invalidate_plans()
+
+    # -- cost-based plan choice (P-COST) ----------------------------------------
+
+    def set_cost_based(self, enabled: bool = True, force: str | None = None,
+                       reorder: bool = True) -> None:
+        """Toggle cost-based plan choice (P-COST): the compiler costs
+        PP-k vs index-join vs ship-all per source-touching region (and
+        greedily orders independent single-match joins) from the
+        statistics catalog and the plan-stats store, replacing the fixed
+        heuristics.  Off (the default) compiles byte-identical heuristic
+        plans.  ``force`` pins every convertible region to one strategy
+        (``"ppk"``, ``"index-join"``, ``"ship-all"``) for ablation."""
+        from ..compiler.costing import STRATEGIES
+
+        if force is not None and force not in STRATEGIES:
+            raise ValueError(
+                f"force must be one of {STRATEGIES} or None, got {force!r}")
+        cost = self.options.cost
+        cost.enabled = enabled
+        cost.force = force
+        cost.reorder = reorder
+        self._invalidate_plans()
+
+    def set_replan_threshold(self, factor: float | None) -> None:
+        """Mid-query re-planning: when an operator's observed outer
+        cardinality diverges from its costed estimate by more than
+        ``factor``, the runtime abandons the losing strategy at the next
+        block/build boundary and switches to the runner-up (PP-k -> scan,
+        index-join -> PP-k), counted in ``runtime.replans`` and visible
+        in traces.  ``None`` (the default) disables re-planning.  A
+        runtime knob: compiled plans are unaffected."""
+        if factor is not None and factor <= 1.0:
+            raise ValueError("replan threshold must be > 1.0 (or None)")
+        self.ctx.replan_threshold = factor
 
     def register_update_override(self, service_name: str, override: UpdateOverride) -> None:
         self._update_overrides[service_name] = override

@@ -25,11 +25,7 @@ from repro.server import (
     TokenBucket,
     estimate_cost,
 )
-from repro.server.cost import (
-    COST_KEYED_LOOKUP,
-    COST_PUSHED_SCAN,
-    DEFAULT_COST_THRESHOLD,
-)
+from repro.server.cost import DEFAULT_COST_THRESHOLD
 from repro.xml.items import AtomicValue
 
 
@@ -141,11 +137,17 @@ class TestCostEstimation:
         platform = build_demo_platform()
         lookup = estimate_cost(platform.prepare(LOOKUP, {"id": []}).expr)
         scan = estimate_cost(platform.prepare(SCAN).expr)
-        assert lookup == COST_KEYED_LOOKUP
+        # one keyed roundtrip is the unit: a point lookup prices at 1.0
+        assert lookup == 1.0
         assert lookup <= DEFAULT_COST_THRESHOLD < scan
-        # a whole-table ship prices as a scan
+        # a whole-table ship prices well past the shed threshold
         table = estimate_cost(platform.prepare("CUSTOMER()").expr)
-        assert table == COST_PUSHED_SCAN
+        assert table > DEFAULT_COST_THRESHOLD
+        # additivity: a PP-k join over the scan prices above the scan alone
+        join = estimate_cost(platform.prepare(
+            "for $c in CUSTOMER() for $cc in CREDIT_CARD() "
+            "where $cc/CID eq $c/CID return $cc/NUMBER").expr)
+        assert lookup < table < join
 
     def test_floor_is_one(self):
         platform = build_demo_platform()

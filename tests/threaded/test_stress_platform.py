@@ -166,6 +166,35 @@ class TestStress:
             platform.set_batch_size(256)
         assert_race_free(detector)
 
+    def test_cost_based_toggle_under_contention(self, stressed, round):
+        """P-COST's knobs under fire: one thread flips cost-based planning
+        on and off mid-workload (each flip invalidates the plan cache and
+        recompiles with or without the costing pass), another toggles the
+        re-plan threshold, the rest hammer the cross-database join the
+        pass rewrites — results must stay byte-identical throughout."""
+        from repro import serialize
+
+        platform, detector = stressed
+        query = ("for $c in CUSTOMER() "
+                 "for $cc in CREDIT_CARD() where $cc/CID eq $c/CID "
+                 "return $cc/NUMBER")
+        expected = serialize(platform.execute(query))
+
+        def worker(index):
+            for i in range(OPS_PER_THREAD):
+                if index == 0:
+                    platform.set_cost_based(i % 2 == 0)
+                elif index == 1:
+                    platform.set_replan_threshold(None if i % 2 else 4.0)
+                assert serialize(platform.execute(query)) == expected
+
+        try:
+            hammer(platform, worker)
+        finally:
+            platform.set_cost_based(False)
+            platform.set_replan_threshold(None)
+        assert_race_free(detector)
+
     def test_counters_are_exact_under_contention(self, stressed, round):
         platform, detector = stressed
         runs_per_thread = 8
